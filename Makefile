@@ -1,0 +1,37 @@
+# Convenience targets for the PERT reproduction.
+
+GO ?= go
+
+.PHONY: all build test vet bench results results-paper fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full benchmark run: every paper figure/table at quick scale, ablations,
+# and substrate micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the committed quick-scale results file.
+results:
+	$(GO) run ./cmd/pertbench -scale quick > results_quick.txt
+
+# The paper's exact parameters; takes hours.
+results-paper:
+	$(GO) run ./cmd/pertbench -scale paper > results_paper.txt
+
+# Exercise the fuzz targets briefly.
+fuzz:
+	$(GO) test ./internal/predictors -run=NONE -fuzz=FuzzLoadTrace -fuzztime=20s
+	$(GO) test ./internal/experiments -run=NONE -fuzz=FuzzLoadScenario -fuzztime=20s
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,91 @@
+// Command pertbench regenerates the paper's tables and figures, plus the
+// extension experiments documented in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	pertbench [-scale quick|paper] [-exp fig6,fig7,...|all] [-format text|json|csv]
+//
+// Quick scale (default) shrinks bandwidth and duration while preserving the
+// dimensionless shape of each experiment; paper scale runs the publication's
+// exact parameters (much slower).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"pert/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pertbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scaleFlag := fs.String("scale", "quick", "experiment scale: quick or paper")
+	expFlag := fs.String("exp", "all", "comma-separated experiment IDs (fig2..fig14, table1, ext-*) or 'all'")
+	format := fs.String("format", "text", "output format: text, json, or csv")
+	parallel := fs.Int("parallel", 0, "simulation worker count for sweeps (0 = all cores)")
+	list := fs.Bool("list", false, "list experiment IDs and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Fprintln(stdout, id)
+		}
+		return 0
+	}
+
+	scale := experiments.Scale(*scaleFlag)
+	if !scale.Valid() {
+		fmt.Fprintf(stderr, "pertbench: unknown scale %q (want quick or paper)\n", *scaleFlag)
+		return 2
+	}
+	if *parallel > 0 {
+		experiments.SetParallelism(*parallel)
+	}
+
+	var ids []string
+	if *expFlag == "all" {
+		ids = experiments.IDs()
+	} else {
+		ids = strings.Split(*expFlag, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		runExp, ok := experiments.Registry[id]
+		if !ok {
+			fmt.Fprintf(stderr, "pertbench: unknown experiment %q (use -list)\n", id)
+			return 2
+		}
+		start := time.Now()
+		for _, table := range runExp(scale) {
+			switch *format {
+			case "json":
+				if err := table.FprintJSON(stdout); err != nil {
+					fmt.Fprintf(stderr, "pertbench: %v\n", err)
+					return 1
+				}
+			case "csv":
+				table.FprintCSV(stdout)
+			case "text":
+				table.Fprint(stdout)
+			default:
+				fmt.Fprintf(stderr, "pertbench: unknown format %q\n", *format)
+				return 2
+			}
+		}
+		if *format == "text" {
+			fmt.Fprintf(stdout, "[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return 0
+}

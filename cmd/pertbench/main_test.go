@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestListIDs(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	ids := strings.Fields(out.String())
+	if len(ids) < 15 {
+		t.Fatalf("only %d experiments listed", len(ids))
+	}
+	for _, want := range []string{"fig2", "fig13", "table1", "ext-aqm"} {
+		found := false
+		for _, id := range ids {
+			if id == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("missing %q in %v", want, ids)
+		}
+	}
+}
+
+func TestFig5Text(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "fig5"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "== fig5:") || !strings.Contains(s, "completed in") {
+		t.Fatalf("output:\n%s", s)
+	}
+}
+
+func TestFig13JSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "fig13", "-format", "json"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	dec := json.NewDecoder(strings.NewReader(out.String()))
+	var tables int
+	for dec.More() {
+		var v struct {
+			ID   string
+			Rows [][]string
+		}
+		if err := dec.Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		if v.ID == "" || len(v.Rows) == 0 {
+			t.Fatalf("empty table: %+v", v)
+		}
+		tables++
+	}
+	if tables != 2 { // fig13a + fig13bcd
+		t.Fatalf("tables = %d", tables)
+	}
+}
+
+func TestFig5CSV(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "fig5", "-format", "csv"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	first := strings.SplitN(out.String(), "\n", 2)[0]
+	if first != "queueing_delay_ms,response_prob" {
+		t.Fatalf("csv header = %q", first)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown experiment exit = %d", code)
+	}
+	if code := run([]string{"-scale", "huge"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown scale exit = %d", code)
+	}
+	if code := run([]string{"-exp", "fig5", "-format", "xml"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown format exit = %d", code)
+	}
+	if code := run([]string{"-bogusflag"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag exit = %d", code)
+	}
+}

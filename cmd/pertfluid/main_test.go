@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTrajectoryCSV(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-mode", "trajectory", "-dur", "2s", "-every", "500"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if lines[0] != "t,window_pkts,queue_delay_s,smoothed_delay_s" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) < 4 {
+		t.Fatalf("only %d lines", len(lines))
+	}
+	if !strings.Contains(errb.String(), "equilibrium") {
+		t.Fatal("no equilibrium summary on stderr")
+	}
+}
+
+func TestStabilityMode(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-mode", "stability", "-r", "100ms", "-delta", "100us"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "stable=true") {
+		t.Fatalf("expected stable at 100 ms:\n%s", s)
+	}
+	if !strings.Contains(s, "0.170s") && !strings.Contains(s, "0.171s") {
+		t.Fatalf("boundary missing:\n%s", s)
+	}
+}
+
+func TestMinDeltaMode(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-mode", "mindelta", "-c", "1000", "-r", "200ms"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 51 { // header + N=1..50
+		t.Fatalf("lines = %d", len(lines))
+	}
+}
+
+func TestBadModeAndBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-mode", "bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("bad mode exit = %d", code)
+	}
+	if code := run([]string{"-nope"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag exit = %d", code)
+	}
+}

@@ -1,0 +1,158 @@
+// Command pertsim runs one single-bottleneck scenario and reports the
+// paper's four panels (queue, drops, utilization, fairness) plus latency
+// percentiles, optionally emitting a packet trace and a queue-length time
+// series.
+//
+// Examples:
+//
+//	pertsim -scheme PERT -bw 50e6 -rtt 60ms -flows 20 -web 50 -dur 60s
+//	pertsim -config scenario.json -trace pkts.tr -qseries queue.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"pert/internal/experiments"
+	"pert/internal/netem"
+	"pert/internal/sim"
+	"pert/internal/topo"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pertsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scheme := fs.String("scheme", "PERT", "PERT | Sack/Droptail | Sack/RED-ECN | Vegas | PERT-PI | Sack/PI-ECN | PERT-REM | Sack/REM-ECN | Sack/AVQ-ECN")
+	bw := fs.Float64("bw", 50e6, "bottleneck bandwidth, bits/s")
+	rtt := fs.Duration("rtt", 60*time.Millisecond, "end-to-end propagation RTT (comma list via -rtts overrides)")
+	rtts := fs.String("rtts", "", "comma-separated RTT list for heterogeneous flows, e.g. 12ms,24ms,36ms")
+	flows := fs.Int("flows", 10, "forward long-term flows")
+	revFlows := fs.Int("reverse", 0, "reverse long-term flows")
+	web := fs.Int("web", 0, "forward web sessions")
+	buffer := fs.Int("buffer", 0, "bottleneck buffer in packets (0 = BDP with 2*flows floor)")
+	dur := fs.Duration("dur", 60*time.Second, "simulated duration")
+	warm := fs.Duration("warm", 15*time.Second, "measurement window start")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	jitter := fs.Duration("jitter", 0, "uniform per-packet access-link delay jitter bound")
+	config := fs.String("config", "", "load the scenario from a JSON file (overrides topology/traffic flags)")
+	tracePath := fs.String("trace", "", "write an ns-2-style packet trace of the bottleneck to this file")
+	qseriesPath := fs.String("qseries", "", "write a queue-length time series (CSV) to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	spec := experiments.DumbbellSpec{
+		Seed:         *seed,
+		Bandwidth:    *bw,
+		Flows:        *flows,
+		ReverseFlows: *revFlows,
+		WebSessions:  *web,
+		BufferPkts:   *buffer,
+		Duration:     sim.Time(*dur),
+		MeasureFrom:  sim.Time(*warm),
+		MeasureUntil: sim.Time(*dur),
+		StartWindow:  sim.Time(*warm) / 2,
+		AccessJitter: sim.Time(*jitter),
+	}
+	if *rtts != "" {
+		for _, s := range strings.Split(*rtts, ",") {
+			d, err := time.ParseDuration(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintf(stderr, "pertsim: bad -rtts entry %q: %v\n", s, err)
+				return 2
+			}
+			spec.RTTs = append(spec.RTTs, sim.Time(d))
+		}
+	} else {
+		spec.RTTs = []sim.Duration{sim.Time(*rtt)}
+	}
+
+	if *config != "" {
+		f, err := os.Open(*config)
+		if err != nil {
+			fmt.Fprintf(stderr, "pertsim: %v\n", err)
+			return 1
+		}
+		loaded, sch, err := experiments.LoadScenario(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "pertsim: %v\n", err)
+			return 1
+		}
+		spec = loaded
+		*scheme = string(sch)
+	}
+
+	var cleanups []func()
+	if *tracePath != "" {
+		w, closeFn, err := createBuffered(*tracePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "pertsim: %v\n", err)
+			return 1
+		}
+		cleanups = append(cleanups, closeFn)
+		prev := spec.Instrument
+		spec.Instrument = func(d *topo.Dumbbell) {
+			if prev != nil {
+				prev(d)
+			}
+			netem.NewTracer(w).Attach(d.Forward)
+		}
+	}
+	if *qseriesPath != "" {
+		w, closeFn, err := createBuffered(*qseriesPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "pertsim: %v\n", err)
+			return 1
+		}
+		cleanups = append(cleanups, closeFn)
+		prev := spec.Instrument
+		spec.Instrument = func(d *topo.Dumbbell) {
+			if prev != nil {
+				prev(d)
+			}
+			fmt.Fprintln(w, "t_s,queue_pkts")
+			d.Net.Engine().Every(0, 10*sim.Millisecond, func(now sim.Time) {
+				fmt.Fprintf(w, "%.3f,%d\n", now.Seconds(), d.Forward.Queue.Len())
+			})
+		}
+	}
+
+	res := experiments.RunDumbbell(spec, experiments.Scheme(*scheme))
+	for _, c := range cleanups {
+		c()
+	}
+	fmt.Fprintf(stdout, "scheme         %s\n", res.Scheme)
+	fmt.Fprintf(stdout, "buffer         %d packets\n", res.BufferPkts)
+	fmt.Fprintf(stdout, "avg queue      %.2f packets (%.3f of buffer)\n", res.AvgQueue, res.NormQueue)
+	fmt.Fprintf(stdout, "sojourn p50    %.2f ms\n", res.DelayP50*1000)
+	fmt.Fprintf(stdout, "sojourn p99    %.2f ms\n", res.DelayP99*1000)
+	fmt.Fprintf(stdout, "drop rate      %.3g\n", res.DropRate)
+	fmt.Fprintf(stdout, "mark rate      %.3g\n", res.MarkRate)
+	fmt.Fprintf(stdout, "utilization    %.3f\n", res.Utilization)
+	fmt.Fprintf(stdout, "jain fairness  %.3f\n", res.Jain)
+	return 0
+}
+
+// createBuffered opens path for writing with a buffer; the returned func
+// flushes and closes.
+func createBuffered(path string) (io.Writer, func(), error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := bufio.NewWriter(f)
+	return w, func() {
+		w.Flush()
+		f.Close()
+	}, nil
+}

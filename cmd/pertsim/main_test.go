@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBasicRun(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-scheme", "PERT", "-bw", "10e6", "-flows", "3",
+		"-dur", "12s", "-warm", "4s"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"scheme         PERT", "avg queue", "utilization", "sojourn p99"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTraceAndQSeriesFiles(t *testing.T) {
+	dir := t.TempDir()
+	tr := filepath.Join(dir, "p.tr")
+	qs := filepath.Join(dir, "q.csv")
+	var out, errb bytes.Buffer
+	code := run([]string{"-flows", "2", "-bw", "5e6", "-dur", "6s", "-warm", "2s",
+		"-trace", tr, "-qseries", qs}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	trData, err := os.ReadFile(tr)
+	if err != nil || len(trData) == 0 {
+		t.Fatalf("trace file: %v, %d bytes", err, len(trData))
+	}
+	qsData, err := os.ReadFile(qs)
+	if err != nil || !strings.HasPrefix(string(qsData), "t_s,queue_pkts\n") {
+		t.Fatalf("qseries file: %v, %q", err, string(qsData[:min(30, len(qsData))]))
+	}
+}
+
+func TestConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	cfg := filepath.Join(dir, "sc.json")
+	os.WriteFile(cfg, []byte(`{"scheme":"Vegas","bandwidth_bps":5e6,"flows":2,"duration":"8s","measure_from":"2s"}`), 0o644)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-config", cfg}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "scheme         Vegas") {
+		t.Fatalf("config scheme not applied:\n%s", out.String())
+	}
+}
+
+func TestHeterogeneousRTTs(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-rtts", "20ms,40ms", "-flows", "2", "-bw", "5e6",
+		"-dur", "8s", "-warm", "2s"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-rtts", "garbage"}, &out, &errb); code != 2 {
+		t.Fatalf("bad rtts exit = %d", code)
+	}
+	if code := run([]string{"-config", "/nonexistent/x.json"}, &out, &errb); code != 1 {
+		t.Fatalf("missing config exit = %d", code)
+	}
+	if code := run([]string{"-wat"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag exit = %d", code)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,55 @@
+// Fluidstability: the paper's Section 5 control-theoretic toolkit. Evaluates
+// the Theorem 1 stability condition across round-trip times, finds the
+// stability boundary, derives the minimum sampling interval (eq. 13), and
+// integrates the delay-differential model (eq. 14) to show the three regimes
+// of Figure 13: monotone convergence, damped oscillation, and sustained
+// oscillation.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"pert/internal/fluid"
+)
+
+func params(rtt float64) fluid.PERTParams {
+	return fluid.PERTParams{
+		C: 100, N: 5, R: rtt, // 1 Mbps at 1250-byte packets, 5 flows
+		Tmin: 0.05, Tmax: 0.1, Pmax: 0.1,
+		Alpha: 0.99, Delta: 1e-4,
+	}
+}
+
+func main() {
+	p := params(0.1)
+	boundary := fluid.StabilityBoundaryR(p, 0.05, 0.3, 0.001)
+	fmt.Printf("Theorem 1 stability boundary: R = %.0f ms (paper: 171 ms)\n\n", boundary*1000)
+
+	fmt.Printf("%-8s %-9s %-10s %-14s %s\n", "R_ms", "theorem1", "W*_pkts", "osc_amplitude", "regime")
+	for _, rtt := range []float64{0.10, 0.16, 0.171, 0.19} {
+		pp := params(rtt)
+		_, _, stable := fluid.StableTheorem1(pp, pp.N, pp.R)
+		wStar, _, _ := pp.Equilibrium()
+
+		lateMin, lateMax := math.Inf(1), math.Inf(-1)
+		pp.Trajectory(400, 1e-3, func(t float64, x []float64) {
+			if t > 340 {
+				lateMin = math.Min(lateMin, x[0])
+				lateMax = math.Max(lateMax, x[0])
+			}
+		})
+		amp := lateMax - lateMin
+		regime := "converges"
+		if amp > 0.1*wStar {
+			regime = "oscillates"
+		}
+		fmt.Printf("%-8.0f %-9v %-10.2f %-14.3f %s\n", rtt*1000, stable, wStar, amp, regime)
+	}
+
+	fmt.Println("\nMinimum stable sampling interval (eq. 13, C = 1000 pkt/s, R = 200 ms):")
+	big := fluid.PERTParams{C: 1000, N: 1, R: 0.2, Tmin: 0.05, Tmax: 0.1, Pmax: 0.1, Alpha: 0.99, Delta: 0.1}
+	for _, n := range []float64{5, 10, 20, 40} {
+		fmt.Printf("  N >= %2.0f flows: delta >= %.3f s\n", n, fluid.MinDelta(big, n, big.R))
+	}
+}

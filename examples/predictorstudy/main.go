@@ -1,0 +1,46 @@
+// Predictorstudy: the Section 2 methodology end to end. Collect a trace
+// from a congested dumbbell with a tagged flow, then replay every published
+// congestion predictor over it and score prediction efficiency, false
+// positives and false negatives against ground-truth queue-level losses —
+// the analysis behind the paper's Figures 2 and 3.
+package main
+
+import (
+	"fmt"
+
+	"pert/internal/experiments"
+	"pert/internal/predictors"
+	"pert/internal/sim"
+)
+
+func main() {
+	// A mid-sized case: 25 long flows (plus half reverse) and 250 web
+	// sessions over a 50 Mbps bottleneck, 90 simulated seconds.
+	c := experiments.Section2Case{Name: "demo", LongFlows: 25, Web: 250}
+	tr := experiments.CollectTrace(c, 1, 50e6, 375, sim.Seconds(90), sim.Seconds(10))
+
+	qLosses := predictors.CoalesceLosses(tr.QueueLosses, 60*sim.Millisecond)
+	fLosses := predictors.CoalesceLosses(tr.FlowLosses, 60*sim.Millisecond)
+	fmt.Printf("trace: %d per-ACK RTT samples, %d queue loss episodes, %d flow loss episodes\n\n",
+		len(tr.Samples), len(qLosses), len(fLosses))
+
+	// The Figure 2 comparison: the same high-RTT detector scored against
+	// what the flow can see vs what the queue actually did.
+	flowRes := predictors.Evaluate(predictors.NewRelativeThreshold("inst-rtt", 5*sim.Millisecond, nil), tr, fLosses)
+	queueRes := predictors.Evaluate(predictors.NewRelativeThreshold("inst-rtt", 5*sim.Millisecond, nil), tr, qLosses)
+	fmt.Printf("high-RTT -> loss fraction:  flow-level %.3f   queue-level %.3f\n",
+		flowRes.Efficiency(), queueRes.Efficiency())
+	fmt.Println("(the paper's point: flow-level measurement understates prediction accuracy)")
+	fmt.Println()
+
+	// The Figure 3 comparison across predictors.
+	fmt.Printf("%-12s %10s %10s %10s\n", "predictor", "efficiency", "false_pos", "false_neg")
+	for _, p := range predictors.Suite(5*sim.Millisecond, 375) {
+		res := predictors.Evaluate(p, tr, qLosses)
+		fmt.Printf("%-12s %10.3f %10.3f %10.3f\n",
+			p.Name(), res.Efficiency(), res.FalsePositives(), res.FalseNegatives())
+	}
+	fmt.Println("\nsrtt_0.99 (ewma-0.99) is the signal PERT builds on: high efficiency,")
+	fmt.Println("near-zero false positives, at the cost of reaction speed — which the")
+	fmt.Println("probabilistic response function is designed to tolerate.")
+}

@@ -1,0 +1,66 @@
+// Webtraffic: mix long-lived PERT transfers with bursty web sessions
+// (exponential think times, Pareto object sizes over real short TCP
+// connections) and watch the early-response machinery absorb the bursts:
+// the smoothed srtt_0.99 signal ignores transient spikes but reacts to
+// sustained queue growth.
+package main
+
+import (
+	"fmt"
+
+	"pert/internal/netem"
+	"pert/internal/queue"
+	"pert/internal/sim"
+	"pert/internal/stats"
+	"pert/internal/tcp"
+	"pert/internal/topo"
+	"pert/internal/trafficgen"
+)
+
+func main() {
+	eng := sim.NewEngine(3)
+	net := netem.NewNetwork(eng)
+
+	d := topo.NewDumbbell(net, topo.DumbbellConfig{
+		Bandwidth: 30e6,
+		Delay:     20 * sim.Millisecond,
+		Hosts:     24,
+		RTTs:      []sim.Duration{60 * sim.Millisecond},
+		Queue: func(limit int, _ float64) netem.Discipline {
+			return queue.NewDropTail(limit)
+		},
+	})
+
+	ids := trafficgen.NewIDs()
+	pert := func() tcp.CongestionControl { return tcp.NewPERTRed() }
+
+	long := trafficgen.FTPFleet(net, ids, d.Left, d.Right, 8, trafficgen.FTPConfig{
+		CC:          pert,
+		StartWindow: sim.Seconds(4),
+	})
+	web := trafficgen.WebFleet(net, ids, d.Left, d.Right, 40, trafficgen.WebConfig{
+		MeanThink:      500 * sim.Millisecond,
+		ParetoShape:    1.2,
+		MeanObjectSegs: 12,
+		CC:             pert, // an all-PERT world: web transfers respond early too
+	}, sim.Seconds(4))
+
+	eng.Run(sim.Seconds(10))
+	meter := stats.NewMeter(d.Forward)
+	meter.Start(eng.Now())
+	qmon := stats.MonitorQueue(eng, d.Forward, eng.Now(), 10*sim.Millisecond)
+	snap := trafficgen.GoodputSnapshot(long)
+	eng.Run(sim.Seconds(60))
+
+	var pages, objects uint64
+	for _, s := range web {
+		pages += s.Pages
+		objects += s.Objects
+	}
+	fmt.Printf("web workload:      %d pages, %d objects fetched\n", pages, objects)
+	fmt.Printf("avg queue:         %.1f / %d packets\n", qmon.Series.Mean(), d.BufferPkts)
+	fmt.Printf("max queue:         %.0f packets\n", qmon.Series.Max())
+	fmt.Printf("drop rate:         %.3g\n", meter.DropRate())
+	fmt.Printf("utilization:       %.1f%%\n", 100*meter.Utilization(eng.Now()))
+	fmt.Printf("long-flow Jain:    %.3f\n", stats.Jain(trafficgen.Goodputs(long, snap)))
+}

@@ -1,0 +1,3 @@
+module pert
+
+go 1.22

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pert/internal/sim"
+)
+
+func TestAdaptiveSpacingEscalates(t *testing.T) {
+	a := NewAdaptiveResponder(rand.New(rand.NewSource(1)))
+	a.OneShotThreshold = 0 // isolate the escalation mechanism
+	now := sim.Time(0)
+	a.OnRTT(now, 60*sim.Millisecond) // anchor P
+
+	// Persistent congestion: feed high RTTs and record response gaps.
+	var gaps []sim.Duration
+	last := sim.Time(0)
+	for i := 0; i < 400000; i++ {
+		now += 100 * sim.Microsecond
+		if a.OnRTT(now, 75*sim.Millisecond).Respond {
+			if last != 0 {
+				gaps = append(gaps, now-last)
+			}
+			last = now
+		}
+	}
+	if len(gaps) < 3 {
+		t.Fatalf("only %d response gaps", len(gaps)+1)
+	}
+	// Later gaps must be much larger than the first: spacing escalated.
+	if gaps[len(gaps)-1] < 2*gaps[0] {
+		t.Fatalf("spacing did not escalate: first=%v last=%v", gaps[0], gaps[len(gaps)-1])
+	}
+}
+
+func TestAdaptiveSpacingResetsWhenQueueClears(t *testing.T) {
+	a := NewAdaptiveResponder(rand.New(rand.NewSource(2)))
+	a.OneShotThreshold = 0
+	now := sim.Time(0)
+	a.OnRTT(now, 60*sim.Millisecond)
+	// Escalate.
+	for i := 0; i < 100000; i++ {
+		now += 100 * sim.Microsecond
+		a.OnRTT(now, 75*sim.Millisecond)
+	}
+	if a.spacingRTTs <= 1 {
+		t.Fatal("premise: spacing should have escalated")
+	}
+	// Clear the queue estimate: srtt_0.99 must decay below P+Tmin.
+	for i := 0; i < 100000; i++ {
+		now += 100 * sim.Microsecond
+		a.OnRTT(now, 60*sim.Millisecond)
+	}
+	if a.spacingRTTs != 1 || a.oneShotUsed {
+		t.Fatalf("spacing=%d oneShot=%v after queue cleared", a.spacingRTTs, a.oneShotUsed)
+	}
+}
+
+func TestAdaptiveOneShotRegion(t *testing.T) {
+	a := NewAdaptiveResponder(rand.New(rand.NewSource(3)))
+	a.EscalateSpacing = false
+	now := sim.Time(0)
+	a.OnRTT(now, 60*sim.Millisecond)
+	// Drive the signal deep into the gentle region (p >= 0.75). Count only
+	// responses fired while inside the one-shot region — the climb through
+	// the probabilistic band below it may legitimately respond too.
+	oneShot := 0
+	for i := 0; i < 500000; i++ {
+		now += 100 * sim.Microsecond
+		d := a.OnRTT(now, 90*sim.Millisecond)
+		if d.Respond && d.Prob >= a.OneShotThreshold {
+			oneShot++
+		}
+	}
+	if got := a.Curve.Prob(a.Signal().QueueingDelay()); got < 0.75 {
+		t.Fatalf("premise: probability %v below one-shot threshold", got)
+	}
+	if oneShot != 1 {
+		t.Fatalf("one-shot region produced %d responses, want exactly 1 until the queue clears", oneShot)
+	}
+	// Clearing re-arms.
+	for i := 0; i < 400000; i++ {
+		now += 100 * sim.Microsecond
+		a.OnRTT(now, 60*sim.Millisecond)
+	}
+	for i := 0; i < 500000; i++ {
+		now += 100 * sim.Microsecond
+		if d := a.OnRTT(now, 90*sim.Millisecond); d.Respond && d.Prob >= a.OneShotThreshold {
+			oneShot++
+		}
+	}
+	if oneShot != 2 {
+		t.Fatalf("re-armed one-shot produced %d total in-region responses, want 2", oneShot)
+	}
+}
+
+func TestREMPriceIntegrates(t *testing.T) {
+	r := NewREMResponder(rand.New(rand.NewSource(4)), 0, 0, 3*sim.Millisecond)
+	now := sim.Time(0)
+	r.OnRTT(now, 60*sim.Millisecond)
+	for i := 0; i < 20000; i++ {
+		now += sim.Millisecond
+		r.OnRTT(now, 80*sim.Millisecond) // ~17 ms over target
+	}
+	if r.Price() <= 0 || r.P() <= 0 {
+		t.Fatalf("price=%v p=%v under sustained excess delay", r.Price(), r.P())
+	}
+	high := r.Price()
+	// Below-target delay drains the price toward zero.
+	for i := 0; i < 400000; i++ {
+		now += sim.Millisecond
+		r.OnRTT(now, 60*sim.Millisecond)
+	}
+	if r.Price() >= high {
+		t.Fatalf("price did not drain: %v -> %v", high, r.Price())
+	}
+}
+
+func TestREMProbabilityBounds(t *testing.T) {
+	f := func(rtts []uint16, seed int64) bool {
+		r := NewREMResponder(rand.New(rand.NewSource(seed)), 0.8, 1.01, 3*sim.Millisecond)
+		now := sim.Time(0)
+		for _, v := range rtts {
+			now += sim.Millisecond
+			r.OnRTT(now, 50*sim.Millisecond+sim.Duration(v%100)*sim.Millisecond)
+			if r.P() < 0 || r.P() >= 1 {
+				return false
+			}
+			if r.Price() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestREMValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("phi <= 1 did not panic")
+		}
+	}()
+	NewREMResponder(rand.New(rand.NewSource(1)), 1, 0.5, sim.Millisecond)
+}
+
+func TestREMRespondsUnderLoad(t *testing.T) {
+	r := NewREMResponder(rand.New(rand.NewSource(5)), 0, 0, 3*sim.Millisecond)
+	now := sim.Time(0)
+	r.OnRTT(now, 60*sim.Millisecond)
+	responses := 0
+	for i := 0; i < 200000; i++ {
+		now += 100 * sim.Microsecond
+		if r.OnRTT(now, 80*sim.Millisecond).Respond {
+			responses++
+		}
+	}
+	if responses == 0 {
+		t.Fatal("REM never responded")
+	}
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pert/internal/sim"
+)
+
+func TestEWMA(t *testing.T) {
+	e := EWMA{W: 0.99}
+	if e.Initialized() {
+		t.Fatal("fresh EWMA claims init")
+	}
+	e.Update(100)
+	if e.Value() != 100 {
+		t.Fatalf("first sample: %v", e.Value())
+	}
+	e.Update(200)
+	if got := e.Value(); math.Abs(got-101) > 1e-9 {
+		t.Fatalf("after 200: %v, want 101", got)
+	}
+}
+
+func TestSignalBasics(t *testing.T) {
+	s := NewSignal(0.99)
+	if s.Ready() || s.QueueingDelay() != 0 || s.PropDelay() != 0 {
+		t.Fatal("fresh signal not zeroed")
+	}
+	s.Observe(60 * sim.Millisecond)
+	if s.PropDelay() != 60*sim.Millisecond {
+		t.Fatalf("P = %v", s.PropDelay())
+	}
+	if s.QueueingDelay() != 0 {
+		t.Fatalf("Tq = %v on first sample", s.QueueingDelay())
+	}
+	// RTT inflates: srtt creeps up, P stays at the minimum.
+	for i := 0; i < 3000; i++ {
+		s.Observe(80 * sim.Millisecond)
+	}
+	if s.PropDelay() != 60*sim.Millisecond {
+		t.Fatalf("P moved: %v", s.PropDelay())
+	}
+	tq := s.QueueingDelay()
+	if tq < 15*sim.Millisecond || tq > 20*sim.Millisecond {
+		t.Fatalf("Tq = %v, want ->20 ms", tq)
+	}
+	// A new minimum re-anchors P.
+	s.Observe(50 * sim.Millisecond)
+	if s.PropDelay() != 50*sim.Millisecond {
+		t.Fatalf("P = %v after new min", s.PropDelay())
+	}
+	s.Observe(-sim.Millisecond) // ignored
+	if s.PropDelay() != 50*sim.Millisecond {
+		t.Fatal("negative sample was not ignored")
+	}
+}
+
+func TestSignalSmoothingRejectsSpikes(t *testing.T) {
+	s := NewSignal(0.99)
+	for i := 0; i < 1000; i++ {
+		s.Observe(60 * sim.Millisecond)
+	}
+	// One 100 ms spike moves srtt_0.99 by only 1% of the 40 ms excess.
+	s.Observe(100 * sim.Millisecond)
+	tq := s.QueueingDelay()
+	if tq > sim.Milliseconds(0.5) {
+		t.Fatalf("single spike moved Tq to %v", tq)
+	}
+}
+
+func TestCurveShape(t *testing.T) {
+	c := DefaultCurve()
+	ms := func(x float64) sim.Duration { return sim.Milliseconds(x) }
+	cases := []struct {
+		tq   sim.Duration
+		want float64
+	}{
+		{0, 0},
+		{ms(4.999), 0},
+		{ms(5), 0},
+		{ms(7.5), 0.025},
+		{ms(10) - 1, 0.05}, // just below Tmax: approaches Pmax
+		{ms(10), 0.05},     // at Tmax: gentle region begins at Pmax
+		{ms(15), 0.525},    // halfway up the gentle ramp
+		{ms(20), 1},
+		{ms(500), 1},
+	}
+	for _, tc := range cases {
+		got := c.Prob(tc.tq)
+		if math.Abs(got-tc.want) > 1e-6 {
+			t.Errorf("Prob(%v) = %v, want %v", tc.tq, got, tc.want)
+		}
+	}
+}
+
+func TestCurveNonGentleClips(t *testing.T) {
+	c := DefaultCurve()
+	c.Gentle = false
+	if got := c.Prob(15 * sim.Millisecond); got != c.Pmax {
+		t.Fatalf("clipped curve above Tmax = %v, want Pmax", got)
+	}
+	if got := c.Prob(sim.Second); got != c.Pmax {
+		t.Fatalf("clipped curve far above Tmax = %v, want Pmax", got)
+	}
+}
+
+// Property: the response curve is monotone non-decreasing and bounded in
+// [0,1] over its whole domain.
+func TestCurveMonotoneProperty(t *testing.T) {
+	c := DefaultCurve()
+	f := func(a, b uint32) bool {
+		x := sim.Duration(a % 50_000_000) // up to 50 ms
+		y := sim.Duration(b % 50_000_000)
+		if x > y {
+			x, y = y, x
+		}
+		px, py := c.Prob(x), c.Prob(y)
+		return px >= 0 && py <= 1 && px <= py
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(6))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestREDResponderNoResponseBelowTmin(t *testing.T) {
+	r := NewREDResponder(rand.New(rand.NewSource(1)))
+	now := sim.Time(0)
+	for i := 0; i < 10000; i++ {
+		now += sim.Millisecond
+		d := r.OnRTT(now, 60*sim.Millisecond) // constant RTT: Tq = 0
+		if d.Respond {
+			t.Fatal("responded with zero queueing delay")
+		}
+		if d.Prob != 0 {
+			t.Fatalf("prob = %v with zero queueing delay", d.Prob)
+		}
+	}
+}
+
+func TestREDResponderRespondsUnderPersistentDelay(t *testing.T) {
+	r := NewREDResponder(rand.New(rand.NewSource(1)))
+	now := sim.Time(0)
+	r.OnRTT(now, 60*sim.Millisecond) // anchor P
+	responses := 0
+	for i := 0; i < 20000; i++ {
+		now += sim.Millisecond
+		d := r.OnRTT(now, 75*sim.Millisecond) // srtt -> 75 ms, Tq -> 15 ms
+		if d.Respond {
+			responses++
+		}
+	}
+	if responses == 0 {
+		t.Fatal("never responded despite Tq deep in the gentle region")
+	}
+}
+
+func TestREDResponderOncePerRTT(t *testing.T) {
+	r := NewREDResponder(rand.New(rand.NewSource(1)))
+	now := sim.Time(0)
+	r.OnRTT(now, 60*sim.Millisecond)
+	var respTimes []sim.Time
+	for i := 0; i < 100000; i++ {
+		now += 100 * sim.Microsecond // 10 ACKs per ms: plenty of chances
+		d := r.OnRTT(now, 80*sim.Millisecond)
+		if d.Respond {
+			respTimes = append(respTimes, now)
+		}
+	}
+	if len(respTimes) < 2 {
+		t.Fatalf("only %d responses", len(respTimes))
+	}
+	for i := 1; i < len(respTimes); i++ {
+		gap := respTimes[i] - respTimes[i-1]
+		// srtt converges toward 80 ms; the spacing must be at least the
+		// srtt at response time, which is always > 60 ms here.
+		if gap < 60*sim.Millisecond {
+			t.Fatalf("responses %v apart, want >= one RTT", gap)
+		}
+	}
+}
+
+func TestREDResponderUnlimitedAblation(t *testing.T) {
+	r := NewREDResponder(rand.New(rand.NewSource(1)))
+	r.Unlimited = true
+	now := sim.Time(0)
+	r.OnRTT(now, 60*sim.Millisecond)
+	responses := 0
+	for i := 0; i < 10000; i++ {
+		now += 100 * sim.Microsecond
+		if r.OnRTT(now, 85*sim.Millisecond).Respond {
+			responses++
+		}
+	}
+	// Without the once-per-RTT limit, responses come far faster than one
+	// per 60 ms (= max ~17 in one simulated second).
+	if responses < 100 {
+		t.Fatalf("unlimited responder fired only %d times", responses)
+	}
+}
+
+func TestDesignPERTPIMatchesTheorem2(t *testing.T) {
+	// Verify the Theorem 2 formulas directly:
+	//   m = 2*Nmin/(Rmax^2*C),  K = m*|j*R*m+1| * (2*Nmin)^2/(Rmax^3*C^2).
+	C, N, R := 1000.0, 10, 0.2
+	p := DesignPERTPI(C, N, 200*sim.Millisecond)
+	wantM := 2 * float64(N) / (R * R * C)
+	if math.Abs(p.M-wantM) > 1e-12 {
+		t.Fatalf("m = %v, want %v", p.M, wantM)
+	}
+	wantK := wantM * math.Hypot(R*wantM, 1) * math.Pow(2*float64(N), 2) / (math.Pow(R, 3) * C * C)
+	if math.Abs(p.K-wantK) > 1e-12 {
+		t.Fatalf("K = %v, want %v", p.K, wantK)
+	}
+	if p.K <= 0 || p.M <= 0 {
+		t.Fatalf("non-positive gains: %+v", p)
+	}
+	// The C^2 in the denominator (vs router PI's C^3) is the paper's
+	// "multiply router parameters by the link capacity" relationship, so
+	// doubling C while m's C^-1 also acts gives a K ratio of 8.
+	p2 := DesignPERTPI(2*C, N, 200*sim.Millisecond)
+	h1 := math.Hypot(R*p.M, 1)
+	h2 := math.Hypot(R*p2.M, 1)
+	if r := (p.K / h1) / (p2.K / h2); math.Abs(r-8) > 1e-9 {
+		t.Fatalf("K scaling with C: ratio = %v, want 8", r)
+	}
+}
+
+func TestPIResponderIntegratesTowardTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	params := DesignPERTPI(1201, 10, 200*sim.Millisecond)
+	r := NewPIResponder(rng, params, sim.Milliseconds(0.8), 3*sim.Millisecond)
+	now := sim.Time(0)
+	r.OnRTT(now, 60*sim.Millisecond)
+	// Hold the measured queueing delay well above target: p must rise.
+	for i := 0; i < 50000; i++ {
+		now += sim.Millisecond
+		r.OnRTT(now, 75*sim.Millisecond)
+	}
+	if r.P() <= 0 {
+		t.Fatalf("PI probability did not rise: %v", r.P())
+	}
+	pHigh := r.P()
+	// Drop the delay to zero: the integrator must wind back down.
+	for i := 0; i < 200000; i++ {
+		now += sim.Millisecond
+		r.OnRTT(now, 60*sim.Millisecond)
+	}
+	if r.P() >= pHigh {
+		t.Fatalf("PI probability did not fall: %v -> %v", pHigh, r.P())
+	}
+}
+
+func TestPIResponderProbabilityBounds(t *testing.T) {
+	f := func(rtts []uint16, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		params := DesignPERTPI(1201, 10, 200*sim.Millisecond)
+		r := NewPIResponder(rng, params, sim.Millisecond, 3*sim.Millisecond)
+		now := sim.Time(0)
+		for _, v := range rtts {
+			now += sim.Millisecond
+			rtt := 50*sim.Millisecond + sim.Duration(v%100)*sim.Millisecond
+			r.OnRTT(now, rtt)
+			if r.P() < 0 || r.P() > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewSignalValidatesWeight(t *testing.T) {
+	for _, w := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("weight %v did not panic", w)
+				}
+			}()
+			NewSignal(w)
+		}()
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import "pert/internal/sim"
+
+// ResponseCurve maps the estimated queueing delay to a per-ACK response
+// probability, emulating gentle RED's marking curve at the end host
+// (Figure 5 of the paper):
+//
+//	p = 0                                  for Tq <  Tmin
+//	p = Pmax*(Tq-Tmin)/(Tmax-Tmin)         for Tmin <= Tq < Tmax
+//	p = Pmax + (1-Pmax)*(Tq-Tmax)/Tmax     for Tmax <= Tq < 2*Tmax  (gentle)
+//	p = 1                                  for Tq >= 2*Tmax
+//
+// Thresholds are queueing delays relative to the flow's propagation-delay
+// estimate; the paper uses Tmin = 5 ms, Tmax = 10 ms, Pmax = 0.05.
+type ResponseCurve struct {
+	Tmin   sim.Duration
+	Tmax   sim.Duration
+	Pmax   float64
+	Gentle bool // false clips the probability at Pmax above Tmax (ablation)
+}
+
+// DefaultCurve returns the paper's fixed response curve: thresholds P+5 ms
+// and P+10 ms expressed as queueing delays, with Pmax = 0.05 and the gentle
+// upper ramp.
+func DefaultCurve() ResponseCurve {
+	return ResponseCurve{
+		Tmin:   5 * sim.Millisecond,
+		Tmax:   10 * sim.Millisecond,
+		Pmax:   0.05,
+		Gentle: true,
+	}
+}
+
+// Prob returns the response probability for estimated queueing delay tq.
+func (c ResponseCurve) Prob(tq sim.Duration) float64 {
+	switch {
+	case tq < c.Tmin:
+		return 0
+	case tq < c.Tmax:
+		return c.Pmax * float64(tq-c.Tmin) / float64(c.Tmax-c.Tmin)
+	case !c.Gentle:
+		return c.Pmax
+	case tq < 2*c.Tmax:
+		return c.Pmax + (1-c.Pmax)*float64(tq-c.Tmax)/float64(c.Tmax)
+	default:
+		return 1
+	}
+}

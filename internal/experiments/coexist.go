@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pert/internal/netem"
+	"pert/internal/queue"
+	"pert/internal/sim"
+	"pert/internal/stats"
+	"pert/internal/tcp"
+	"pert/internal/topo"
+	"pert/internal/trafficgen"
+)
+
+// ExtCoexist quantifies the open issue of the paper's Section 7
+// ("Co-existence with Non-Proactive Flows"): PERT flows back off on delay
+// while loss-based SACK flows push until the buffer overflows, so in a mixed
+// population PERT should lose throughput share. The sweep varies the PERT
+// fraction of a fixed flow population and reports each group's mean per-flow
+// goodput share and the usual link panels.
+func ExtCoexist(scale Scale) *Table {
+	dur, from, until, sw := scale.window()
+	bwMbps, total := 30.0, 16
+	if scale == Paper {
+		bwMbps, total = 150, 48
+	}
+	t := &Table{
+		ID:    "ext-coexist",
+		Title: fmt.Sprintf("Extension: PERT co-existing with loss-based SACK (%g Mbps, %d flows total)", bwMbps, total),
+		Header: []string{"pert_fraction", "pert_share_per_flow", "sack_share_per_flow",
+			"share_ratio", "avg_queue_pkts", "drop_rate", "utilization"},
+	}
+	for i, frac := range []float64{0.25, 0.5, 0.75, 1.0} {
+		nPert := int(frac * float64(total))
+		nSack := total - nPert
+		r := runCoexist(9500+int64(i), bwMbps*1e6, nPert, nSack, dur, from, until, sw)
+		ratio := "-"
+		if nSack > 0 && r.sackShare > 0 {
+			ratio = f2(r.pertShare / r.sackShare)
+		}
+		t.AddRow(fmt.Sprintf("%.0f%%", frac*100), f3(r.pertShare), f3(r.sackShare),
+			ratio, f2(r.avgQueue), sci(r.dropRate), f3(r.util))
+	}
+	t.Notes = append(t.Notes,
+		"shares are mean per-flow goodput fractions of link capacity",
+		"the paper's Section 7 open issue: proactive flows concede bandwidth to loss-based ones;",
+		"the adaptive pro-activeness mechanisms (core.AdaptiveResponder) are its sketched mitigations")
+	return t
+}
+
+type coexistResult struct {
+	pertShare, sackShare float64
+	avgQueue, dropRate   float64
+	util                 float64
+}
+
+func runCoexist(seed int64, bw float64, nPert, nSack int, dur, from, until, sw sim.Duration) coexistResult {
+	eng := sim.NewEngine(seed)
+	net := netem.NewNetwork(eng)
+	d := topo.NewDumbbell(net, topo.DumbbellConfig{
+		Bandwidth: bw,
+		Delay:     20 * sim.Millisecond,
+		Hosts:     nPert + nSack,
+		RTTs:      []sim.Duration{60 * sim.Millisecond},
+		Queue: func(limit int, _ float64) netem.Discipline {
+			return queue.NewDropTail(limit)
+		},
+	})
+	ids := trafficgen.NewIDs()
+	pertFlows := trafficgen.FTPFleet(net, ids, d.Left[:max(nPert, 1)], d.Right[:max(nPert, 1)], nPert,
+		trafficgen.FTPConfig{CC: func() tcp.CongestionControl { return tcp.NewPERTRed() }, StartWindow: sw})
+	var sackFlows []*tcp.Flow
+	if nSack > 0 {
+		sackFlows = trafficgen.FTPFleet(net, ids, d.Left[nPert:], d.Right[nPert:], nSack,
+			trafficgen.FTPConfig{CC: func() tcp.CongestionControl { return tcp.Reno{} }, StartWindow: sw})
+	}
+
+	eng.Run(from)
+	meter := stats.NewMeter(d.Forward)
+	meter.Start(eng.Now())
+	qmon := stats.MonitorQueue(eng, d.Forward, eng.Now(), 10*sim.Millisecond)
+	pertSnap := trafficgen.GoodputSnapshot(pertFlows)
+	sackSnap := trafficgen.GoodputSnapshot(sackFlows)
+	eng.Run(until)
+
+	window := (until - from).Seconds()
+	capacityBytes := bw / 8 * window
+	share := func(flows []*tcp.Flow, snap []uint64) float64 {
+		if len(flows) == 0 {
+			return 0
+		}
+		var sum float64
+		for _, g := range trafficgen.Goodputs(flows, snap) {
+			sum += g
+		}
+		return sum / capacityBytes / float64(len(flows))
+	}
+	res := coexistResult{
+		pertShare: share(pertFlows, pertSnap),
+		sackShare: share(sackFlows, sackSnap),
+		avgQueue:  qmon.Series.Mean(),
+		dropRate:  meter.DropRate(),
+		util:      meter.Utilization(eng.Now()),
+	}
+	qmon.Stop()
+	_ = dur
+	return res
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"pert/internal/sim"
+)
+
+// ScenarioConfig is the JSON form of a single-bottleneck scenario, so runs
+// can be defined in files and shared (cmd/pertsim -config). Durations are
+// Go duration strings ("60ms", "50s").
+type ScenarioConfig struct {
+	Scheme       string   `json:"scheme"`
+	Seed         int64    `json:"seed"`
+	BandwidthBps float64  `json:"bandwidth_bps"`
+	RTTs         []string `json:"rtts"`
+	Flows        int      `json:"flows"`
+	ReverseFlows int      `json:"reverse_flows"`
+	WebSessions  int      `json:"web_sessions"`
+	BufferPkts   int      `json:"buffer_pkts"`
+	Duration     string   `json:"duration"`
+	MeasureFrom  string   `json:"measure_from"`
+	StartWindow  string   `json:"start_window"`
+	TargetDelay  string   `json:"target_delay,omitempty"`
+	AccessJitter string   `json:"access_jitter,omitempty"`
+}
+
+// LoadScenario parses a JSON scenario and returns the spec and scheme.
+func LoadScenario(r io.Reader) (DumbbellSpec, Scheme, error) {
+	var c ScenarioConfig
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return DumbbellSpec{}, "", fmt.Errorf("experiments: decoding scenario: %w", err)
+	}
+	return c.Spec()
+}
+
+// Spec validates the config and converts it to a runnable spec.
+func (c ScenarioConfig) Spec() (DumbbellSpec, Scheme, error) {
+	fail := func(err error) (DumbbellSpec, Scheme, error) { return DumbbellSpec{}, "", err }
+	if c.BandwidthBps <= 0 {
+		return fail(fmt.Errorf("experiments: bandwidth_bps must be positive"))
+	}
+	if c.Flows <= 0 && c.WebSessions <= 0 {
+		return fail(fmt.Errorf("experiments: scenario has no traffic"))
+	}
+	dur, err := parseDur(c.Duration, 0)
+	if err != nil || dur <= 0 {
+		return fail(fmt.Errorf("experiments: bad duration %q", c.Duration))
+	}
+	from, err := parseDur(c.MeasureFrom, dur/4)
+	if err != nil || from < 0 || from >= dur {
+		return fail(fmt.Errorf("experiments: bad measure_from %q", c.MeasureFrom))
+	}
+	startWin, err := parseDur(c.StartWindow, from/2)
+	if err != nil || startWin < 0 {
+		return fail(fmt.Errorf("experiments: bad start_window %q", c.StartWindow))
+	}
+	target, err := parseDur(c.TargetDelay, 0)
+	if err != nil || target < 0 {
+		return fail(fmt.Errorf("experiments: bad target_delay %q", c.TargetDelay))
+	}
+	jitter, err := parseDur(c.AccessJitter, 0)
+	if err != nil || jitter < 0 {
+		return fail(fmt.Errorf("experiments: bad access_jitter %q", c.AccessJitter))
+	}
+	spec := DumbbellSpec{
+		Seed:         c.Seed,
+		Bandwidth:    c.BandwidthBps,
+		Flows:        c.Flows,
+		ReverseFlows: c.ReverseFlows,
+		WebSessions:  c.WebSessions,
+		BufferPkts:   c.BufferPkts,
+		Duration:     dur,
+		MeasureFrom:  from,
+		MeasureUntil: dur,
+		StartWindow:  startWin,
+		TargetDelay:  target,
+		AccessJitter: jitter,
+	}
+	if len(c.RTTs) == 0 {
+		spec.RTTs = []sim.Duration{60 * sim.Millisecond}
+	}
+	for _, s := range c.RTTs {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return fail(fmt.Errorf("experiments: bad rtt %q: %w", s, err))
+		}
+		spec.RTTs = append(spec.RTTs, sim.Time(d))
+	}
+	scheme := Scheme(c.Scheme)
+	if c.Scheme == "" {
+		scheme = PERT
+	}
+	return spec, scheme, nil
+}
+
+func parseDur(s string, def sim.Duration) (sim.Duration, error) {
+	if s == "" {
+		return def, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	return sim.Time(d), nil
+}

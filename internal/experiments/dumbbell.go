@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"pert/internal/netem"
+	"pert/internal/queue"
+	"pert/internal/sim"
+	"pert/internal/stats"
+	"pert/internal/tcp"
+	"pert/internal/topo"
+	"pert/internal/trafficgen"
+)
+
+// DumbbellSpec describes one single-bottleneck scenario (the Section 4
+// workhorse): long-term flows in both directions plus optional web sessions,
+// measured over a steady-state window.
+type DumbbellSpec struct {
+	Seed int64
+
+	Bandwidth float64        // bottleneck, bits/s
+	RTTs      []sim.Duration // end-to-end propagation RTTs (round-robin)
+
+	Flows        int // forward long-term flows
+	ReverseFlows int // reverse long-term flows
+	WebSessions  int // forward web sessions
+
+	BufferPkts int // 0 = paper rule (BDP, floor 2*flows)
+
+	Duration     sim.Duration // total simulated time
+	MeasureFrom  sim.Duration // start of the measurement window
+	MeasureUntil sim.Duration // end of the measurement window
+	StartWindow  sim.Duration // flow starts uniform in [0, StartWindow)
+
+	TargetDelay sim.Duration // PI schemes' delay reference (default 3 ms)
+
+	// AccessJitter adds per-packet delay noise on access links (see
+	// topo.DumbbellConfig.AccessJitter); the ext-jitter experiment uses it
+	// to probe predictor robustness.
+	AccessJitter sim.Duration
+
+	// Instrument, when set, is invoked with the built topology before
+	// traffic starts — the hook for attaching tracers or custom samplers.
+	Instrument func(d *topo.Dumbbell)
+}
+
+// DumbbellResult is one row of a Section 4 figure: the four panels the paper
+// plots for every sweep point.
+type DumbbellResult struct {
+	Scheme      Scheme
+	AvgQueue    float64 // packets, time-averaged over the window
+	NormQueue   float64 // AvgQueue / buffer size
+	DropRate    float64 // fraction of offered packets dropped at bottleneck
+	MarkRate    float64 // fraction ECN-marked (router AQM schemes)
+	Utilization float64 // bottleneck utilization in [0,1]
+	Jain        float64 // fairness of forward long-flow goodputs
+	BufferPkts  int
+
+	// Per-packet sojourn time through the bottleneck (queueing plus
+	// transmission) over the measurement window, in seconds.
+	DelayP50, DelayP95, DelayP99 float64
+
+	// RetransOverhead is the fraction of forward long-flow segments that
+	// were retransmissions (wasted capacity), cumulative over the run.
+	RetransOverhead float64
+}
+
+// RunDumbbell executes the scenario under one scheme and returns the
+// measured row.
+func RunDumbbell(spec DumbbellSpec, scheme Scheme) DumbbellResult {
+	eng := sim.NewEngine(spec.Seed)
+	net := netem.NewNetwork(eng)
+
+	maxRTT := spec.RTTs[0]
+	for _, r := range spec.RTTs {
+		if r > maxRTT {
+			maxRTT = r
+		}
+	}
+	env := schemeEnv{
+		capacityPPS: spec.Bandwidth / (8 * 1040),
+		nFlows:      spec.Flows + spec.ReverseFlows,
+		maxRTT:      maxRTT,
+		targetDelay: spec.TargetDelay,
+	}
+	res := runDumbbell(eng, net, spec, scheme.queueFor(net, env), scheme.ccFor(net, env), scheme.ecn(), webCC(scheme, scheme.ccFor(net, env)))
+	res.Scheme = scheme
+	return res
+}
+
+// RunDumbbellWith executes the scenario with an explicit congestion-control
+// factory over DropTail bottlenecks — the entry point for PERT ablation
+// studies (custom response curves, signal weights, rate limits).
+func RunDumbbellWith(spec DumbbellSpec, cc func() tcp.CongestionControl) DumbbellResult {
+	eng := sim.NewEngine(spec.Seed)
+	net := netem.NewNetwork(eng)
+	qf := func(limit int, _ float64) netem.Discipline { return queue.NewDropTail(limit) }
+	return runDumbbell(eng, net, spec, qf, cc, false, cc)
+}
+
+// runDumbbell is the shared scenario body.
+func runDumbbell(eng *sim.Engine, net *netem.Network, spec DumbbellSpec,
+	qf topo.QueueFactory, ccf func() tcp.CongestionControl, ecn bool,
+	webccf func() tcp.CongestionControl) DumbbellResult {
+
+	if spec.BufferPkts == 0 {
+		// The paper's rule: buffer = BDP with a floor of twice the number
+		// of flows.
+		var sum sim.Duration
+		for _, r := range spec.RTTs {
+			sum += r
+		}
+		mean := sum / sim.Duration(len(spec.RTTs))
+		spec.BufferPkts = topo.BDPPackets(spec.Bandwidth, mean, 1040)
+		if min := 2 * spec.Flows; spec.BufferPkts < min {
+			spec.BufferPkts = min
+		}
+	}
+
+	hosts := spec.Flows + spec.ReverseFlows + spec.WebSessions
+	if hosts < 1 {
+		hosts = 1
+	}
+	// Hosts are shared round-robin; cap the node count so huge sweeps
+	// (1000 web sessions) do not build 2000+ nodes needlessly.
+	if hosts > 256 {
+		hosts = 256
+	}
+	d := topo.NewDumbbell(net, topo.DumbbellConfig{
+		Bandwidth:    spec.Bandwidth,
+		Delay:        spec.RTTs[0] / 3,
+		Hosts:        hosts,
+		RTTs:         spec.RTTs,
+		BufferPkts:   spec.BufferPkts,
+		AccessJitter: spec.AccessJitter,
+		Queue:        qf,
+	})
+
+	if spec.Instrument != nil {
+		spec.Instrument(d)
+	}
+	// The monitor gets its own RNG: instrumentation must never perturb the
+	// simulation's random stream (results stay identical with or without).
+	delayMon := stats.MonitorDelay(d.Forward, spec.MeasureFrom, rand.New(rand.NewSource(spec.Seed^0x5eed)))
+
+	ids := trafficgen.NewIDs()
+	conn := tcp.Config{ECN: ecn}
+
+	fwd := trafficgen.FTPFleet(net, ids, d.Left, d.Right, spec.Flows, trafficgen.FTPConfig{
+		CC: ccf, Conn: conn, StartWindow: spec.StartWindow,
+	})
+	trafficgen.FTPFleet(net, ids, d.Right, d.Left, spec.ReverseFlows, trafficgen.FTPConfig{
+		CC: ccf, Conn: conn, StartWindow: spec.StartWindow,
+	})
+	if spec.WebSessions > 0 {
+		trafficgen.WebFleet(net, ids, d.Left, d.Right, spec.WebSessions,
+			trafficgen.WebConfig{Conn: tcp.Config{ECN: ecn}, CC: webccf}, spec.StartWindow)
+	}
+
+	// Warm up, then measure.
+	eng.Run(spec.MeasureFrom)
+	meter := stats.NewMeter(d.Forward)
+	meter.Start(eng.Now())
+	qmon := stats.MonitorQueue(eng, d.Forward, eng.Now(), 10*sim.Millisecond)
+	snap := trafficgen.GoodputSnapshot(fwd)
+
+	eng.Run(spec.MeasureUntil)
+	var sent, retrans uint64
+	for _, f := range fwd {
+		sent += f.Conn.Stats.SegsSent
+		retrans += f.Conn.Stats.Retransmits
+	}
+	var overhead float64
+	if sent > 0 {
+		overhead = float64(retrans) / float64(sent)
+	}
+	p50, p95, p99 := delayMon.P50P95P99()
+	res := DumbbellResult{
+		RetransOverhead: overhead,
+		DelayP50:        p50,
+		DelayP95:        p95,
+		DelayP99:        p99,
+		AvgQueue:        qmon.Series.Mean(),
+		NormQueue:       qmon.Series.Mean() / float64(d.BufferPkts),
+		DropRate:        meter.DropRate(),
+		MarkRate:        meter.MarkRate(),
+		Utilization:     meter.Utilization(eng.Now()),
+		Jain:            stats.Jain(trafficgen.Goodputs(fwd, snap)),
+		BufferPkts:      d.BufferPkts,
+	}
+	qmon.Stop()
+	eng.Run(spec.Duration)
+	return res
+}
+
+// webCC picks the controller for web transfers: the paper's background web
+// traffic is standard TCP except in all-PERT scenarios, where every end host
+// runs PERT.
+func webCC(s Scheme, ccf func() tcp.CongestionControl) func() tcp.CongestionControl {
+	switch s {
+	case PERT, PERTPI, PERTREM, Vegas:
+		return ccf
+	default:
+		return func() tcp.CongestionControl { return tcp.Reno{} }
+	}
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pert/internal/netem"
+	"pert/internal/sim"
+	"pert/internal/tcp"
+	"pert/internal/topo"
+	"pert/internal/trafficgen"
+)
+
+// Fig12 reproduces "response to sudden changes in responsive traffic":
+// cohorts of flows arrive at fixed intervals and later depart; the table
+// reports each cohort's aggregate throughput in every interval, showing how
+// fast the scheme converges to the new fair share. The paper shows PERT (its
+// Figure 12) with SACK/RED-ECN and Vegas in the companion thesis; we run all
+// four schemes.
+func Fig12(scale Scale, scheme Scheme) *Table {
+	cohortSize := 25
+	phase := seconds(100) // paper: +25 flows every 100 s, then -25 every 100 s
+	bw := 150e6
+	if scale == Quick {
+		cohortSize, phase, bw = 8, seconds(20), 30e6
+	}
+	nCohorts := 4 // arrivals for the first half, departures for the second
+
+	eng := sim.NewEngine(8000)
+	net := netem.NewNetwork(eng)
+	env := schemeEnv{capacityPPS: bw / (8 * 1040), nFlows: cohortSize * nCohorts, maxRTT: ms(60)}
+	d := topo.NewDumbbell(net, topo.DumbbellConfig{
+		Bandwidth: bw,
+		Delay:     ms(20),
+		Hosts:     64,
+		RTTs:      []sim.Duration{ms(60)},
+		Queue:     scheme.queueFor(net, env),
+	})
+
+	ids := trafficgen.NewIDs()
+	ccf := scheme.ccFor(net, env)
+
+	cohorts := make([][]*tcp.Flow, nCohorts)
+	for c := 0; c < nCohorts; c++ {
+		cohorts[c] = trafficgen.FTPFleet(net, ids, d.Left, d.Right, cohortSize, trafficgen.FTPConfig{
+			CC:      ccf,
+			Conn:    tcp.Config{ECN: scheme.ecn()},
+			StartAt: sim.Time(c) * phase,
+			// Stagger within 5% of the phase to avoid a synchronized blast.
+			StartWindow: phase / 20,
+		})
+	}
+	// Departures: cohort c leaves at (2*nCohorts - 1 - c) * phase, i.e.
+	// first-in last-out as in the paper (flows leave 25 at a time).
+	for c := 0; c < nCohorts; c++ {
+		c := c
+		leave := sim.Time(2*nCohorts-1-c) * phase
+		eng.At(leave, func() {
+			for _, f := range cohorts[c] {
+				f.Close()
+			}
+		})
+	}
+
+	t := &Table{
+		ID:     "fig12",
+		Title:  fmt.Sprintf("Dynamic behaviour under cohort arrivals/departures (%s, %d flows per cohort)", scheme, cohortSize),
+		Header: []string{"interval", "active"},
+	}
+	for c := 0; c < nCohorts; c++ {
+		t.Header = append(t.Header, fmt.Sprintf("cohort%d_Mbps", c+1))
+	}
+
+	prev := make([][]uint64, nCohorts)
+	for c := range prev {
+		prev[c] = trafficgen.GoodputSnapshot(cohorts[c])
+	}
+	for step := 0; step < 2*nCohorts; step++ {
+		eng.Run(sim.Time(step+1) * phase)
+		active := 0
+		row := []string{
+			fmt.Sprintf("%d-%ds", step*int(phase/sim.Second), (step+1)*int(phase/sim.Second)),
+			"",
+		}
+		for c := 0; c < nCohorts; c++ {
+			g := trafficgen.Goodputs(cohorts[c], prev[c])
+			prev[c] = trafficgen.GoodputSnapshot(cohorts[c])
+			var sum float64
+			for _, x := range g {
+				sum += x
+			}
+			mbps := sum * 8 / phase.Seconds() / 1e6
+			if mbps > 0.05 {
+				active += cohortSize
+			}
+			row = append(row, f2(mbps))
+		}
+		row[1] = fmt.Sprint(active)
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes, "cohort shares should converge to bandwidth/active_cohorts within each interval")
+	return t
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pert/internal/netem"
+	"pert/internal/sim"
+	"pert/internal/stats"
+	"pert/internal/tcp"
+	"pert/internal/topo"
+	"pert/internal/trafficgen"
+)
+
+// ExtFCT measures what the paper's queue-length panels imply for users: web
+// object flow-completion times. Short transfers spend most of their life in
+// slow start, where every RTT of standing queue is pure added latency — so
+// schemes that keep the bottleneck queue short (PERT, router AQM) should
+// complete small objects much faster than DropTail even at equal link
+// utilization.
+func ExtFCT(scale Scale) *Table {
+	dur, from, until, sw := scale.window()
+	bwMbps, flows, webs := 30.0, 10, 60
+	if scale == Paper {
+		bwMbps, flows, webs = 150, 50, 300
+	}
+	t := &Table{
+		ID:    "ext-fct",
+		Title: fmt.Sprintf("Extension: web-object flow completion times (%g Mbps, %d long flows + %d sessions)", bwMbps, flows, webs),
+		Header: []string{"scheme", "small_fct_p50_ms", "small_fct_p95_ms",
+			"large_fct_p50_ms", "objects", "avg_queue_pkts", "utilization"},
+	}
+	for i, s := range []Scheme{PERT, SackDroptail, SackRED, Vegas} {
+		r := runFCT(9600+int64(i), s, bwMbps*1e6, flows, webs, dur, from, until, sw)
+		t.AddRow(string(s), f2(r.smallP50*1000), f2(r.smallP95*1000),
+			f2(r.largeP50*1000), fmt.Sprint(r.objects), f2(r.avgQueue), f3(r.util))
+	}
+	t.Notes = append(t.Notes,
+		"small = objects of at most 12 segments (the distribution mean); large = the rest",
+		"FCTs measured only for objects completing inside the measurement window")
+	return t
+}
+
+type fctResult struct {
+	smallP50, smallP95 float64
+	largeP50           float64
+	objects            uint64
+	avgQueue, util     float64
+}
+
+func runFCT(seed int64, scheme Scheme, bw float64, flows, webs int, dur, from, until, sw sim.Duration) fctResult {
+	eng := sim.NewEngine(seed)
+	net := netem.NewNetwork(eng)
+	env := schemeEnv{capacityPPS: bw / (8 * 1040), nFlows: flows, maxRTT: 60 * sim.Millisecond}
+	d := topo.NewDumbbell(net, topo.DumbbellConfig{
+		Bandwidth: bw,
+		Delay:     20 * sim.Millisecond,
+		Hosts:     64,
+		RTTs:      []sim.Duration{60 * sim.Millisecond},
+		Queue:     scheme.queueFor(net, env),
+	})
+	ids := trafficgen.NewIDs()
+	ccf := scheme.ccFor(net, env)
+	trafficgen.FTPFleet(net, ids, d.Left, d.Right, flows, trafficgen.FTPConfig{
+		CC: ccf, Conn: tcp.Config{ECN: scheme.ecn()}, StartWindow: sw,
+	})
+
+	small := stats.NewReservoir(4096, rand.New(rand.NewSource(seed^0xfc7)))
+	large := stats.NewReservoir(4096, rand.New(rand.NewSource(seed^0xfc8)))
+	var objects uint64
+	trafficgen.WebFleet(net, ids, d.Left, d.Right, webs, trafficgen.WebConfig{
+		Conn: tcp.Config{ECN: scheme.ecn()},
+		CC:   webCC(scheme, ccf),
+		OnObject: func(segs int64, fct sim.Duration) {
+			if eng.Now() < from {
+				return
+			}
+			objects++
+			if segs <= 12 {
+				small.Add(fct.Seconds())
+			} else {
+				large.Add(fct.Seconds())
+			}
+		},
+	}, sw)
+
+	eng.Run(from)
+	meter := stats.NewMeter(d.Forward)
+	meter.Start(eng.Now())
+	qmon := stats.MonitorQueue(eng, d.Forward, eng.Now(), 10*sim.Millisecond)
+	eng.Run(until)
+	res := fctResult{
+		smallP50: small.Quantile(0.5),
+		smallP95: small.Quantile(0.95),
+		largeP50: large.Quantile(0.5),
+		objects:  objects,
+		avgQueue: qmon.Series.Mean(),
+		util:     meter.Utilization(eng.Now()),
+	}
+	qmon.Stop()
+	_ = dur
+	return res
+}

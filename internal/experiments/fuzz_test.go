@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadScenario hardens the JSON scenario parser: no panics, and accepted
+// scenarios must produce internally consistent specs.
+func FuzzLoadScenario(f *testing.F) {
+	f.Add(`{"scheme":"PERT","bandwidth_bps":1e6,"flows":1,"duration":"10s"}`)
+	f.Add(`{"bandwidth_bps":30e6,"flows":8,"web_sessions":5,"duration":"40s","measure_from":"10s","rtts":["60ms","100ms"],"access_jitter":"2ms"}`)
+	f.Add(`{}`)
+	f.Add(`not json`)
+	f.Add(`{"bandwidth_bps":-1,"flows":1,"duration":"10s"}`)
+	f.Add(`{"bandwidth_bps":1e6,"flows":1,"duration":"-5s"}`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		spec, scheme, err := LoadScenario(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if spec.Bandwidth <= 0 {
+			t.Fatal("accepted non-positive bandwidth")
+		}
+		if spec.Duration <= 0 || spec.MeasureFrom < 0 || spec.MeasureUntil != spec.Duration {
+			t.Fatalf("inconsistent window: %+v", spec)
+		}
+		if len(spec.RTTs) == 0 {
+			t.Fatal("accepted scenario without RTTs")
+		}
+		if scheme == "" {
+			t.Fatal("empty scheme returned without error")
+		}
+	})
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pert/internal/netem"
+	"pert/internal/sim"
+	"pert/internal/stats"
+	"pert/internal/tcp"
+	"pert/internal/topo"
+	"pert/internal/trafficgen"
+)
+
+// Fig11 reproduces "Impact of multiple bottleneck links": the Figure 10
+// parking lot (six routers, 150 Mbps / 5 ms core links, 20-host clouds),
+// hop-by-hop traffic between adjacent clouds plus through traffic from cloud
+// 1 to cloud 6; per-core-link queue, drops, utilization and per-hop fairness.
+func Fig11(scale Scale) *Table {
+	dur, from, until, sw := scale.window()
+	coreBW, cloud, perHop := 150e6, 20, 20
+	if scale == Quick {
+		coreBW, cloud, perHop = 30e6, 8, 8
+	}
+
+	t := &Table{
+		ID:     "fig11",
+		Title:  fmt.Sprintf("Multiple bottlenecks (parking lot, %g Mbps core links)", coreBW/1e6),
+		Header: []string{"scheme", "link", "avg_queue_pkts", "drop_rate", "utilization", "jain_hop_flows"},
+	}
+
+	for si, scheme := range AllSection4Schemes {
+		eng := sim.NewEngine(7000 + int64(si))
+		net := netem.NewNetwork(eng)
+		env := schemeEnv{capacityPPS: coreBW / (8 * 1040), nFlows: perHop, maxRTT: ms(60)}
+		p := topo.NewParkingLot(net, topo.ParkingLotConfig{
+			Routers:   6,
+			CloudSize: cloud,
+			CoreBW:    coreBW,
+			Queue:     scheme.queueFor(net, env),
+		})
+
+		ids := trafficgen.NewIDs()
+		ccf := scheme.ccFor(net, env)
+		conn := tcp.Config{ECN: scheme.ecn()}
+
+		// Hop-by-hop traffic: cloud i -> cloud i+1.
+		hopFlows := make([][]*tcp.Flow, len(p.Forward))
+		for hop := 0; hop+1 < len(p.Clouds); hop++ {
+			hopFlows[hop] = trafficgen.FTPFleet(net, ids, p.Clouds[hop], p.Clouds[hop+1], perHop,
+				trafficgen.FTPConfig{CC: ccf, Conn: conn, StartWindow: sw})
+		}
+		// Through traffic: cloud 1 -> cloud 6 crossing every core link.
+		through := trafficgen.FTPFleet(net, ids, p.Clouds[0], p.Clouds[len(p.Clouds)-1], perHop,
+			trafficgen.FTPConfig{CC: ccf, Conn: conn, StartWindow: sw})
+
+		eng.Run(from)
+		meters := make([]*stats.Meter, len(p.Forward))
+		qmons := make([]*stats.QueueMonitor, len(p.Forward))
+		for i, l := range p.Forward {
+			meters[i] = stats.NewMeter(l)
+			meters[i].Start(eng.Now())
+			qmons[i] = stats.MonitorQueue(eng, l, eng.Now(), 10*sim.Millisecond)
+		}
+		snaps := make([][]uint64, len(hopFlows))
+		for i, fs := range hopFlows {
+			snaps[i] = trafficgen.GoodputSnapshot(fs)
+		}
+		throughSnap := trafficgen.GoodputSnapshot(through)
+
+		eng.Run(until)
+		for i := range p.Forward {
+			jain := stats.Jain(trafficgen.Goodputs(hopFlows[i], snaps[i]))
+			t.AddRow(string(scheme), fmt.Sprintf("R%d-R%d", i+1, i+2),
+				f2(qmons[i].Series.Mean()), sci(meters[i].DropRate()),
+				f3(meters[i].Utilization(eng.Now())), f3(jain))
+			qmons[i].Stop()
+		}
+		t.AddRow(string(scheme), "through", "-", "-", "-",
+			f3(stats.Jain(trafficgen.Goodputs(through, throughSnap))))
+		_ = dur
+	}
+	t.Notes = append(t.Notes, "through = fairness among cloud1->cloud6 flows crossing all core links")
+	return t
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallelism controls how many independent simulations the sweep runners
+// execute concurrently. Each scenario owns its engine and RNG, so results
+// are bit-identical at any setting; only wall-clock time changes. Default:
+// all cores.
+var parallelism = runtime.GOMAXPROCS(0)
+
+// SetParallelism sets the sweep worker count (minimum 1) and returns the
+// previous value.
+func SetParallelism(n int) int {
+	old := parallelism
+	if n < 1 {
+		n = 1
+	}
+	parallelism = n
+	return old
+}
+
+// forEach runs fn(i) for i in [0, n) on the configured number of workers and
+// waits for completion. Order of execution is unspecified; callers must
+// write results into per-index slots.
+func forEach(n int, fn func(i int)) {
+	workers := parallelism
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		old := SetParallelism(workers)
+		var hits [100]int32
+		forEach(len(hits), func(i int) { atomic.AddInt32(&hits[i], 1) })
+		SetParallelism(old)
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	forEach(0, func(int) { t.Fatal("called for empty range") })
+}
+
+func TestSetParallelismClamps(t *testing.T) {
+	old := SetParallelism(-5)
+	if got := SetParallelism(old); got != 1 {
+		t.Fatalf("negative parallelism stored as %d", got)
+	}
+}
+
+func TestSweepDeterministicAcrossParallelism(t *testing.T) {
+	points := []sweepPoint{
+		{"a", quickSpecShort(301)},
+		{"b", quickSpecShort(302)},
+	}
+	run := func(workers int) [][]string {
+		old := SetParallelism(workers)
+		defer SetParallelism(old)
+		return runSweep("t", "t", "x", points, []Scheme{PERT, SackDroptail}).Rows
+	}
+	serial := run(1)
+	parallel := run(4)
+	if len(serial) != len(parallel) {
+		t.Fatal("row counts differ")
+	}
+	for i := range serial {
+		for j := range serial[i] {
+			if serial[i][j] != parallel[i][j] {
+				t.Fatalf("row %d col %d: %q vs %q", i, j, serial[i][j], parallel[i][j])
+			}
+		}
+	}
+}
+
+func quickSpecShort(seed int64) DumbbellSpec {
+	s := quickSpec(seed)
+	s.Duration = seconds(10)
+	s.MeasureFrom = seconds(3)
+	s.MeasureUntil = seconds(10)
+	return s
+}

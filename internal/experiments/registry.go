@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner produces the tables for one paper figure or table at a scale. Most
+// experiments yield one table; Fig12 yields one per scheme.
+type Runner func(scale Scale) []*Table
+
+// Registry maps experiment IDs (fig2..fig14, table1) to runners.
+var Registry = map[string]Runner{
+	"fig2":   func(s Scale) []*Table { return []*Table{Fig2(s)} },
+	"fig3":   func(s Scale) []*Table { return []*Table{Fig3(s)} },
+	"fig4":   func(s Scale) []*Table { return []*Table{Fig4(s)} },
+	"fig5":   func(s Scale) []*Table { return []*Table{Fig5()} },
+	"fig6":   func(s Scale) []*Table { return []*Table{Fig6(s)} },
+	"fig7":   func(s Scale) []*Table { return []*Table{Fig7(s)} },
+	"fig8":   func(s Scale) []*Table { return []*Table{Fig8(s)} },
+	"fig9":   func(s Scale) []*Table { return []*Table{Fig9(s)} },
+	"table1": func(s Scale) []*Table { return []*Table{Table1(s)} },
+	"fig11":  func(s Scale) []*Table { return []*Table{Fig11(s)} },
+	"fig12": func(s Scale) []*Table {
+		var out []*Table
+		for _, scheme := range AllSection4Schemes {
+			out = append(out, Fig12(s, scheme))
+		}
+		return out
+	},
+	"fig13":          func(Scale) []*Table { return []*Table{Fig13a(), Fig13bcd()} },
+	"ext-aqm":        func(s Scale) []*Table { return []*Table{ExtAQM(s)} },
+	"ext-jitter":     func(s Scale) []*Table { return []*Table{ExtJitter(s)} },
+	"ext-delaycc":    func(s Scale) []*Table { return []*Table{ExtDelayCC(s)} },
+	"ext-highspeed":  func(s Scale) []*Table { return []*Table{ExtHighSpeed(s)} },
+	"ext-coexist":    func(s Scale) []*Table { return []*Table{ExtCoexist(s)} },
+	"ext-fct":        func(s Scale) []*Table { return []*Table{ExtFCT(s)} },
+	"ext-threshold":  func(s Scale) []*Table { return []*Table{ExtThreshold(s)} },
+	"ext-stability":  func(s Scale) []*Table { return []*Table{ExtStability(s)} },
+	"ext-replicated": func(s Scale) []*Table { return []*Table{ExtReplicated(s)} },
+	"ext-validation": func(s Scale) []*Table { return []*Table{ExtValidation(s)} },
+	"fig14":          func(s Scale) []*Table { return []*Table{Fig14(s)} },
+}
+
+// IDs returns the registered experiment IDs in a stable order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// figN numerically, table1 last.
+		return key(out[i]) < key(out[j])
+	})
+	return out
+}
+
+func key(id string) string {
+	var n int
+	if _, err := fmt.Sscanf(id, "fig%d", &n); err == nil {
+		return fmt.Sprintf("a%02d", n)
+	}
+	return "z" + id
+}

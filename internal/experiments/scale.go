@@ -1,0 +1,34 @@
+package experiments
+
+import "pert/internal/sim"
+
+// Scale selects experiment sizing.
+type Scale string
+
+// Quick shrinks bandwidth and duration while preserving dimensionless shape
+// (buffer in BDPs, flow shares, measurement windows of hundreds of RTTs);
+// Paper uses the publication's exact parameters and takes correspondingly
+// long.
+const (
+	Quick Scale = "quick"
+	Paper Scale = "paper"
+)
+
+// Valid reports whether s names a known scale.
+func (s Scale) Valid() bool { return s == Quick || s == Paper }
+
+// seconds is shorthand for durations in experiment specs.
+func seconds(x float64) sim.Duration { return sim.Seconds(x) }
+
+// ms is shorthand for millisecond durations in experiment specs.
+func ms(x float64) sim.Duration { return sim.Milliseconds(x) }
+
+// window returns (duration, measureFrom, measureUntil, startWindow) for the
+// standard steady-state methodology: the paper runs 400 s and measures
+// 100-300 s with starts in (0, 50 s); quick runs shrink this 8x.
+func (s Scale) window() (dur, from, until, startWin sim.Duration) {
+	if s == Paper {
+		return seconds(400), seconds(100), seconds(300), seconds(50)
+	}
+	return seconds(50), seconds(15), seconds(45), seconds(6)
+}

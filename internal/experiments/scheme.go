@@ -1,0 +1,139 @@
+// Package experiments maps every table and figure of the paper's evaluation
+// to runnable code: scenario construction, parameter sweeps, measurement
+// windows, and paper-style result tables. Each experiment runs at either
+// "quick" scale (reduced bandwidth/duration with dimensionless quantities —
+// buffer in BDPs, measurement window in RTTs — preserved, suitable for
+// go test -bench) or "paper" scale (the paper's exact parameters).
+package experiments
+
+import (
+	"fmt"
+
+	"pert/internal/core"
+	"pert/internal/netem"
+	"pert/internal/queue"
+	"pert/internal/sim"
+	"pert/internal/tcp"
+	"pert/internal/topo"
+)
+
+// Scheme is one end-to-end congestion-control + queue-management combination
+// from the paper's comparison set.
+type Scheme string
+
+// The paper's comparison set (Section 4) plus the Section 6 PI pair, and —
+// beyond the paper — the remaining AQMs from its citation list (REM [2],
+// AVQ [19]) as router baselines and REM as an end-host emulation.
+const (
+	PERT         Scheme = "PERT"          // PERT over DropTail
+	SackDroptail Scheme = "Sack/Droptail" // SACK over DropTail
+	SackRED      Scheme = "Sack/RED-ECN"  // ECN-enabled SACK over Adaptive RED
+	Vegas        Scheme = "Vegas"         // Vegas over DropTail
+	PERTPI       Scheme = "PERT-PI"       // PERT emulating PI, over DropTail
+	SackPI       Scheme = "Sack/PI-ECN"   // ECN-enabled SACK over router PI
+	PERTREM      Scheme = "PERT-REM"      // PERT emulating REM, over DropTail
+	SackREM      Scheme = "Sack/REM-ECN"  // ECN-enabled SACK over router REM
+	SackAVQ      Scheme = "Sack/AVQ-ECN"  // ECN-enabled SACK over router AVQ
+)
+
+// AllSection4Schemes is the comparison set used in Figures 6-9, 11, 12 and
+// Table 1.
+var AllSection4Schemes = []Scheme{PERT, SackDroptail, SackRED, Vegas}
+
+// schemeEnv captures what a scheme needs from the scenario to build its
+// pieces: link capacity in packets/second, a flow-count bound, and an RTT
+// bound (for PI design rules).
+type schemeEnv struct {
+	capacityPPS float64
+	nFlows      int
+	maxRTT      sim.Duration
+	targetDelay sim.Duration // PI reference; default 3 ms per Section 6.1
+}
+
+func (e schemeEnv) target() sim.Duration {
+	if e.targetDelay == 0 {
+		return 3 * sim.Millisecond
+	}
+	return e.targetDelay
+}
+
+// queueFor returns the bottleneck queue factory for the scheme.
+func (s Scheme) queueFor(net *netem.Network, env schemeEnv) topo.QueueFactory {
+	switch s {
+	case PERT, SackDroptail, Vegas, PERTPI, PERTREM:
+		return func(limit int, _ float64) netem.Discipline {
+			return queue.NewDropTail(limit)
+		}
+	case SackREM:
+		return func(limit int, pps float64) netem.Discipline {
+			return queue.NewREM(limit, pps, true, net.Engine().Rand())
+		}
+	case SackAVQ:
+		return func(limit int, pps float64) netem.Discipline {
+			return queue.NewAVQ(limit, pps, true, net.Engine().Rand())
+		}
+	case SackRED:
+		return func(limit int, pps float64) netem.Discipline {
+			return queue.NewAdaptiveRED(queue.AdaptiveREDConfig{
+				Limit:       limit,
+				CapacityPPS: pps,
+				ECN:         true,
+			}, net.Engine().Rand())
+		}
+	case SackPI:
+		return func(limit int, pps float64) netem.Discipline {
+			n := env.nFlows
+			if n < 1 {
+				n = 1
+			}
+			rmax := 2 * env.maxRTT
+			gains := queue.DesignPI(pps, n, rmax, 170)
+			qref := env.target().Seconds() * pps
+			return queue.NewPI(limit, qref, gains, true, net.Engine().Rand())
+		}
+	default:
+		panic(fmt.Sprintf("experiments: unknown scheme %q", s))
+	}
+}
+
+// ccFor returns a congestion-controller factory for the scheme.
+func (s Scheme) ccFor(net *netem.Network, env schemeEnv) func() tcp.CongestionControl {
+	switch s {
+	case PERT:
+		return func() tcp.CongestionControl { return tcp.NewPERTRed() }
+	case PERTREM:
+		return func() tcp.CongestionControl {
+			return tcp.NewPERTLazy(func(c *tcp.Conn) core.Responder {
+				return core.NewREMResponder(c.Engine().Rand(), 0, 0, env.target())
+			})
+		}
+	case SackDroptail, SackRED, SackPI, SackREM, SackAVQ:
+		return func() tcp.CongestionControl { return tcp.Reno{} }
+	case Vegas:
+		return func() tcp.CongestionControl { return tcp.NewVegas() }
+	case PERTPI:
+		return func() tcp.CongestionControl {
+			n := env.nFlows
+			if n < 1 {
+				n = 1
+			}
+			params := core.DesignPERTPI(env.capacityPPS, n, 2*env.maxRTT)
+			// Mean per-flow sampling interval: N packets share C pkt/s.
+			delta := sim.Seconds(float64(n) / env.capacityPPS)
+			r := core.NewPIResponder(net.Engine().Rand(), params, delta, env.target())
+			return tcp.NewPERTWith(r)
+		}
+	default:
+		panic(fmt.Sprintf("experiments: unknown scheme %q", s))
+	}
+}
+
+// ecn reports whether endpoints negotiate ECN under this scheme.
+func (s Scheme) ecn() bool {
+	switch s {
+	case SackRED, SackPI, SackREM, SackAVQ:
+		return true
+	default:
+		return false
+	}
+}

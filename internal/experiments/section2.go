@@ -1,0 +1,296 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pert/internal/core"
+	"pert/internal/netem"
+	"pert/internal/predictors"
+	"pert/internal/queue"
+	"pert/internal/sim"
+	"pert/internal/stats"
+	"pert/internal/tcp"
+	"pert/internal/topo"
+	"pert/internal/trafficgen"
+)
+
+// Section2Case is one of the paper's six trace-collection loads: 50 or 100
+// long-term flows in both directions crossed with 100, 500 or 1000 web
+// sessions over a 100 Mbps / 20 ms bottleneck with a 750-packet queue.
+type Section2Case struct {
+	Name      string
+	LongFlows int
+	Web       int
+}
+
+// Section2Cases returns case1..case6 at the given scale. Quick scale halves
+// the link, queue, and loads together, preserving per-flow shares and the
+// queue's drain time; keeping the flow count high (25-50) preserves the
+// paper's key property that the bottleneck can lose packets without the
+// tagged flow being among the victims.
+func Section2Cases(scale Scale) (cases []Section2Case, bandwidth float64, buffer int, dur, warm sim.Duration) {
+	if scale == Paper {
+		return []Section2Case{
+			{"case1", 50, 100}, {"case2", 50, 500}, {"case3", 50, 1000},
+			{"case4", 100, 100}, {"case5", 100, 500}, {"case6", 100, 1000},
+		}, 100e6, 750, seconds(1000), seconds(20)
+	}
+	return []Section2Case{
+		{"case1", 25, 50}, {"case2", 25, 250}, {"case3", 25, 500},
+		{"case4", 50, 50}, {"case5", 50, 250}, {"case6", 50, 500},
+	}, 50e6, 375, seconds(150), seconds(10)
+}
+
+// traceCache memoizes Section 2 traces so Figures 2, 3 and 4 share one
+// simulation per case instead of re-running it.
+var traceCache = map[string]*predictors.Trace{}
+
+func section2Trace(c Section2Case, seed int64, bandwidth float64, buffer int, dur, warm sim.Duration) *predictors.Trace {
+	key := fmt.Sprintf("%s-%d-%g-%d-%d", c.Name, seed, bandwidth, buffer, dur)
+	if tr, ok := traceCache[key]; ok {
+		return tr
+	}
+	tr := section2Run(c, seed, bandwidth, buffer, dur, warm)
+	traceCache[key] = tr
+	return tr
+}
+
+// CollectTrace runs one Section 2 trace-collection case and returns the
+// tagged flow's trace (exported for cmd/pertpredict and custom studies).
+func CollectTrace(c Section2Case, seed int64, bandwidth float64, buffer int, dur, warm sim.Duration) *predictors.Trace {
+	return section2Run(c, seed, bandwidth, buffer, dur, warm)
+}
+
+// section2Run simulates one case on the Section 2.2 topology with standard
+// TCP everywhere, a tagged 60 ms flow, and returns the collected trace.
+func section2Run(c Section2Case, seed int64, bandwidth float64, buffer int, dur, warm sim.Duration) *predictors.Trace {
+	eng := sim.NewEngine(seed)
+	net := netem.NewNetwork(eng)
+	// Flows have different RTTs (varying access delays); the tagged flow's
+	// end-to-end delay is 60 ms as in the paper.
+	rtts := []sim.Duration{ms(60), ms(40), ms(80), ms(100), ms(52), ms(68), ms(90), ms(30)}
+	d := topo.NewDumbbell(net, topo.DumbbellConfig{
+		Bandwidth:  bandwidth,
+		Delay:      ms(20),
+		Hosts:      32,
+		RTTs:       rtts,
+		BufferPkts: buffer,
+		Queue: func(limit int, _ float64) netem.Discipline {
+			return queue.NewDropTail(limit)
+		},
+	})
+
+	collector := predictors.NewCollector(d.Forward, buffer, warm)
+	ids := trafficgen.NewIDs()
+	reno := func() tcp.CongestionControl { return tcp.Reno{} }
+
+	// ns-2's Agent/TCP defaults to a 20-packet receiver window; the Section
+	// 2 traces inherit it. The cap matters: capped long flows cannot
+	// saturate the link alone, so congestion arrives in web-driven
+	// episodes with loss-free lulls between them — the regime in which
+	// smoothed-signal false positives occur at all.
+	const ns2Window = 20
+	base := tcp.Config{MaxCwnd: ns2Window}
+
+	// The tagged flow: first host pair, whose RTT is 60 ms.
+	tagged := tcp.NewFlow(net, d.Left[0], d.Right[0], ids.Next(), tcp.Reno{}, collector.Config(base))
+	collector.Bind(tagged.Conn)
+	tagged.Start(0)
+
+	// Long-term flows run in both directions (the paper's load description);
+	// the reverse direction carries half the long flows plus half the web
+	// sessions, making reverse-path delay episodic rather than constant —
+	// the round-trip signal then sees congestion the forward queue does not
+	// have, the paper's source of prediction uncertainty.
+	trafficgen.FTPFleet(net, ids, d.Left[1:], d.Right[1:], c.LongFlows-1, trafficgen.FTPConfig{
+		CC: reno, Conn: base, StartWindow: warm / 2,
+	})
+	trafficgen.FTPFleet(net, ids, d.Right[1:], d.Left[1:], c.LongFlows/2, trafficgen.FTPConfig{
+		CC: reno, Conn: base, StartWindow: warm / 2,
+	})
+	trafficgen.WebFleet(net, ids, d.Left[1:], d.Right[1:], c.Web, trafficgen.WebConfig{Conn: base}, warm)
+	trafficgen.WebFleet(net, ids, d.Right[1:], d.Left[1:], c.Web/2, trafficgen.WebConfig{Conn: base}, warm)
+
+	eng.Run(dur)
+	return &collector.Trace
+}
+
+// lossCoalesceGap merges queue-drop bursts into single congestion episodes on
+// the scale of the tagged flow's RTT.
+const lossCoalesceGap = 60 * sim.Millisecond
+
+// Fig2 reproduces "fraction of transitions from high-RTT to loss when losses
+// are measured within a flow vs at the bottleneck queue": the fixed 65 ms
+// threshold predictor evaluated against both loss series.
+func Fig2(scale Scale) *Table {
+	cases, bw, buf, dur, warm := Section2Cases(scale)
+	t := &Table{
+		ID:     "fig2",
+		Title:  "High-RTT -> loss transition fraction: flow-level vs queue-level losses (65 ms threshold)",
+		Header: []string{"case", "long_flows", "web", "frac_flow_losses", "frac_queue_losses", "samples"},
+	}
+	for i, c := range cases {
+		tr := section2Trace(c, 100+int64(i), bw, buf, dur, warm)
+		// The paper's 65 ms threshold is its tagged flow's propagation
+		// delay (60 ms) plus 5 ms; we apply the same P+5ms rule with P
+		// estimated as the flow's minimum observed RTT, which also absorbs
+		// any standing reverse-path delay.
+		flow := predictors.Evaluate(predictors.NewRelativeThreshold("inst-rtt", ms(5), nil), tr,
+			predictors.CoalesceLosses(tr.FlowLosses, lossCoalesceGap))
+		queueL := predictors.Evaluate(predictors.NewRelativeThreshold("inst-rtt", ms(5), nil), tr,
+			predictors.CoalesceLosses(tr.QueueLosses, lossCoalesceGap))
+		t.AddRow(c.Name, fmt.Sprint(c.LongFlows), fmt.Sprint(c.Web),
+			f3(flow.Efficiency()), f3(queueL.Efficiency()), fmt.Sprint(len(tr.Samples)))
+	}
+	t.Notes = append(t.Notes, "threshold = P+5ms (the paper's 65 ms for its 60 ms path)",
+		"paper finding: queue-level fraction is significantly higher than flow-level")
+	return t
+}
+
+// Fig3 reproduces "prediction efficiency, false positives and false
+// negatives for different predictors", evaluated against queue-level losses
+// and averaged over the six cases.
+func Fig3(scale Scale) *Table {
+	cases, bw, buf, dur, warm := Section2Cases(scale)
+	t := &Table{
+		ID:     "fig3",
+		Title:  "Predictor comparison vs queue-level losses (mean over the six cases)",
+		Header: []string{"predictor", "efficiency", "false_pos", "false_neg"},
+	}
+	traces := make([]*predictors.Trace, len(cases))
+	for i, c := range cases {
+		traces[i] = section2Trace(c, 100+int64(i), bw, buf, dur, warm)
+	}
+	// Fresh predictor instances per trace: they are stateful.
+	names := []string{}
+	for _, p := range predictors.Suite(ms(5), buf) {
+		names = append(names, p.Name())
+	}
+	for idx, name := range names {
+		var e, fp, fn float64
+		for _, tr := range traces {
+			p := predictors.Suite(ms(5), buf)[idx]
+			res := predictors.Evaluate(p, tr, predictors.CoalesceLosses(tr.QueueLosses, lossCoalesceGap))
+			e += res.Efficiency()
+			fp += res.FalsePositives()
+			fn += res.FalseNegatives()
+		}
+		n := float64(len(traces))
+		t.AddRow(name, f3(e/n), f3(fp/n), f3(fn/n))
+	}
+	t.Notes = append(t.Notes, "paper finding: ewma-0.99 achieves high efficiency with low FP and FN; Vegas best among prior schemes")
+	return t
+}
+
+// Fig4 reproduces the "probability distribution of normalized queue length
+// when false positives occur": for each signal in the per-ACK family
+// (instantaneous, EWMA 7/8, EWMA 0.99) the bottleneck queue occupancy at
+// every false-positive instant is histogrammed. The heavier the smoothing,
+// the fewer false positives exist at all (the paper measured only 0.7-1.5%
+// for srtt_0.99; at reduced scale this rounds to zero events), so the
+// distribution is reported across the family.
+func Fig4(scale Scale) *Table {
+	cases, bw, buf, dur, warm := Section2Cases(scale)
+	signals := []struct {
+		name     string
+		smoother func() predictors.Smoother
+	}{
+		{"inst-rtt", func() predictors.Smoother { return nil }},
+		{"ewma-0.875", func() predictors.Smoother { return &predictors.EWMASmoother{W: 0.875} }},
+		{"ewma-0.99", func() predictors.Smoother { return &predictors.EWMASmoother{W: 0.99} }},
+	}
+	hists := make([]*stats.Histogram, len(signals))
+	for i := range hists {
+		hists[i] = stats.NewHistogram(1, 10)
+	}
+	for i, c := range cases {
+		tr := section2Trace(c, 100+int64(i), bw, buf, dur, warm)
+		losses := predictors.CoalesceLosses(tr.QueueLosses, lossCoalesceGap)
+		for si, sig := range signals {
+			p := predictors.NewRelativeThreshold(sig.name, ms(5), sig.smoother())
+			res := predictors.Evaluate(p, tr, losses)
+			for _, f := range res.FalsePositiveQueueFracs {
+				hists[si].Add(f)
+			}
+		}
+	}
+	t := &Table{
+		ID:     "fig4",
+		Title:  "PDF of normalized queue length at false positives (all six cases)",
+		Header: []string{"queue_fraction"},
+	}
+	for _, sig := range signals {
+		t.Header = append(t.Header, "pdf_"+sig.name)
+	}
+	for b := 0; b < 10; b++ {
+		row := []string{f2(hists[0].BucketCenter(b))}
+		for si := range signals {
+			row = append(row, f3(hists[si].PDF()[b]))
+		}
+		t.AddRow(row...)
+	}
+	for si, sig := range signals {
+		t.Notes = append(t.Notes, fmt.Sprintf("%s false positives observed: %d", sig.name, hists[si].Total()))
+	}
+	t.Notes = append(t.Notes, "paper finding: false positives concentrate at low queue occupancy (< 50%)")
+	return t
+}
+
+// ExtThreshold sweeps the detection margin of the per-ACK signal family over
+// the Section 2 traces, charting the aggressiveness tradeoff Figure 1's
+// state machine frames: small margins predict early but cry wolf (transition
+// 5), large margins miss losses entirely (transition 4). This is the
+// operating-point analysis behind the paper's choice of P+5 ms.
+func ExtThreshold(scale Scale) *Table {
+	cases, bw, buf, dur, warm := Section2Cases(scale)
+	t := &Table{
+		ID:     "ext-threshold",
+		Title:  "Extension: detection-margin sweep for the per-ACK signal family (mean over six cases)",
+		Header: []string{"margin_ms", "signal", "efficiency", "false_pos", "false_neg"},
+	}
+	traces := make([]*predictors.Trace, len(cases))
+	for i, c := range cases {
+		traces[i] = section2Trace(c, 100+int64(i), bw, buf, dur, warm)
+	}
+	signals := []struct {
+		name     string
+		smoother func() predictors.Smoother
+	}{
+		{"inst-rtt", func() predictors.Smoother { return nil }},
+		{"ewma-0.99", func() predictors.Smoother { return &predictors.EWMASmoother{W: 0.99} }},
+	}
+	for _, marginMs := range []float64{1, 2, 5, 10, 20} {
+		for _, sig := range signals {
+			var e, fp, fn float64
+			for _, tr := range traces {
+				p := predictors.NewRelativeThreshold(sig.name, ms(marginMs), sig.smoother())
+				res := predictors.Evaluate(p, tr, predictors.CoalesceLosses(tr.QueueLosses, lossCoalesceGap))
+				e += res.Efficiency()
+				fp += res.FalsePositives()
+				fn += res.FalseNegatives()
+			}
+			n := float64(len(traces))
+			t.AddRow(fmt.Sprintf("%g", marginMs), sig.name, f3(e/n), f3(fp/n), f3(fn/n))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"in loss-rich traces a small margin keeps the detector armed through every loss episode;",
+		"pushing the margin past the typical queue excursion both raises false positives",
+		"(episodes that peak below the margin end unconfirmed) and explodes false negatives",
+		"the smoothed signal dominates the instantaneous one at every operating point (Fig. 3's finding)")
+	return t
+}
+
+// Fig5 tabulates the PERT response curve (an analytic figure in the paper).
+func Fig5() *Table {
+	t := &Table{
+		ID:     "fig5",
+		Title:  "PERT probabilistic response curve (Tmin=5ms, Tmax=10ms, pmax=0.05, gentle)",
+		Header: []string{"queueing_delay_ms", "response_prob"},
+	}
+	curve := core.DefaultCurve()
+	for _, q := range []float64{0, 2.5, 5, 6, 7.5, 9, 10, 12.5, 15, 17.5, 20, 25} {
+		t.AddRow(f2(q), f3(curve.Prob(ms(q))))
+	}
+	return t
+}

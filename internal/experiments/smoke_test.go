@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"testing"
+
+	"pert/internal/sim"
+)
+
+func quickSpec(seed int64) DumbbellSpec {
+	return DumbbellSpec{
+		Seed:      seed,
+		Bandwidth: 10e6,
+		RTTs:      []sim.Duration{ms(60)},
+		Flows:     5, ReverseFlows: 1,
+		Duration: seconds(30), MeasureFrom: seconds(8), MeasureUntil: seconds(28),
+		StartWindow: seconds(3),
+	}
+}
+
+func TestRunDumbbellAllSchemes(t *testing.T) {
+	for _, s := range []Scheme{PERT, SackDroptail, SackRED, Vegas, PERTPI, SackPI} {
+		s := s
+		t.Run(string(s), func(t *testing.T) {
+			r := RunDumbbell(quickSpec(99), s)
+			if r.Utilization < 0.5 || r.Utilization > 1.02 {
+				t.Fatalf("%s utilization = %v", s, r.Utilization)
+			}
+			if r.Jain < 0.3 || r.Jain > 1.0001 {
+				t.Fatalf("%s jain = %v", s, r.Jain)
+			}
+			if r.NormQueue < 0 || r.NormQueue > 1 {
+				t.Fatalf("%s norm queue = %v", s, r.NormQueue)
+			}
+			if r.BufferPkts <= 0 {
+				t.Fatalf("%s buffer = %d", s, r.BufferPkts)
+			}
+		})
+	}
+}
+
+func TestPERTBeatsDroptailOnQueueAndDrops(t *testing.T) {
+	pert := RunDumbbell(quickSpec(7), PERT)
+	sack := RunDumbbell(quickSpec(7), SackDroptail)
+	if pert.AvgQueue >= sack.AvgQueue {
+		t.Fatalf("PERT queue %v >= Sack/Droptail %v", pert.AvgQueue, sack.AvgQueue)
+	}
+	if pert.DropRate > sack.DropRate {
+		t.Fatalf("PERT drops %v > Sack/Droptail %v", pert.DropRate, sack.DropRate)
+	}
+}
+
+func TestRunDumbbellWithWebTraffic(t *testing.T) {
+	spec := quickSpec(11)
+	spec.WebSessions = 10
+	r := RunDumbbell(spec, PERT)
+	if r.Utilization < 0.5 {
+		t.Fatalf("utilization with web = %v", r.Utilization)
+	}
+}

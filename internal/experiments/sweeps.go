@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pert/internal/sim"
+)
+
+// sweepPoint is one x-axis value of a Section 4 figure.
+type sweepPoint struct {
+	label string
+	spec  DumbbellSpec
+}
+
+// runSweep executes every (point, scheme) cell and formats the four panels
+// the paper plots: average queue (normalized), drop rate, utilization, Jain
+// index.
+func runSweep(id, title, xlabel string, points []sweepPoint, schemes []Scheme) *Table {
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{xlabel, "scheme", "avg_queue_pkts", "norm_queue", "drop_rate", "mark_rate", "utilization", "jain"},
+	}
+	// Every (point, scheme) cell is an independent deterministic
+	// simulation; run them on all cores and emit rows in order.
+	type cell struct {
+		label string
+		s     Scheme
+		spec  DumbbellSpec
+	}
+	cells := make([]cell, 0, len(points)*len(schemes))
+	for _, pt := range points {
+		for _, s := range schemes {
+			cells = append(cells, cell{pt.label, s, pt.spec})
+		}
+	}
+	results := make([]DumbbellResult, len(cells))
+	forEach(len(cells), func(i int) {
+		results[i] = RunDumbbell(cells[i].spec, cells[i].s)
+	})
+	for i, r := range results {
+		t.AddRow(cells[i].label, string(cells[i].s), f2(r.AvgQueue), f3(r.NormQueue),
+			sci(r.DropRate), sci(r.MarkRate), f3(r.Utilization), f3(r.Jain))
+	}
+	return t
+}
+
+// Fig6 reproduces "Impact of bottleneck link bandwidth": bandwidth sweep at
+// 60 ms RTT, flow count scaled with bandwidth so the link can be driven to
+// full utilization at every point.
+func Fig6(scale Scale) *Table {
+	dur, from, until, sw := scale.window()
+	type bw struct {
+		mbps  float64
+		flows int
+	}
+	var sweep []bw
+	if scale == Paper {
+		sweep = []bw{{1, 2}, {10, 5}, {100, 50}, {500, 250}, {1000, 500}}
+	} else {
+		sweep = []bw{{1, 2}, {5, 3}, {20, 10}, {80, 40}}
+	}
+	var points []sweepPoint
+	for i, b := range sweep {
+		points = append(points, sweepPoint{
+			label: fmt.Sprintf("%gMbps", b.mbps),
+			spec: DumbbellSpec{
+				Seed:      1000 + int64(i),
+				Bandwidth: b.mbps * 1e6,
+				RTTs:      []sim.Duration{ms(60)},
+				Flows:     b.flows,
+				Duration:  dur, MeasureFrom: from, MeasureUntil: until, StartWindow: sw,
+			},
+		})
+	}
+	t := runSweep("fig6", "Impact of bottleneck link bandwidth (RTT 60 ms)", "bandwidth", points, AllSection4Schemes)
+	t.Notes = append(t.Notes, "flows scale with bandwidth as in the paper")
+	return t
+}
+
+// Fig7 reproduces "Impact of round trip delays": RTT sweep at fixed
+// bandwidth and 50 flows (paper: 150 Mbps).
+func Fig7(scale Scale) *Table {
+	dur, from, until, sw := scale.window()
+	bwMbps, flows := 30.0, 10
+	rtts := []float64{10, 30, 60, 150, 400}
+	if scale == Paper {
+		bwMbps, flows = 150, 50
+		rtts = []float64{10, 30, 60, 100, 300, 1000}
+	}
+	var points []sweepPoint
+	for i, r := range rtts {
+		points = append(points, sweepPoint{
+			label: fmt.Sprintf("%gms", r),
+			spec: DumbbellSpec{
+				Seed:      2000 + int64(i),
+				Bandwidth: bwMbps * 1e6,
+				RTTs:      []sim.Duration{ms(r)},
+				Flows:     flows,
+				Duration:  dur, MeasureFrom: from, MeasureUntil: until, StartWindow: sw,
+			},
+		})
+	}
+	t := runSweep("fig7", fmt.Sprintf("Impact of end-to-end RTT (%g Mbps, %d flows)", bwMbps, flows), "rtt", points, AllSection4Schemes)
+	return t
+}
+
+// Fig8 reproduces "Impact of varying the number of long-term flows" (paper:
+// 500 Mbps, 60 ms, 1..1000 flows).
+func Fig8(scale Scale) *Table {
+	dur, from, until, sw := scale.window()
+	bwMbps := 50.0
+	counts := []int{1, 4, 16, 64, 256}
+	if scale == Paper {
+		bwMbps = 500
+		counts = []int{1, 10, 100, 400, 1000}
+	}
+	var points []sweepPoint
+	for i, n := range counts {
+		points = append(points, sweepPoint{
+			label: fmt.Sprintf("%d", n),
+			spec: DumbbellSpec{
+				Seed:      3000 + int64(i),
+				Bandwidth: bwMbps * 1e6,
+				RTTs:      []sim.Duration{ms(60)},
+				Flows:     n,
+				Duration:  dur, MeasureFrom: from, MeasureUntil: until, StartWindow: sw,
+			},
+		})
+	}
+	return runSweep("fig8", fmt.Sprintf("Impact of number of long-term flows (%g Mbps, 60 ms)", bwMbps), "flows", points, AllSection4Schemes)
+}
+
+// Fig9 reproduces "Impact of web traffic": web-session sweep over a base of
+// long-term flows (paper: 150 Mbps, 50 flows, 10..1000 sessions).
+func Fig9(scale Scale) *Table {
+	dur, from, until, sw := scale.window()
+	bwMbps, flows := 30.0, 10
+	webs := []int{10, 50, 100, 200}
+	if scale == Paper {
+		bwMbps, flows = 150, 50
+		webs = []int{10, 100, 500, 1000}
+	}
+	var points []sweepPoint
+	for i, w := range webs {
+		points = append(points, sweepPoint{
+			label: fmt.Sprintf("%d", w),
+			spec: DumbbellSpec{
+				Seed:      4000 + int64(i),
+				Bandwidth: bwMbps * 1e6,
+				RTTs:      []sim.Duration{ms(60)},
+				Flows:     flows, WebSessions: w,
+				Duration: dur, MeasureFrom: from, MeasureUntil: until, StartWindow: sw,
+			},
+		})
+	}
+	return runSweep("fig9", fmt.Sprintf("Impact of web traffic (%g Mbps, %d long flows)", bwMbps, flows), "web_sessions", points, AllSection4Schemes)
+}
+
+// Table1 reproduces "Impact of different RTTs": ten flows with RTTs
+// 12..120 ms sharing one bottleneck with background web sessions; per-scheme
+// normalized queue, drop rate, utilization and fairness.
+func Table1(scale Scale) *Table {
+	dur, from, until, sw := scale.window()
+	bwMbps, webs := 30.0, 20
+	if scale == Paper {
+		bwMbps, webs = 150, 100
+	}
+	rtts := make([]sim.Duration, 10)
+	for i := range rtts {
+		rtts[i] = ms(float64(12 * (i + 1)))
+	}
+	t := &Table{
+		ID:     "table1",
+		Title:  fmt.Sprintf("Flows with different RTTs (%g Mbps, 10 flows, RTTs 12..120 ms, %d web sessions)", bwMbps, webs),
+		Header: []string{"scheme", "Q(norm)", "p", "U(%)", "F"},
+	}
+	for i, s := range []Scheme{PERT, SackDroptail, SackRED, Vegas} {
+		r := RunDumbbell(DumbbellSpec{
+			Seed:      5000 + int64(i),
+			Bandwidth: bwMbps * 1e6,
+			RTTs:      rtts,
+			Flows:     10, WebSessions: webs,
+			Duration: dur, MeasureFrom: from, MeasureUntil: until, StartWindow: sw,
+		}, s)
+		t.AddRow(string(s), f2(r.NormQueue), sci(r.DropRate), f2(100*r.Utilization), f2(r.Jain))
+	}
+	return t
+}
+
+// Fig14 reproduces "Emulating PI at end-hosts": the Fig7 RTT sweep run with
+// PERT/PI against router PI with ECN (plus PERT/RED for context).
+func Fig14(scale Scale) *Table {
+	dur, from, until, sw := scale.window()
+	bwMbps, flows := 30.0, 10
+	rtts := []float64{10, 30, 60, 150, 400}
+	if scale == Paper {
+		bwMbps, flows = 150, 50
+		rtts = []float64{10, 30, 60, 100, 300, 1000}
+	}
+	var points []sweepPoint
+	for i, r := range rtts {
+		points = append(points, sweepPoint{
+			label: fmt.Sprintf("%gms", r),
+			spec: DumbbellSpec{
+				Seed:      6000 + int64(i),
+				Bandwidth: bwMbps * 1e6,
+				RTTs:      []sim.Duration{ms(r)},
+				Flows:     flows,
+				Duration:  dur, MeasureFrom: from, MeasureUntil: until, StartWindow: sw,
+			},
+		})
+	}
+	t := runSweep("fig14", fmt.Sprintf("Emulating PI at end hosts (%g Mbps, %d flows, target delay 3 ms)", bwMbps, flows), "rtt", points, []Scheme{PERTPI, SackPI, PERT})
+	return t
+}

@@ -1,0 +1,92 @@
+package fluid
+
+import "math"
+
+// PERTPIParams are the constants of the PERT/PI fluid model (Section 6): the
+// window dynamics of equation (3) driven by a proportional-integral
+// controller on the estimated queueing delay, with the Theorem 2 gains.
+type PERTPIParams struct {
+	C      float64 // link capacity, packets/second
+	N      float64 // number of flows
+	R      float64 // round-trip time, seconds
+	K      float64 // PI loop gain
+	M      float64 // PI zero, rad/s
+	Target float64 // queueing-delay reference, seconds
+}
+
+// DesignPERTPIParams applies the Theorem 2 formulas
+//
+//	m = 2*Nmin/(Rmax^2*C),  K = m*|j*R*m + 1| * (2*Nmin)^2/(Rmax^3*C^2)
+//
+// to produce a provably stable configuration for all N >= nMin, R <= rMax.
+func DesignPERTPIParams(c float64, nMin float64, rMax float64, target float64) PERTPIParams {
+	m := 2 * nMin / (rMax * rMax * c)
+	k := m * math.Hypot(rMax*m, 1) * math.Pow(2*nMin, 2) / (math.Pow(rMax, 3) * c * c)
+	return PERTPIParams{C: c, N: nMin, R: rMax, K: k, M: m, Target: target}
+}
+
+// System builds the PERT/PI DDE. States: x1 = W (packets), x2 = Tq (queueing
+// delay, seconds), x3 = integral of the delay error. The continuous PI
+// controller C(s) = K(1+s/m)/s gives
+//
+//	p(t) = (K/m)*e(t) + K*x3(t),   dx3/dt = e(t),   e = Tq - Target
+//
+// with p clamped to [0, 1]. As in the RED model, the window reacts to the
+// response probability with one round trip of self-delay in W but the
+// probability itself is computed at the end host from a delayed delay
+// measurement.
+func (p PERTPIParams) System() *System {
+	return &System{
+		Dim:    3,
+		MaxLag: p.R,
+		F: func(_ float64, x []float64, delayed func(float64, int) float64, dx []float64) {
+			wLag := delayed(p.R, 0)
+			errLag := delayed(p.R, 1) - p.Target
+			intLag := delayed(p.R, 2)
+			prob := p.K/p.M*errLag + p.K*intLag
+			if prob < 0 {
+				prob = 0
+			} else if prob > 1 {
+				prob = 1
+			}
+			dx[0] = 1/p.R - prob*x[0]*wLag/(2*p.R)
+			dx[1] = p.N/(p.R*p.C)*x[0] - 1
+			// Conditional integration (anti-windup): freeze the integral
+			// while the controller output is saturated and the error would
+			// push it further into saturation — otherwise long empty-queue
+			// periods wind the integrator far negative and force slow
+			// limit cycles.
+			err := x[1] - p.Target
+			probNow := p.K/p.M*err + p.K*x[2]
+			if (probNow <= 0 && err < 0) || (probNow >= 1 && err > 0) {
+				dx[2] = 0
+			} else {
+				dx[2] = err
+			}
+		},
+		Clamp: func(x []float64) {
+			if x[0] < 0 {
+				x[0] = 0
+			}
+			if x[1] < 0 {
+				x[1] = 0
+			}
+			// The integral state is free to go negative (anti-windup is
+			// the [0,1] clamp on prob).
+		},
+	}
+}
+
+// Equilibrium returns the PERT/PI stationary point: the PI integrator drives
+// the queueing delay to the target exactly, and the window to RC/N.
+func (p PERTPIParams) Equilibrium() (wStar, pStar, tqStar float64) {
+	wStar = p.R * p.C / p.N
+	pStar = 2 / (wStar * wStar)
+	tqStar = p.Target
+	return
+}
+
+// Trajectory integrates from the (1, 1, 0) starting point.
+func (p PERTPIParams) Trajectory(dur, h float64, observe func(t float64, x []float64)) []float64 {
+	return p.System().Integrate([]float64{1, 1, 0}, 0, dur, h, observe)
+}

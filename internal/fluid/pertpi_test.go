@@ -1,0 +1,107 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPERTPIEquilibrium(t *testing.T) {
+	p := DesignPERTPIParams(1000, 5, 0.2, 0.05)
+	w, pr, tq := p.Equilibrium()
+	if math.Abs(w-40) > 1e-12 { // RC/N = 0.2*1000/5
+		t.Fatalf("W* = %v", w)
+	}
+	if math.Abs(pr-2.0/1600) > 1e-12 {
+		t.Fatalf("p* = %v", pr)
+	}
+	if tq != 0.05 {
+		t.Fatalf("Tq* = %v", tq)
+	}
+}
+
+func TestPERTPIConvergesWithTheorem2Gains(t *testing.T) {
+	// With the Theorem 2 design the closed loop must converge, and —
+	// unlike the RED emulation — the queueing delay must settle exactly on
+	// the target (the integral action removes the steady-state error the
+	// paper lists among RED's drawbacks).
+	// Theorem 2 assumes W* >> 2; use C/N giving W* = 40. The hard Tq >= 0
+	// constraint leaves a small residual limit cycle (the queue drains
+	// periodically), so assert on late-time averages and bounded
+	// oscillation rather than pointwise convergence.
+	p := DesignPERTPIParams(1000, 5, 0.2, 0.05)
+	wMean, tqMean, wAmp := lateStats(p, 1200)
+	w, _, _ := p.Equilibrium()
+	if math.Abs(wMean-w) > 0.15*w {
+		t.Fatalf("mean W = %v, want ~%v", wMean, w)
+	}
+	if math.Abs(tqMean-p.Target) > 0.5*p.Target {
+		t.Fatalf("mean Tq = %v, want ~target %v", tqMean, p.Target)
+	}
+	if wAmp > 0.3*w {
+		t.Fatalf("W oscillation amplitude %v of W*=%v", wAmp, w)
+	}
+}
+
+// lateStats integrates for dur seconds and returns the mean window, mean
+// queueing delay, and window peak-to-peak amplitude over the last third.
+func lateStats(p PERTPIParams, dur float64) (wMean, tqMean, wAmp float64) {
+	var n int
+	wMin, wMax := math.Inf(1), math.Inf(-1)
+	p.Trajectory(dur, 1e-3, func(t float64, x []float64) {
+		if t < dur*2/3 {
+			return
+		}
+		n++
+		wMean += x[0]
+		tqMean += x[1]
+		wMin = math.Min(wMin, x[0])
+		wMax = math.Max(wMax, x[0])
+	})
+	return wMean / float64(n), tqMean / float64(n), wMax - wMin
+}
+
+func TestPERTPIStableAcrossTargets(t *testing.T) {
+	for _, target := range []float64{0.003, 0.02, 0.05} {
+		p := DesignPERTPIParams(2000, 10, 0.15, target)
+		wMean, _, wAmp := lateStats(p, 900)
+		w, _, _ := p.Equilibrium()
+		if math.Abs(wMean-w) > 0.2*w {
+			t.Fatalf("target %v: mean W = %v, want ~%v", target, wMean, w)
+		}
+		if wAmp > 0.4*w {
+			t.Fatalf("target %v: W amplitude %v", target, wAmp)
+		}
+	}
+}
+
+func TestPERTPIUnstableWithOversizedGain(t *testing.T) {
+	// Cranking the loop gain far beyond the Theorem 2 design must destroy
+	// stability — evidence the design rule binds.
+	p := DesignPERTPIParams(1000, 5, 0.2, 0.05)
+	p.K *= 500
+	w, _, _ := p.Equilibrium()
+	var lateMin, lateMax = math.Inf(1), math.Inf(-1)
+	p.Trajectory(600, 1e-3, func(t float64, x []float64) {
+		if t > 500 {
+			lateMin = math.Min(lateMin, x[0])
+			lateMax = math.Max(lateMax, x[0])
+		}
+	})
+	if (lateMax-lateMin)/w < 0.2 {
+		t.Fatalf("500x gain still converged (amplitude %v of W*=%v)", lateMax-lateMin, w)
+	}
+}
+
+func TestPERTPIIntegralRemovesOffset(t *testing.T) {
+	// Contrast with PERT/RED: the RED emulation's equilibrium queueing
+	// delay depends on load (Tq* = Tmin + p*/L), while PI pins it to the
+	// target regardless of N.
+	for _, n := range []float64{5, 10} {
+		p := DesignPERTPIParams(2000, n, 0.2, 0.03)
+		p.N = n
+		_, tqMean, _ := lateStats(p, 1200)
+		if math.Abs(tqMean-0.03) > 0.02 {
+			t.Fatalf("N=%v: mean Tq = %v, want ~0.03", n, tqMean)
+		}
+	}
+}

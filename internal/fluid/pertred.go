@@ -1,0 +1,75 @@
+package fluid
+
+import "math"
+
+// PERTParams are the constants of the PERT/RED fluid model (equations
+// (2)-(7), reduced to the DDE system (14)).
+type PERTParams struct {
+	C     float64 // link capacity, packets/second
+	N     float64 // number of flows
+	R     float64 // round-trip time, seconds (assumed constant, as in Sec 5.2)
+	Tmin  float64 // lower queueing-delay threshold, seconds
+	Tmax  float64 // upper threshold, seconds
+	Pmax  float64 // response probability at Tmax
+	Alpha float64 // EWMA history weight (0.99)
+	Delta float64 // sampling interval, seconds
+}
+
+// L returns L_PERT = pmax/(Tmax - Tmin) from equation (10).
+func (p PERTParams) L() float64 { return p.Pmax / (p.Tmax - p.Tmin) }
+
+// K returns K = ln(alpha)/delta from equation (10); it is negative.
+func (p PERTParams) K() float64 { return math.Log(p.Alpha) / p.Delta }
+
+// Equilibrium returns the stationary point of equation (9): window W*,
+// response probability p*, and the queueing delay Tq* at which the linear
+// response curve produces p*.
+func (p PERTParams) Equilibrium() (wStar, pStar, tqStar float64) {
+	wStar = p.R * p.C / p.N
+	pStar = 2 * p.N * p.N / (p.R * p.R * p.C * p.C)
+	tqStar = p.Tmin + pStar/p.L()
+	return
+}
+
+// System builds the three-state DDE (14): x1 = W (window, packets),
+// x2 = actual queueing delay (seconds), x3 = smoothed queueing delay
+// perceived by the end host (seconds).
+func (p PERTParams) System() *System {
+	L := p.L()
+	K := p.K()
+	return &System{
+		Dim:    3,
+		MaxLag: p.R,
+		F: func(_ float64, x []float64, delayed func(float64, int) float64, dx []float64) {
+			wLag := delayed(p.R, 0)
+			tqLag := delayed(p.R, 2)
+			prob := L * (tqLag - p.Tmin)
+			if prob < 0 {
+				prob = 0
+			} else if prob > 1 {
+				prob = 1
+			}
+			dx[0] = 1/p.R - prob*x[0]*wLag/(2*p.R)
+			dx[1] = p.N/(p.R*p.C)*x[0] - 1
+			dx[2] = K*x[2] - K*x[1]
+		},
+		Clamp: func(x []float64) {
+			if x[0] < 0 {
+				x[0] = 0
+			}
+			if x[1] < 0 {
+				x[1] = 0
+			}
+			if x[2] < 0 {
+				x[2] = 0
+			}
+		},
+	}
+}
+
+// Trajectory integrates the model from (1 pkt, 1 s, 1 s) — the paper's
+// Figure 13 initial point — for dur seconds with step h, invoking observe at
+// each step.
+func (p PERTParams) Trajectory(dur, h float64, observe func(t float64, x []float64)) []float64 {
+	return p.System().Integrate([]float64{1, 1, 1}, 0, dur, h, observe)
+}

@@ -1,0 +1,80 @@
+package netem
+
+import (
+	"testing"
+
+	"pert/internal/sim"
+)
+
+func TestJitterSpreadsArrivals(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net, a, b, ab := line(eng, 1e9, 10*sim.Millisecond, 1000)
+	ab.JitterMax = 5 * sim.Millisecond
+	s := &sink{}
+	b.AttachFlow(1, s)
+	for i := 0; i < 200; i++ {
+		net.SendFrom(a, &Packet{ID: net.NewPacketID(), Flow: 1, Src: a.ID, Dst: b.ID, Size: 100, Seq: int64(i)})
+	}
+	eng.Run(sim.Second)
+	if len(s.got) != 200 {
+		t.Fatalf("delivered %d", len(s.got))
+	}
+	// Arrivals must be at least base delay and show actual spread.
+	var minExtra, maxExtra sim.Duration = sim.MaxTime, 0
+	for i, at := range s.at {
+		base := sim.Time(i+1)*800*sim.Nanosecond + 10*sim.Millisecond
+		extra := at - base
+		if extra < 0 {
+			t.Fatalf("packet %d arrived before base delay (extra %v)", i, extra)
+		}
+		if extra < minExtra {
+			minExtra = extra
+		}
+		if extra > maxExtra {
+			maxExtra = extra
+		}
+	}
+	if maxExtra-minExtra < sim.Millisecond {
+		t.Fatalf("no jitter spread: min=%v max=%v", minExtra, maxExtra)
+	}
+	if maxExtra >= 5*sim.Millisecond+sim.Millisecond {
+		t.Fatalf("jitter beyond bound: %v", maxExtra)
+	}
+}
+
+func TestJitterPreservesOrder(t *testing.T) {
+	eng := sim.NewEngine(2)
+	net, a, b, ab := line(eng, 1e9, sim.Millisecond, 10000)
+	ab.JitterMax = 20 * sim.Millisecond // jitter >> serialization: would reorder without the clamp
+	s := &sink{}
+	b.AttachFlow(1, s)
+	for i := 0; i < 1000; i++ {
+		net.SendFrom(a, &Packet{ID: net.NewPacketID(), Flow: 1, Src: a.ID, Dst: b.ID, Size: 100, Seq: int64(i)})
+	}
+	eng.Run(10 * sim.Second)
+	for i, p := range s.got {
+		if p.Seq != int64(i) {
+			t.Fatalf("reordered: position %d has seq %d", i, p.Seq)
+		}
+	}
+	for i := 1; i < len(s.at); i++ {
+		if s.at[i] < s.at[i-1] {
+			t.Fatalf("arrival times not monotone at %d", i)
+		}
+	}
+}
+
+func TestNoJitterIsDeterministicBaseline(t *testing.T) {
+	run := func() sim.Time {
+		eng := sim.NewEngine(3)
+		net, a, b, _ := line(eng, 1e9, sim.Millisecond, 10)
+		s := &sink{}
+		b.AttachFlow(1, s)
+		net.SendFrom(a, &Packet{ID: 1, Flow: 1, Src: a.ID, Dst: b.ID, Size: 100})
+		eng.Run(sim.Second)
+		return s.at[0]
+	}
+	if run() != run() {
+		t.Fatal("jitter-free link not deterministic")
+	}
+}

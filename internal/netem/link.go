@@ -1,0 +1,135 @@
+package netem
+
+import (
+	"fmt"
+
+	"pert/internal/sim"
+)
+
+// LinkStats are cumulative counters for one unidirectional link. Drops and
+// Marks are attributed to the link's queue discipline; Arrivals counts every
+// packet offered to the queue.
+type LinkStats struct {
+	Arrivals  uint64
+	Drops     uint64
+	Marks     uint64
+	TxPackets uint64
+	TxBytes   uint64
+	BusyTime  sim.Duration
+}
+
+// DropRate returns the fraction of offered packets that were dropped.
+func (s LinkStats) DropRate() float64 {
+	if s.Arrivals == 0 {
+		return 0
+	}
+	return float64(s.Drops) / float64(s.Arrivals)
+}
+
+// Link is a unidirectional link with an output queue, a transmission rate,
+// and a propagation delay. It models a single server: one packet transmits at
+// a time; propagation overlaps with the next transmission.
+type Link struct {
+	From, To *Node
+	Capacity float64 // bits per second
+	Delay    sim.Duration
+	Queue    Discipline
+
+	// JitterMax adds a uniform random extra propagation delay in
+	// [0, JitterMax) per packet, modeling non-queueing delay variation
+	// (wireless links, cross-traffic on unmodeled hops) — the noise source
+	// the Section 2 robustness concerns are about. Delivery order is
+	// preserved (a jittered packet never overtakes its predecessor).
+	JitterMax sim.Duration
+
+	lastDelivery sim.Time
+
+	// OnDrop, if set, observes every packet the queue rejects. Used by the
+	// Section 2 study to record queue-level loss events.
+	OnDrop func(p *Packet, now sim.Time)
+	// OnEnqueue, if set, observes every packet the queue accepts (called
+	// after the enqueue, so Queue.Len includes the packet).
+	OnEnqueue func(p *Packet, now sim.Time)
+	// OnDepart, if set, observes every packet as it finishes transmission.
+	OnDepart func(p *Packet, now sim.Time)
+
+	Stats LinkStats
+
+	eng  *sim.Engine
+	busy bool
+}
+
+// Send offers a packet to the link's queue and starts the transmitter if it
+// is idle.
+func (l *Link) Send(p *Packet) {
+	now := l.eng.Now()
+	l.Stats.Arrivals++
+	ce := p.CE
+	if !l.Queue.Enqueue(p, now) {
+		l.Stats.Drops++
+		if l.OnDrop != nil {
+			l.OnDrop(p, now)
+		}
+		return
+	}
+	if p.CE && !ce {
+		l.Stats.Marks++
+	}
+	if l.OnEnqueue != nil {
+		l.OnEnqueue(p, now)
+	}
+	if !l.busy {
+		l.serve()
+	}
+}
+
+// serve dequeues the next packet and schedules its transmission completion.
+func (l *Link) serve() {
+	p := l.Queue.Dequeue(l.eng.Now())
+	if p == nil {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	tx := l.txTime(p.Size)
+	l.eng.After(tx, func() {
+		l.Stats.TxPackets++
+		l.Stats.TxBytes += uint64(p.Size)
+		l.Stats.BusyTime += tx
+		if l.OnDepart != nil {
+			l.OnDepart(p, l.eng.Now())
+		}
+		delay := l.Delay
+		if l.JitterMax > 0 {
+			delay += sim.Duration(l.eng.Rand().Int63n(int64(l.JitterMax)))
+		}
+		arrival := l.eng.Now() + delay
+		// FIFO: never deliver before an earlier packet on this link.
+		if arrival < l.lastDelivery {
+			arrival = l.lastDelivery
+		}
+		l.lastDelivery = arrival
+		l.eng.At(arrival, func() { l.To.Receive(p) })
+		l.serve()
+	})
+}
+
+// txTime returns the serialization delay of size bytes at the link rate.
+func (l *Link) txTime(size int) sim.Duration {
+	return sim.Seconds(float64(size) * 8 / l.Capacity)
+}
+
+// Utilization returns the fraction of the window [from, to] the link spent
+// transmitting, computed from a snapshot of TxBytes taken at the start of the
+// window.
+func (l *Link) Utilization(txBytesAtStart uint64, window sim.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	bits := float64(l.Stats.TxBytes-txBytesAtStart) * 8
+	return bits / (l.Capacity * window.Seconds())
+}
+
+func (l *Link) String() string {
+	return fmt.Sprintf("link %d->%d %.0fbps %v", l.From.ID, l.To.ID, l.Capacity, l.Delay)
+}

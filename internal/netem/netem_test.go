@@ -1,0 +1,192 @@
+package netem
+
+import (
+	"testing"
+
+	"pert/internal/sim"
+)
+
+// sink records packets delivered to a node.
+type sink struct {
+	got []*Packet
+	at  []sim.Time
+}
+
+func (s *sink) Receive(p *Packet, now sim.Time) {
+	s.got = append(s.got, p)
+	s.at = append(s.at, now)
+}
+
+// tail is a minimal DropTail used to avoid importing internal/queue (which
+// would create an import cycle in tests only, but keeps layering clean).
+type tail struct {
+	limit int
+	pkts  []*Packet
+	bytes int
+}
+
+func (t *tail) Enqueue(p *Packet, _ sim.Time) bool {
+	if len(t.pkts) >= t.limit {
+		return false
+	}
+	t.pkts = append(t.pkts, p)
+	t.bytes += p.Size
+	return true
+}
+func (t *tail) Dequeue(_ sim.Time) *Packet {
+	if len(t.pkts) == 0 {
+		return nil
+	}
+	p := t.pkts[0]
+	t.pkts = t.pkts[1:]
+	t.bytes -= p.Size
+	return p
+}
+func (t *tail) Len() int   { return len(t.pkts) }
+func (t *tail) Bytes() int { return t.bytes }
+
+func line(eng *sim.Engine, capacity float64, delay sim.Duration, limit int) (*Network, *Node, *Node, *Link) {
+	net := NewNetwork(eng)
+	a, b := net.AddNode(), net.AddNode()
+	ab := net.AddLink(a, b, capacity, delay, &tail{limit: limit})
+	net.AddLink(b, a, capacity, delay, &tail{limit: limit})
+	net.ComputeRoutes()
+	return net, a, b, ab
+}
+
+func TestLinkTiming(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net, a, b, _ := line(eng, 8e6, 10*sim.Millisecond, 100) // 8 Mbps: 1000 B = 1 ms tx
+	s := &sink{}
+	b.AttachFlow(1, s)
+	p := &Packet{ID: net.NewPacketID(), Flow: 1, Src: a.ID, Dst: b.ID, Size: 1000}
+	net.SendFrom(a, p)
+	eng.Run(sim.Second)
+	if len(s.got) != 1 {
+		t.Fatalf("delivered %d packets", len(s.got))
+	}
+	// 1 ms serialization + 10 ms propagation.
+	if want := 11 * sim.Millisecond; s.at[0] != want {
+		t.Fatalf("arrival at %v, want %v", s.at[0], want)
+	}
+}
+
+func TestLinkSerialization(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net, a, b, ab := line(eng, 8e6, 0, 100)
+	s := &sink{}
+	b.AttachFlow(1, s)
+	for i := 0; i < 5; i++ {
+		net.SendFrom(a, &Packet{ID: net.NewPacketID(), Flow: 1, Src: a.ID, Dst: b.ID, Size: 1000})
+	}
+	eng.Run(sim.Second)
+	if len(s.got) != 5 {
+		t.Fatalf("delivered %d packets", len(s.got))
+	}
+	for i, at := range s.at {
+		if want := sim.Time(i+1) * sim.Millisecond; at != want {
+			t.Fatalf("packet %d at %v, want %v (back-to-back serialization)", i, at, want)
+		}
+	}
+	if ab.Stats.TxPackets != 5 || ab.Stats.TxBytes != 5000 {
+		t.Fatalf("stats: %+v", ab.Stats)
+	}
+	if got := ab.Stats.BusyTime; got != 5*sim.Millisecond {
+		t.Fatalf("busy time %v", got)
+	}
+}
+
+func TestLinkDropsWhenFull(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net, a, b, ab := line(eng, 8e6, 0, 3)
+	var droppedAt []sim.Time
+	ab.OnDrop = func(p *Packet, now sim.Time) { droppedAt = append(droppedAt, now) }
+	s := &sink{}
+	b.AttachFlow(1, s)
+	// One packet in service + 3 queued fit; the 5th and 6th drop.
+	for i := 0; i < 6; i++ {
+		net.SendFrom(a, &Packet{ID: net.NewPacketID(), Flow: 1, Src: a.ID, Dst: b.ID, Size: 1000})
+	}
+	eng.Run(sim.Second)
+	if len(s.got) != 4 {
+		t.Fatalf("delivered %d, want 4", len(s.got))
+	}
+	if ab.Stats.Drops != 2 || len(droppedAt) != 2 {
+		t.Fatalf("drops=%d hook=%d", ab.Stats.Drops, len(droppedAt))
+	}
+	if got := ab.Stats.DropRate(); got != 2.0/6 {
+		t.Fatalf("drop rate %v", got)
+	}
+}
+
+func TestRoutingChain(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := NewNetwork(eng)
+	// a - r1 - r2 - b chain.
+	nodes := make([]*Node, 4)
+	for i := range nodes {
+		nodes[i] = net.AddNode()
+	}
+	for i := 0; i < 3; i++ {
+		net.AddDuplexLink(nodes[i], nodes[i+1], 1e9, sim.Millisecond, &tail{limit: 10}, &tail{limit: 10})
+	}
+	net.ComputeRoutes()
+	s := &sink{}
+	nodes[3].AttachFlow(7, s)
+	net.SendFrom(nodes[0], &Packet{ID: 1, Flow: 7, Src: nodes[0].ID, Dst: nodes[3].ID, Size: 125})
+	eng.Run(sim.Second)
+	if len(s.got) != 1 {
+		t.Fatal("packet not delivered across chain")
+	}
+	// 3 hops: 3 * (1 us serialization + 1 ms propagation).
+	want := 3 * (sim.Microsecond + sim.Millisecond)
+	if s.at[0] != want {
+		t.Fatalf("arrival %v, want %v", s.at[0], want)
+	}
+}
+
+func TestRoutingPicksShortestPath(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := NewNetwork(eng)
+	// Square with a diagonal: a-b-d is 2 hops, a-c-e-d is 3.
+	a, b, c, e, d := net.AddNode(), net.AddNode(), net.AddNode(), net.AddNode(), net.AddNode()
+	q := func() Discipline { return &tail{limit: 100} }
+	net.AddDuplexLink(a, b, 1e9, sim.Millisecond, q(), q())
+	net.AddDuplexLink(b, d, 1e9, sim.Millisecond, q(), q())
+	net.AddDuplexLink(a, c, 1e9, sim.Millisecond, q(), q())
+	net.AddDuplexLink(c, e, 1e9, sim.Millisecond, q(), q())
+	net.AddDuplexLink(e, d, 1e9, sim.Millisecond, q(), q())
+	net.ComputeRoutes()
+	if a.next[d.ID] == nil || a.next[d.ID].To != b {
+		t.Fatal("route a->d should go via b (2 hops)")
+	}
+}
+
+func TestDetachFlowDiscardsQuietly(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net, a, b, _ := line(eng, 1e9, 0, 10)
+	s := &sink{}
+	b.AttachFlow(1, s)
+	b.DetachFlow(1)
+	net.SendFrom(a, &Packet{ID: 1, Flow: 1, Src: a.ID, Dst: b.ID, Size: 100})
+	eng.Run(sim.Second)
+	if len(s.got) != 0 {
+		t.Fatal("detached flow still received packets")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net, a, b, ab := line(eng, 8e6, 0, 1000)
+	b.AttachFlow(1, &sink{})
+	start := ab.Stats.TxBytes
+	// 50 packets of 1000 B at 8 Mbps = 50 ms busy in a 100 ms window.
+	for i := 0; i < 50; i++ {
+		net.SendFrom(a, &Packet{ID: net.NewPacketID(), Flow: 1, Src: a.ID, Dst: b.ID, Size: 1000})
+	}
+	eng.Run(100 * sim.Millisecond)
+	u := ab.Utilization(start, 100*sim.Millisecond)
+	if u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+}

@@ -1,0 +1,164 @@
+package netem
+
+import (
+	"fmt"
+
+	"pert/internal/sim"
+)
+
+// Node is a network node: an end host or a router. Packets addressed to the
+// node are demultiplexed to a registered Handler by flow ID; everything else
+// is forwarded along the static route toward its destination.
+type Node struct {
+	ID    NodeID
+	net   *Network
+	out   []*Link         // links originating here
+	next  []*Link         // next-hop link per destination NodeID; nil = unreachable
+	demux map[int]Handler // flow ID -> local agent
+}
+
+// AttachFlow registers h to receive packets of the given flow arriving at
+// this node. Both endpoints of a TCP connection register under the same flow
+// ID at their respective nodes.
+func (n *Node) AttachFlow(flow int, h Handler) {
+	n.demux[flow] = h
+}
+
+// DetachFlow removes a flow registration (e.g. when a web transfer ends).
+func (n *Node) DetachFlow(flow int) {
+	delete(n.demux, flow)
+}
+
+// Receive handles a packet arriving at the node: local delivery if the node
+// is the destination, otherwise forwarding.
+func (n *Node) Receive(p *Packet) {
+	if p.Dst == n.ID {
+		if h, ok := n.demux[p.Flow]; ok {
+			h.Receive(p, n.net.eng.Now())
+		}
+		// Packets for unregistered flows (e.g. ACKs racing a closed
+		// connection) are silently discarded, as a real host would RST.
+		return
+	}
+	n.Forward(p)
+}
+
+// Forward sends the packet along the static route toward p.Dst. Packets with
+// no route are dropped; topologies in this repository are always connected,
+// so this indicates a configuration error and panics.
+func (n *Node) Forward(p *Packet) {
+	l := n.next[p.Dst]
+	if l == nil {
+		panic(fmt.Sprintf("netem: node %d has no route to %d", n.ID, p.Dst))
+	}
+	l.Send(p)
+}
+
+// LinkTo returns the direct link from n to the given neighbor, or nil.
+func (n *Node) LinkTo(to NodeID) *Link {
+	for _, l := range n.out {
+		if l.To.ID == to {
+			return l
+		}
+	}
+	return nil
+}
+
+// Network is a static topology of nodes and unidirectional links plus the
+// simulation engine they share. Build topologies by adding nodes and links,
+// then call ComputeRoutes once before starting traffic.
+type Network struct {
+	eng   *sim.Engine
+	Nodes []*Node
+
+	nextPktID uint64
+}
+
+// NewNetwork returns an empty network bound to the engine.
+func NewNetwork(eng *sim.Engine) *Network {
+	return &Network{eng: eng}
+}
+
+// Engine returns the simulation engine the network runs on.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// AddNode creates a new node and returns it.
+func (n *Network) AddNode() *Node {
+	node := &Node{ID: NodeID(len(n.Nodes)), net: n, demux: make(map[int]Handler)}
+	n.Nodes = append(n.Nodes, node)
+	return node
+}
+
+// AddLink creates a unidirectional link from from to to with the given
+// capacity (bits/s), propagation delay, and queue discipline.
+func (n *Network) AddLink(from, to *Node, capacity float64, delay sim.Duration, q Discipline) *Link {
+	if capacity <= 0 {
+		panic("netem: non-positive link capacity")
+	}
+	l := &Link{From: from, To: to, Capacity: capacity, Delay: delay, Queue: q, eng: n.eng}
+	from.out = append(from.out, l)
+	return l
+}
+
+// AddDuplexLink creates a pair of symmetric links between a and b, one queue
+// discipline each (qab serves a->b, qba serves b->a).
+func (n *Network) AddDuplexLink(a, b *Node, capacity float64, delay sim.Duration, qab, qba Discipline) (ab, ba *Link) {
+	ab = n.AddLink(a, b, capacity, delay, qab)
+	ba = n.AddLink(b, a, capacity, delay, qba)
+	return ab, ba
+}
+
+// NewPacketID returns a fresh unique packet ID.
+func (n *Network) NewPacketID() uint64 {
+	n.nextPktID++
+	return n.nextPktID
+}
+
+// ComputeRoutes fills every node's next-hop table with shortest paths by hop
+// count (BFS from every destination). Must be called after the topology is
+// complete and before any traffic is sent.
+func (n *Network) ComputeRoutes() {
+	size := len(n.Nodes)
+	// adj[v] lists links arriving at v, so a reverse BFS from each
+	// destination labels every node with its next-hop link toward it.
+	in := make([][]*Link, size)
+	for _, node := range n.Nodes {
+		for _, l := range node.out {
+			in[l.To.ID] = append(in[l.To.ID], l)
+		}
+	}
+	for _, node := range n.Nodes {
+		node.next = make([]*Link, size)
+	}
+	queue := make([]NodeID, 0, size)
+	for dst := range n.Nodes {
+		visited := make([]bool, size)
+		visited[dst] = true
+		queue = queue[:0]
+		queue = append(queue, NodeID(dst))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, l := range in[v] {
+				u := l.From.ID
+				if visited[u] {
+					continue
+				}
+				visited[u] = true
+				l.From.next[dst] = l
+				queue = append(queue, u)
+			}
+		}
+	}
+}
+
+// SendFrom injects a packet into the network at the source node, routing it
+// toward its destination. Packets originating at a node still traverse that
+// node's outgoing link queue.
+func (n *Network) SendFrom(src *Node, p *Packet) {
+	if p.Dst == src.ID {
+		src.Receive(p)
+		return
+	}
+	src.Forward(p)
+}

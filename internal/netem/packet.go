@@ -1,0 +1,80 @@
+// Package netem models network elements at packet granularity: packets,
+// nodes, unidirectional links with output queues, and static shortest-path
+// routing. Together with a queue discipline (internal/queue) and endpoint
+// agents (internal/tcp) it forms the packet-level simulator the paper's ns-2
+// evaluation is reproduced on.
+package netem
+
+import "pert/internal/sim"
+
+// NodeID identifies a node within a Network. IDs are dense indices assigned
+// by Network.AddNode.
+type NodeID int
+
+// SackBlock is a contiguous range of received segments [Start, End)
+// advertised by a receiver, in segment numbers.
+type SackBlock struct {
+	Start, End int64
+}
+
+// Packet is a simulated packet. Like ns-2, TCP is modeled at segment
+// granularity: Seq and AckNo count segments, not bytes; Size is the wire size
+// in bytes used for link timing and queue accounting.
+type Packet struct {
+	ID   uint64
+	Flow int
+	Src  NodeID
+	Dst  NodeID
+	Size int // bytes on the wire
+
+	// TCP fields.
+	IsAck bool
+	Seq   int64       // data: segment sequence number
+	AckNo int64       // ack: next expected segment (cumulative)
+	Sack  []SackBlock // ack: up to 3 most recent received blocks
+
+	// ECN (RFC 3168) fields. ECT marks the packet as ECN-capable; CE is set
+	// by an AQM in place of a drop; ECE is the receiver's echo back to the
+	// sender; CWR acknowledges the echo.
+	ECT bool
+	CE  bool
+	ECE bool
+	CWR bool
+
+	// SentAt is stamped by the sender on data packets and echoed in Echo on
+	// the corresponding ACK, giving per-packet RTT samples.
+	SentAt sim.Time
+	Echo   sim.Time
+
+	// Retrans marks retransmitted data segments; their echoed timestamps are
+	// ambiguous and excluded from RTT sampling (Karn's rule).
+	Retrans bool
+
+	// OWD, when set by an instrumented receiver, is the measured forward
+	// one-way delay of a data segment, echoed back on its ACK. It powers
+	// the Section 7 one-way-delay PERT variant, which excludes reverse-path
+	// queueing from the congestion signal.
+	OWD sim.Duration
+
+	// QueueSample is measurement instrumentation (not protocol state): a
+	// probe point (e.g. the bottleneck queue) can stamp the occupancy this
+	// packet observed, and receivers echo it on ACKs, giving per-sample
+	// ground truth for the Section 2 study. Negative means unset.
+	QueueSample float64
+}
+
+// Handler consumes packets addressed to a node's local agents.
+type Handler interface {
+	Receive(p *Packet, now sim.Time)
+}
+
+// Discipline is a queue management algorithm attached to a link. Enqueue
+// either accepts the packet (possibly setting CE on ECN-capable packets in
+// place of a drop) and returns true, or rejects it and returns false.
+// Dequeue returns nil when the queue is empty.
+type Discipline interface {
+	Enqueue(p *Packet, now sim.Time) bool
+	Dequeue(now sim.Time) *Packet
+	Len() int   // packets queued
+	Bytes() int // bytes queued
+}

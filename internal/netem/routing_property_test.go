@@ -1,0 +1,97 @@
+package netem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pert/internal/sim"
+)
+
+// Property: on random connected graphs, ComputeRoutes yields next-hop tables
+// whose path lengths equal the BFS shortest-path distance, and following the
+// next hops always reaches the destination without loops.
+func TestRoutingShortestPathProperty(t *testing.T) {
+	f := func(seed int64, nRaw, extraRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%14) + 2
+		extra := int(extraRaw % 16)
+
+		eng := sim.NewEngine(1)
+		net := NewNetwork(eng)
+		nodes := make([]*Node, n)
+		for i := range nodes {
+			nodes[i] = net.AddNode()
+		}
+		adj := make([][]bool, n)
+		for i := range adj {
+			adj[i] = make([]bool, n)
+		}
+		link := func(a, b int) {
+			if a == b || adj[a][b] {
+				return
+			}
+			adj[a][b], adj[b][a] = true, true
+			net.AddDuplexLink(nodes[a], nodes[b], 1e9, sim.Millisecond, &tail{limit: 10}, &tail{limit: 10})
+		}
+		// Random spanning tree keeps the graph connected.
+		for i := 1; i < n; i++ {
+			link(i, rng.Intn(i))
+		}
+		for i := 0; i < extra; i++ {
+			link(rng.Intn(n), rng.Intn(n))
+		}
+		net.ComputeRoutes()
+
+		// Reference BFS distances.
+		dist := func(src int) []int {
+			d := make([]int, n)
+			for i := range d {
+				d[i] = -1
+			}
+			d[src] = 0
+			q := []int{src}
+			for len(q) > 0 {
+				v := q[0]
+				q = q[1:]
+				for u := 0; u < n; u++ {
+					if adj[v][u] && d[u] < 0 {
+						d[u] = d[v] + 1
+						q = append(q, u)
+					}
+				}
+			}
+			return d
+		}
+		for src := 0; src < n; src++ {
+			d := dist(src)
+			for dst := 0; dst < n; dst++ {
+				if src == dst {
+					continue
+				}
+				// Walk the next-hop chain.
+				hops := 0
+				cur := src
+				for cur != dst {
+					l := nodes[cur].next[NodeID(dst)]
+					if l == nil {
+						return false // unreachable in a connected graph
+					}
+					cur = int(l.To.ID)
+					hops++
+					if hops > n {
+						return false // loop
+					}
+				}
+				if hops != d[dst] {
+					return false // not shortest
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(15))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

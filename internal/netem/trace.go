@@ -1,0 +1,86 @@
+package netem
+
+import (
+	"fmt"
+	"io"
+
+	"pert/internal/sim"
+)
+
+// Tracer writes per-packet link events in an ns-2-like text format, one
+// event per line:
+//
+//	<op> <time> <from> <to> <type> <size> <flow> <seq> <id> [flags]
+//
+// where op is "+" (enqueue), "-" (dequeue/transmit), or "d" (drop); type is
+// "tcp" or "ack"; and flags include C (CE), E (ECE), W (CWR), R (retransmit).
+// It is the packet-level debugging instrument every simulator needs: attach
+// it to the links of interest, run, and diff traces across runs (runs are
+// deterministic, so traces are too).
+type Tracer struct {
+	W io.Writer
+	// Filter, when set, limits tracing to packets it returns true for
+	// (e.g. one flow).
+	Filter func(*Packet) bool
+
+	Events uint64
+}
+
+// NewTracer traces to w with no filter.
+func NewTracer(w io.Writer) *Tracer { return &Tracer{W: w} }
+
+// Attach instruments a link, chaining with any hooks already installed.
+func (t *Tracer) Attach(l *Link) {
+	prevEnq := l.OnEnqueue
+	l.OnEnqueue = func(p *Packet, now sim.Time) {
+		if prevEnq != nil {
+			prevEnq(p, now)
+		}
+		t.emit('+', now, l, p)
+	}
+	prevDep := l.OnDepart
+	l.OnDepart = func(p *Packet, now sim.Time) {
+		if prevDep != nil {
+			prevDep(p, now)
+		}
+		t.emit('-', now, l, p)
+	}
+	prevDrop := l.OnDrop
+	l.OnDrop = func(p *Packet, now sim.Time) {
+		if prevDrop != nil {
+			prevDrop(p, now)
+		}
+		t.emit('d', now, l, p)
+	}
+}
+
+func (t *Tracer) emit(op byte, now sim.Time, l *Link, p *Packet) {
+	if t.Filter != nil && !t.Filter(p) {
+		return
+	}
+	t.Events++
+	kind := "tcp"
+	seq := p.Seq
+	if p.IsAck {
+		kind = "ack"
+		seq = p.AckNo
+	}
+	var flags []byte
+	if p.CE {
+		flags = append(flags, 'C')
+	}
+	if p.ECE {
+		flags = append(flags, 'E')
+	}
+	if p.CWR {
+		flags = append(flags, 'W')
+	}
+	if p.Retrans {
+		flags = append(flags, 'R')
+	}
+	if len(flags) == 0 {
+		flags = []byte{'-'}
+	}
+	fmt.Fprintf(t.W, "%c %.6f %d %d %s %d %d %d %d %s\n",
+		op, now.Seconds(), l.From.ID, l.To.ID, kind, p.Size, p.Flow, seq, p.ID, flags)
+}

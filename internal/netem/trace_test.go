@@ -1,0 +1,103 @@
+package netem
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pert/internal/sim"
+)
+
+func TestTracerRecordsLifecycle(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net, a, b, ab := line(eng, 8e6, sim.Millisecond, 2)
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Attach(ab)
+	b.AttachFlow(1, &sink{})
+	// 4 packets into a 2-packet queue + 1 in service: 1 drop.
+	for i := 0; i < 4; i++ {
+		p := &Packet{ID: net.NewPacketID(), Flow: 1, Src: a.ID, Dst: b.ID, Size: 1000, Seq: int64(i)}
+		net.SendFrom(a, p)
+	}
+	eng.Run(sim.Second)
+
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var enq, deq, drop int
+	for _, l := range lines {
+		switch l[0] {
+		case '+':
+			enq++
+		case '-':
+			deq++
+		case 'd':
+			drop++
+		}
+	}
+	if enq != 3 || deq != 3 || drop != 1 {
+		t.Fatalf("events: +%d -%d d%d\n%s", enq, deq, drop, out)
+	}
+	if tr.Events != 7 {
+		t.Fatalf("event count = %d", tr.Events)
+	}
+	// Format spot check: "d <time> 0 1 tcp 1000 1 3 4 -".
+	for _, l := range lines {
+		fields := strings.Fields(l)
+		if len(fields) != 10 {
+			t.Fatalf("field count %d in %q", len(fields), l)
+		}
+		if fields[4] != "tcp" {
+			t.Fatalf("kind = %q", fields[4])
+		}
+	}
+}
+
+func TestTracerFilter(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net, a, b, ab := line(eng, 8e6, 0, 100)
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Filter = func(p *Packet) bool { return p.Flow == 2 }
+	tr.Attach(ab)
+	b.AttachFlow(1, &sink{})
+	b.AttachFlow(2, &sink{})
+	for i := 0; i < 3; i++ {
+		net.SendFrom(a, &Packet{ID: net.NewPacketID(), Flow: 1, Src: a.ID, Dst: b.ID, Size: 100})
+		net.SendFrom(a, &Packet{ID: net.NewPacketID(), Flow: 2, Src: a.ID, Dst: b.ID, Size: 100})
+	}
+	eng.Run(sim.Second)
+	for _, l := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if !strings.Contains(l, " 2 ") {
+			t.Fatalf("filtered trace contains %q", l)
+		}
+	}
+	if tr.Events != 6 { // 3 enqueues + 3 departs for flow 2
+		t.Fatalf("events = %d", tr.Events)
+	}
+}
+
+func TestTracerFlagsAndAckKind(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net, a, b, ab := line(eng, 8e6, 0, 10)
+	var buf bytes.Buffer
+	NewTracer(&buf).Attach(ab)
+	b.AttachFlow(1, &sink{})
+	p := &Packet{ID: net.NewPacketID(), Flow: 1, Src: a.ID, Dst: b.ID, Size: 40,
+		IsAck: true, AckNo: 42, ECE: true}
+	net.SendFrom(a, p)
+	d := &Packet{ID: net.NewPacketID(), Flow: 1, Src: a.ID, Dst: b.ID, Size: 1040,
+		Seq: 7, CE: true, Retrans: true}
+	net.SendFrom(a, d)
+	eng.Run(sim.Second)
+	out := buf.String()
+	if !strings.Contains(out, "ack 40 1 42") {
+		t.Fatalf("ack line missing: %s", out)
+	}
+	if !strings.Contains(out, " E\n") {
+		t.Fatalf("ECE flag missing: %s", out)
+	}
+	if !strings.Contains(out, " CR\n") {
+		t.Fatalf("CE+Retrans flags missing: %s", out)
+	}
+}

@@ -1,0 +1,103 @@
+package netem
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"pert/internal/sim"
+)
+
+// TraceOp is the event type of one trace line.
+type TraceOp byte
+
+// Trace event types, matching the ns-2 convention.
+const (
+	TraceEnqueue TraceOp = '+'
+	TraceDequeue TraceOp = '-'
+	TraceDrop    TraceOp = 'd'
+)
+
+// TraceEvent is one parsed line of a Tracer output file.
+type TraceEvent struct {
+	Op    TraceOp
+	T     sim.Time
+	From  NodeID
+	To    NodeID
+	Kind  string // "tcp" or "ack"
+	Size  int
+	Flow  int
+	Seq   int64 // data: sequence; ack: cumulative ACK number
+	ID    uint64
+	Flags string // "-" or a subset of "CEWR"
+}
+
+// ReadTrace parses a trace written by Tracer, returning the events in file
+// order. Malformed lines abort with an error naming the line number.
+func ReadTrace(r io.Reader) ([]TraceEvent, error) {
+	var out []TraceEvent
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		ev, err := parseTraceLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("netem: trace line %d: %w", lineNo, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netem: reading trace: %w", err)
+	}
+	return out, nil
+}
+
+func parseTraceLine(line string) (TraceEvent, error) {
+	f := strings.Fields(line)
+	if len(f) != 10 {
+		return TraceEvent{}, fmt.Errorf("want 10 fields, got %d", len(f))
+	}
+	if len(f[0]) != 1 {
+		return TraceEvent{}, fmt.Errorf("bad op %q", f[0])
+	}
+	op := TraceOp(f[0][0])
+	switch op {
+	case TraceEnqueue, TraceDequeue, TraceDrop:
+	default:
+		return TraceEvent{}, fmt.Errorf("bad op %q", f[0])
+	}
+	secs, err := strconv.ParseFloat(f[1], 64)
+	if err != nil {
+		return TraceEvent{}, fmt.Errorf("bad time %q", f[1])
+	}
+	ints := make([]int64, 0, 6)
+	for _, field := range []string{f[2], f[3], f[5], f[6], f[7], f[8]} {
+		v, err := strconv.ParseInt(field, 10, 64)
+		if err != nil {
+			return TraceEvent{}, fmt.Errorf("bad integer %q", field)
+		}
+		ints = append(ints, v)
+	}
+	if f[4] != "tcp" && f[4] != "ack" {
+		return TraceEvent{}, fmt.Errorf("bad kind %q", f[4])
+	}
+	return TraceEvent{
+		Op:    op,
+		T:     sim.Seconds(secs),
+		From:  NodeID(ints[0]),
+		To:    NodeID(ints[1]),
+		Kind:  f[4],
+		Size:  int(ints[2]),
+		Flow:  int(ints[3]),
+		Seq:   ints[4],
+		ID:    uint64(ints[5]),
+		Flags: f[9],
+	}, nil
+}

@@ -1,0 +1,82 @@
+package netem
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pert/internal/sim"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	// Generate a real trace, then parse it back and check consistency.
+	eng := sim.NewEngine(1)
+	net, a, b, ab := line(eng, 8e6, sim.Millisecond, 2)
+	var buf bytes.Buffer
+	NewTracer(&buf).Attach(ab)
+	b.AttachFlow(1, &sink{})
+	for i := 0; i < 5; i++ {
+		net.SendFrom(a, &Packet{ID: net.NewPacketID(), Flow: 1, Src: a.ID, Dst: b.ID, Size: 1000, Seq: int64(i)})
+	}
+	eng.Run(sim.Second)
+
+	events, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events parsed")
+	}
+	var enq, deq, drop int
+	for i, ev := range events {
+		switch ev.Op {
+		case TraceEnqueue:
+			enq++
+		case TraceDequeue:
+			deq++
+		case TraceDrop:
+			drop++
+		}
+		if ev.From != a.ID || ev.To != b.ID || ev.Kind != "tcp" || ev.Size != 1000 {
+			t.Fatalf("event %d: %+v", i, ev)
+		}
+		if i > 0 && ev.T < events[i-1].T {
+			t.Fatal("timestamps not monotone")
+		}
+	}
+	// 1 in service + 2 queued accepted; 2 dropped.
+	if enq != 3 || deq != 3 || drop != 2 {
+		t.Fatalf("counts: +%d -%d d%d", enq, deq, drop)
+	}
+}
+
+func TestReadTraceRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad op":     "x 1.0 0 1 tcp 100 1 0 1 -",
+		"short line": "+ 1.0 0 1 tcp",
+		"bad time":   "+ abc 0 1 tcp 100 1 0 1 -",
+		"bad kind":   "+ 1.0 0 1 udp 100 1 0 1 -",
+		"bad int":    "+ 1.0 0 one tcp 100 1 0 1 -",
+		"long op":    "++ 1.0 0 1 tcp 100 1 0 1 -",
+	}
+	for name, in := range cases {
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestReadTraceSkipsBlankLines(t *testing.T) {
+	in := "\n+ 1.5 0 1 ack 40 7 42 9 E\n\n"
+	events, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("events = %d", len(events))
+	}
+	ev := events[0]
+	if ev.Kind != "ack" || ev.Seq != 42 || ev.Flags != "E" || ev.T != sim.Milliseconds(1500) {
+		t.Fatalf("parsed %+v", ev)
+	}
+}

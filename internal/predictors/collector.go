@@ -1,0 +1,77 @@
+package predictors
+
+import (
+	"pert/internal/netem"
+	"pert/internal/sim"
+	"pert/internal/tcp"
+)
+
+// Collector gathers a Trace from a live simulation: per-ACK RTT samples of
+// one tagged flow (with the bottleneck queue occupancy as ground truth) and
+// the loss events at both the flow and the bottleneck queue.
+type Collector struct {
+	Trace Trace
+
+	bottleneck *netem.Link
+	buffer     float64
+	from       sim.Time
+	conn       *tcp.Conn
+}
+
+// NewCollector instruments the bottleneck link (whose queue holds bufferPkts
+// packets) and returns hooks to install on the tagged flow. Samples and
+// losses before from are discarded (warm-up). Every packet accepted by the
+// bottleneck is stamped with the occupancy it observed; the receiver echoes
+// the stamp, so each RTT sample carries the queue state that produced it.
+func NewCollector(bottleneck *netem.Link, bufferPkts int, from sim.Time) *Collector {
+	c := &Collector{bottleneck: bottleneck, buffer: float64(bufferPkts), from: from}
+	prevDrop := bottleneck.OnDrop
+	bottleneck.OnDrop = func(p *netem.Packet, now sim.Time) {
+		if prevDrop != nil {
+			prevDrop(p, now)
+		}
+		if now >= c.from {
+			c.Trace.QueueLosses = append(c.Trace.QueueLosses, now)
+		}
+	}
+	prevEnq := bottleneck.OnEnqueue
+	bottleneck.OnEnqueue = func(p *netem.Packet, now sim.Time) {
+		if prevEnq != nil {
+			prevEnq(p, now)
+		}
+		p.QueueSample = float64(bottleneck.Queue.Len()) / c.buffer
+	}
+	return c
+}
+
+// Config returns a tcp.Config pre-wired with the collector's sampling hooks;
+// merge additional fields as needed before creating the tagged flow, then
+// call Bind with the created connection.
+func (c *Collector) Config(base tcp.Config) tcp.Config {
+	base.OnRTTSample = func(now sim.Time, rtt sim.Duration, ack *netem.Packet) {
+		if now < c.from || c.conn == nil {
+			return
+		}
+		qf := ack.QueueSample
+		if qf < 0 {
+			// The data packet bypassed the instrumented queue; fall back
+			// to the occupancy at ACK time.
+			qf = float64(c.bottleneck.Queue.Len()) / c.buffer
+		}
+		c.Trace.Samples = append(c.Trace.Samples, Sample{
+			T:         now,
+			RTT:       rtt,
+			Cwnd:      c.conn.Cwnd(),
+			QueueFrac: qf,
+		})
+	}
+	base.OnLoss = func(now sim.Time, _ tcp.LossKind) {
+		if now >= c.from {
+			c.Trace.FlowLosses = append(c.Trace.FlowLosses, now)
+		}
+	}
+	return base
+}
+
+// Bind attaches the tagged connection (needed to record its window).
+func (c *Collector) Bind(conn *tcp.Conn) { c.conn = conn }

@@ -1,0 +1,125 @@
+package predictors
+
+import (
+	"sort"
+
+	"pert/internal/sim"
+)
+
+// Trace is the recorded history of one tagged flow plus ground truth: its
+// per-ACK RTT samples, loss events observed by the flow itself (fast
+// retransmits and timeouts), and loss events at the bottleneck queue. It is
+// the in-simulator equivalent of the tcpdump datasets of [21] and [26], with
+// the queue-level ground truth those studies lack.
+type Trace struct {
+	Samples     []Sample
+	FlowLosses  []sim.Time
+	QueueLosses []sim.Time
+}
+
+// Transitions counts the Figure 1 state-machine transitions observed when a
+// predictor's A/B states are replayed against a loss series.
+type Transitions struct {
+	AtoB int // transition 1: congestion predicted
+	BtoC int // transition 2: predicted congestion followed by loss (hit)
+	AtoC int // transition 4: loss with no preceding prediction (false negative)
+	BtoA int // transition 5: prediction cleared without loss (false positive)
+}
+
+// Efficiency is n2/(n2+n5): the fraction of congestion predictions that were
+// followed by loss.
+func (t Transitions) Efficiency() float64 {
+	if t.BtoC+t.BtoA == 0 {
+		return 0
+	}
+	return float64(t.BtoC) / float64(t.BtoC+t.BtoA)
+}
+
+// FalsePositives is n5/(n2+n5).
+func (t Transitions) FalsePositives() float64 {
+	if t.BtoC+t.BtoA == 0 {
+		return 0
+	}
+	return float64(t.BtoA) / float64(t.BtoC+t.BtoA)
+}
+
+// FalseNegatives is n4/(n2+n4): the fraction of losses that arrived without
+// a prediction.
+func (t Transitions) FalseNegatives() float64 {
+	if t.BtoC+t.AtoC == 0 {
+		return 0
+	}
+	return float64(t.AtoC) / float64(t.BtoC+t.AtoC)
+}
+
+// CoalesceLosses merges loss events closer than gap into single congestion
+// episodes, so a burst of queue overflows counts as one loss event the way a
+// single fast-retransmit episode does at the flow level.
+func CoalesceLosses(losses []sim.Time, gap sim.Duration) []sim.Time {
+	if len(losses) == 0 {
+		return nil
+	}
+	sorted := append([]sim.Time(nil), losses...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := []sim.Time{sorted[0]}
+	for _, t := range sorted[1:] {
+		if t-out[len(out)-1] >= gap {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// EvalResult couples the transition counts with the false-positive context
+// needed by Figure 4: the normalized bottleneck queue occupancy at each
+// false-positive instant.
+type EvalResult struct {
+	Transitions
+	FalsePositiveQueueFracs []float64
+}
+
+// Evaluate replays a predictor over the trace's sample stream against the
+// given (already coalesced) loss series and counts the Figure 1 transitions.
+//
+// The state machine: the predictor's boolean output defines states A/B
+// between losses. When a loss event falls between two samples, the transition
+// is B->C if the predictor was in B at the preceding sample, A->C otherwise;
+// after C the machine resumes from the predictor's next output. A B->A
+// output transition with no intervening loss is a false positive.
+func Evaluate(p Predictor, trace *Trace, losses []sim.Time) EvalResult {
+	var res EvalResult
+	inB := false
+	li := 0
+	for _, s := range trace.Samples {
+		// Account for losses that occurred before this sample.
+		for li < len(losses) && losses[li] <= s.T {
+			if inB {
+				res.BtoC++
+			} else {
+				res.AtoC++
+			}
+			inB = false // response to loss returns the flow toward A
+			li++
+		}
+		next := p.Observe(s)
+		switch {
+		case !inB && next:
+			res.AtoB++
+		case inB && !next:
+			res.BtoA++
+			res.FalsePositiveQueueFracs = append(res.FalsePositiveQueueFracs, s.QueueFrac)
+		}
+		inB = next
+	}
+	// Trailing losses after the final sample.
+	for li < len(losses) {
+		if inB {
+			res.BtoC++
+		} else {
+			res.AtoC++
+		}
+		inB = false
+		li++
+	}
+	return res
+}

@@ -1,0 +1,86 @@
+package predictors
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pert/internal/sim"
+)
+
+// Property: for any trace and loss series, the Figure 1 state machine
+// conserves events: every loss is attributed exactly once (n2 + n4 equals
+// the loss count), every B exit was preceded by a B entry (n2 + n5 <= n1),
+// and all counts are non-negative.
+func TestEvaluateConservationProperty(t *testing.T) {
+	f := func(rttsRaw []uint16, lossRaw []uint16, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := &Trace{}
+		now := sim.Time(0)
+		for _, v := range rttsRaw {
+			now += sim.Duration(1+v%20) * sim.Millisecond
+			tr.Samples = append(tr.Samples, Sample{
+				T:   now,
+				RTT: ms(50 + float64(v%80)),
+			})
+		}
+		horizon := now + sim.Second
+		var losses []sim.Time
+		for range lossRaw {
+			losses = append(losses, sim.Time(rng.Int63n(int64(horizon)+1)))
+		}
+		losses = CoalesceLosses(losses, 10*sim.Millisecond)
+
+		for _, p := range Suite(ms(5), 50) {
+			res := Evaluate(p, tr, losses)
+			n := res.Transitions
+			if n.AtoB < 0 || n.BtoA < 0 || n.BtoC < 0 || n.AtoC < 0 {
+				return false
+			}
+			if n.BtoC+n.AtoC != len(losses) {
+				return false
+			}
+			if n.BtoC+n.BtoA > n.AtoB {
+				return false
+			}
+			if len(res.FalsePositiveQueueFracs) != n.BtoA {
+				return false
+			}
+			// Rates stay in [0,1].
+			for _, r := range []float64{res.Efficiency(), res.FalsePositives(), res.FalseNegatives()} {
+				if r < 0 || r > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(13))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: evaluation is deterministic — the same predictor configuration
+// replayed over the same trace yields identical counts.
+func TestEvaluateDeterministicProperty(t *testing.T) {
+	f := func(rttsRaw []uint16) bool {
+		tr := &Trace{}
+		now := sim.Time(0)
+		for _, v := range rttsRaw {
+			now += 5 * sim.Millisecond
+			tr.Samples = append(tr.Samples, Sample{T: now, RTT: ms(50 + float64(v%60)), Cwnd: 10})
+			if v%17 == 0 {
+				tr.QueueLosses = append(tr.QueueLosses, now)
+			}
+		}
+		losses := CoalesceLosses(tr.QueueLosses, 10*sim.Millisecond)
+		a := Evaluate(NewCIM(), tr, losses)
+		b := Evaluate(NewCIM(), tr, losses)
+		return a.Transitions == b.Transitions
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(14))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package predictors
+
+import (
+	"math"
+
+	"pert/internal/sim"
+)
+
+// SyncTrend approximates Sync-TCP's congestion detector (Weigle et al.,
+// Computer Communications 2005): the trend of windowed average delays. The
+// original works on one-way delays; applied to a round-trip sample stream it
+// averages each window of Window samples and predicts congestion while the
+// last Consecutive window averages are strictly increasing and the latest
+// average sits above the observed minimum by Margin.
+type SyncTrend struct {
+	Window      int
+	Consecutive int
+	Margin      sim.Duration
+
+	cur   sim.Duration
+	n     int
+	avgs  []sim.Duration
+	min   sim.Duration
+	state bool
+}
+
+// NewSyncTrend builds the detector with Sync-TCP-like defaults: 5-sample
+// windows, 3 consecutive increases, 5 ms margin.
+func NewSyncTrend() *SyncTrend {
+	return &SyncTrend{Window: 5, Consecutive: 3, Margin: 5 * sim.Millisecond, min: sim.MaxTime}
+}
+
+// Name implements Predictor.
+func (*SyncTrend) Name() string { return "sync-trend" }
+
+// Observe implements Predictor.
+func (s *SyncTrend) Observe(smp Sample) bool {
+	if smp.RTT < s.min {
+		s.min = smp.RTT
+	}
+	s.cur += smp.RTT
+	s.n++
+	if s.n < s.Window {
+		return s.state
+	}
+	avg := s.cur / sim.Duration(s.n)
+	s.cur, s.n = 0, 0
+	s.avgs = append(s.avgs, avg)
+	if len(s.avgs) > s.Consecutive+1 {
+		s.avgs = s.avgs[1:]
+	}
+	if len(s.avgs) < s.Consecutive+1 {
+		return s.state
+	}
+	rising := true
+	for i := 1; i < len(s.avgs); i++ {
+		if s.avgs[i] <= s.avgs[i-1] {
+			rising = false
+			break
+		}
+	}
+	latest := s.avgs[len(s.avgs)-1]
+	switch {
+	case rising && latest > s.min+s.Margin:
+		s.state = true
+	case latest <= s.min+s.Margin:
+		s.state = false
+	default:
+		// High but not rising: hold the previous state (Sync-TCP's
+		// intermediate levels collapse to hysteresis in a binary detector).
+	}
+	return s.state
+}
+
+// BFA approximates TCP-BFA (Awadallah & Rai, 1998), which watches the RTT
+// variance: as the bottleneck buffer fills, the RTT rises while its
+// variation collapses (every packet waits for a full, deterministic queue).
+// Congestion is predicted when the coefficient of variation over the last
+// Window samples falls below CVThresh while the mean exceeds the observed
+// minimum by Margin.
+type BFA struct {
+	Window   int
+	CVThresh float64
+	Margin   sim.Duration
+
+	buf   []sim.Duration
+	head  int
+	min   sim.Duration
+	state bool
+}
+
+// NewBFA builds the detector with 16-sample windows, CV threshold 0.05, and
+// a 5 ms margin.
+func NewBFA() *BFA {
+	return &BFA{Window: 16, CVThresh: 0.05, Margin: 5 * sim.Millisecond, min: sim.MaxTime}
+}
+
+// Name implements Predictor.
+func (*BFA) Name() string { return "bfa" }
+
+// Observe implements Predictor.
+func (b *BFA) Observe(smp Sample) bool {
+	if smp.RTT < b.min {
+		b.min = smp.RTT
+	}
+	if len(b.buf) < b.Window {
+		b.buf = append(b.buf, smp.RTT)
+	} else {
+		b.buf[b.head] = smp.RTT
+		b.head = (b.head + 1) % b.Window
+	}
+	if len(b.buf) < b.Window {
+		return b.state
+	}
+	var sum, sumsq float64
+	for _, v := range b.buf {
+		f := float64(v)
+		sum += f
+		sumsq += f * f
+	}
+	n := float64(len(b.buf))
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	cv := math.Sqrt(variance) / mean
+	b.state = cv < b.CVThresh && sim.Duration(mean) > b.min+b.Margin
+	return b.state
+}

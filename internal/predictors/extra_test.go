@@ -1,0 +1,111 @@
+package predictors
+
+import (
+	"testing"
+
+	"pert/internal/sim"
+)
+
+func feed(p Predictor, rtts []sim.Duration) bool {
+	t := sim.Time(0)
+	state := false
+	for _, r := range rtts {
+		t += sim.Millisecond
+		state = p.Observe(Sample{T: t, RTT: r, Cwnd: 10})
+	}
+	return state
+}
+
+func ramp(from, to sim.Duration, n int) []sim.Duration {
+	out := make([]sim.Duration, n)
+	for i := range out {
+		out[i] = from + sim.Duration(float64(to-from)*float64(i)/float64(n-1))
+	}
+	return out
+}
+
+func flat(v sim.Duration, n int) []sim.Duration {
+	out := make([]sim.Duration, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestSyncTrendDetectsRisingDelay(t *testing.T) {
+	p := NewSyncTrend()
+	// Anchor the minimum, then ramp.
+	feed(p, flat(ms(60), 20))
+	if feed(p, ramp(ms(60), ms(100), 60)) != true {
+		t.Fatal("rising delay not detected")
+	}
+}
+
+func TestSyncTrendClearsOnReturnToBase(t *testing.T) {
+	p := NewSyncTrend()
+	feed(p, flat(ms(60), 20))
+	feed(p, ramp(ms(60), ms(100), 60))
+	if feed(p, flat(ms(60), 40)) != false {
+		t.Fatal("state stuck after delay returned to base")
+	}
+}
+
+func TestSyncTrendIgnoresFlatHighAfterHold(t *testing.T) {
+	// High but non-rising delay holds the previous state (hysteresis);
+	// starting from low state, a jump followed by a plateau must flip it
+	// during the rise only.
+	p := NewSyncTrend()
+	feed(p, flat(ms(60), 20))
+	state := feed(p, flat(ms(61), 25)) // noise-level bump, not rising
+	if state {
+		t.Fatal("flat near-minimum flagged")
+	}
+}
+
+func TestBFADetectsFullBuffer(t *testing.T) {
+	p := NewBFA()
+	// Varying RTTs around a low mean: no congestion.
+	var noisy []sim.Duration
+	for i := 0; i < 64; i++ {
+		noisy = append(noisy, ms(60+float64(i%8)*3))
+	}
+	if feed(p, noisy) {
+		t.Fatal("noisy low RTTs flagged")
+	}
+	// High and nearly constant RTT: buffer full, variance collapsed.
+	if !feed(p, flat(ms(120), 32)) {
+		t.Fatal("saturated buffer not detected")
+	}
+	// Low and constant again: high mean condition fails.
+	if feed(p, flat(ms(60), 64)) {
+		t.Fatal("flat baseline flagged after recovery")
+	}
+}
+
+func TestBFAHighVarianceHighMeanNotFlagged(t *testing.T) {
+	p := NewBFA()
+	feed(p, flat(ms(60), 20)) // anchor min
+	var wild []sim.Duration
+	for i := 0; i < 64; i++ {
+		wild = append(wild, ms(80+float64(i%16)*10))
+	}
+	if feed(p, wild) {
+		t.Fatal("high-variance delay flagged (queue still churning)")
+	}
+}
+
+func TestSuiteIncludesExtras(t *testing.T) {
+	names := map[string]bool{}
+	for _, p := range Suite(ms(5), 100) {
+		names[p.Name()] = true
+	}
+	for _, want := range []string{"sync-trend", "bfa", "card", "tri-s", "dual", "vegas", "cim",
+		"inst-rtt", "movavg-buf", "ewma-0.875", "ewma-0.99"} {
+		if !names[want] {
+			t.Errorf("suite missing %q", want)
+		}
+	}
+	if len(names) != 11 {
+		t.Errorf("suite has %d predictors", len(names))
+	}
+}

@@ -1,0 +1,40 @@
+package predictors
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadTrace hardens the trace parser against corrupted input: it must
+// never panic, and anything it accepts must survive a save/load round trip.
+func FuzzLoadTrace(f *testing.F) {
+	var valid bytes.Buffer
+	good := &Trace{Samples: []Sample{{T: 1, RTT: ms(60), Cwnd: 4, QueueFrac: 0.3}}}
+	if err := good.Save(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte(`{"version":1,"trace":{}}`))
+	f.Add([]byte(`{"version":2,"trace":{}}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := LoadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := got.Save(&out); err != nil {
+			t.Fatalf("accepted trace failed to re-save: %v", err)
+		}
+		again, err := LoadTrace(&out)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(again.Samples) != len(got.Samples) {
+			t.Fatal("round trip changed sample count")
+		}
+	})
+}

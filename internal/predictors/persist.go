@@ -1,0 +1,38 @@
+package predictors
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Trace persistence: traces are expensive to collect (minutes of simulation)
+// and cheap to analyze, so cmd/pertpredict can save one to disk and re-run
+// the predictor suite against it later — the same capture-once/analyze-many
+// workflow the paper applied to its tcpdump datasets.
+
+// traceFile is the on-disk envelope; versioned so future fields stay
+// readable.
+type traceFile struct {
+	Version int   `json:"version"`
+	Trace   Trace `json:"trace"`
+}
+
+const traceVersion = 1
+
+// Save writes the trace as versioned JSON.
+func (t *Trace) Save(w io.Writer) error {
+	return json.NewEncoder(w).Encode(traceFile{Version: traceVersion, Trace: *t})
+}
+
+// LoadTrace reads a trace previously written by Save.
+func LoadTrace(r io.Reader) (*Trace, error) {
+	var f traceFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("predictors: decoding trace: %w", err)
+	}
+	if f.Version != traceVersion {
+		return nil, fmt.Errorf("predictors: unsupported trace version %d", f.Version)
+	}
+	return &f.Trace, nil
+}

@@ -1,0 +1,49 @@
+package predictors
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pert/internal/sim"
+)
+
+func TestTraceSaveLoadRoundTrip(t *testing.T) {
+	tr := &Trace{
+		Samples: []Sample{
+			{T: sim.Millisecond, RTT: ms(60), Cwnd: 10, QueueFrac: 0.25},
+			{T: 2 * sim.Millisecond, RTT: ms(75), Cwnd: 11, QueueFrac: 0.5},
+		},
+		FlowLosses:  []sim.Time{ms(100)},
+		QueueLosses: []sim.Time{ms(90), ms(95)},
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Samples) != 2 || got.Samples[1].RTT != ms(75) || got.Samples[1].QueueFrac != 0.5 {
+		t.Fatalf("samples: %+v", got.Samples)
+	}
+	if len(got.FlowLosses) != 1 || len(got.QueueLosses) != 2 {
+		t.Fatalf("losses: %v %v", got.FlowLosses, got.QueueLosses)
+	}
+	// The restored trace must evaluate identically.
+	a := Evaluate(NewThreshold(ms(65)), tr, tr.QueueLosses)
+	b := Evaluate(NewThreshold(ms(65)), got, got.QueueLosses)
+	if a.Transitions != b.Transitions {
+		t.Fatalf("evaluation diverged: %+v vs %+v", a.Transitions, b.Transitions)
+	}
+}
+
+func TestLoadTraceRejectsGarbage(t *testing.T) {
+	if _, err := LoadTrace(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadTrace(strings.NewReader(`{"version":99,"trace":{}}`)); err == nil {
+		t.Fatal("future version accepted")
+	}
+}

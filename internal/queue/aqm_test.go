@@ -1,0 +1,189 @@
+package queue
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pert/internal/sim"
+)
+
+func TestREMPriceTracksOverload(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := NewREM(500, 1000, false, rng)
+	// 25% overload: price must rise and drops must appear.
+	now := sim.Time(0)
+	nextServe, nextArrive := sim.Time(0), sim.Time(0)
+	serveEvery := sim.Seconds(1.0 / 1000)
+	arriveEvery := sim.Seconds(1.0 / 1250)
+	for now < 60*sim.Second {
+		if nextArrive <= nextServe {
+			now = nextArrive
+			r.Enqueue(pkt(1000), now)
+			nextArrive += arriveEvery
+		} else {
+			now = nextServe
+			r.Dequeue(now)
+			nextServe += serveEvery
+		}
+	}
+	if r.Price() <= 0 {
+		t.Fatalf("price = %v under overload", r.Price())
+	}
+	if r.EarlyDrops == 0 {
+		t.Fatal("REM never shed load")
+	}
+	// The backlog must be held near the target, far below the buffer.
+	if r.Len() > 100 {
+		t.Fatalf("backlog = %d, want near BRef=20", r.Len())
+	}
+}
+
+func TestREMPriceDrainsWhenIdle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r := NewREM(500, 1000, false, rng)
+	now := sim.Time(0)
+	// Build price with a burst.
+	for i := 0; i < 5000; i++ {
+		now += 200 * sim.Microsecond
+		r.Enqueue(pkt(1000), now)
+		if i%2 == 0 {
+			r.Dequeue(now)
+		}
+	}
+	high := r.Price()
+	if high <= 0 {
+		t.Fatal("premise: price should have risen")
+	}
+	for r.Len() > 0 {
+		r.Dequeue(now)
+	}
+	// Light load: price decays.
+	for i := 0; i < 20000; i++ {
+		now += 10 * sim.Millisecond
+		r.Enqueue(pkt(1000), now)
+		r.Dequeue(now)
+	}
+	if r.Price() >= high/2 {
+		t.Fatalf("price did not decay: %v -> %v", high, r.Price())
+	}
+}
+
+func TestREMECNMarks(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r := NewREM(500, 1000, true, rng)
+	now := sim.Time(0)
+	for i := 0; i < 20000; i++ {
+		now += 500 * sim.Microsecond // 2000 pkt/s into a 1000 pkt/s drain
+		p := pkt(1000)
+		p.ECT = true
+		r.Enqueue(p, now)
+		if i%2 == 0 {
+			r.Dequeue(now)
+		}
+	}
+	if r.ECNMarks == 0 {
+		t.Fatal("REM/ECN never marked")
+	}
+	if r.EarlyDrops != 0 {
+		t.Fatal("REM/ECN dropped ECT packets early")
+	}
+}
+
+func TestREMProbabilityBounds(t *testing.T) {
+	f := func(ops []bool, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewREM(100, 1000, false, rng)
+		now := sim.Time(0)
+		for _, enq := range ops {
+			now += 300 * sim.Microsecond
+			if enq {
+				r.Enqueue(pkt(1000), now)
+			} else {
+				r.Dequeue(now)
+			}
+			if r.P() < 0 || r.P() >= 1 || r.Price() < 0 || r.Len() > 100 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(12))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAVQKeepsQueueNearEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := NewAVQ(500, 1000, false, rng)
+	now := sim.Time(0)
+	nextServe, nextArrive := sim.Time(0), sim.Time(0)
+	serveEvery := sim.Seconds(1.0 / 1000)
+	arriveEvery := sim.Seconds(1.0 / 1100) // 10% overload
+	var qSum float64
+	var n int
+	for now < 60*sim.Second {
+		if nextArrive <= nextServe {
+			now = nextArrive
+			a.Enqueue(pkt(1000), now)
+			nextArrive += arriveEvery
+		} else {
+			now = nextServe
+			a.Dequeue(now)
+			nextServe += serveEvery
+		}
+		if now > 30*sim.Second {
+			qSum += float64(a.Len())
+			n++
+		}
+	}
+	if a.EarlyDrops == 0 {
+		t.Fatal("AVQ never shed the overload")
+	}
+	if avg := qSum / float64(n); avg > 50 {
+		t.Fatalf("AVQ steady queue = %v packets, want small", avg)
+	}
+	if a.VirtualCapacity() <= 0 || a.VirtualCapacity() > 1000 {
+		t.Fatalf("virtual capacity = %v", a.VirtualCapacity())
+	}
+}
+
+func TestAVQUnderUtilizationAdmitsAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := NewAVQ(500, 1000, false, rng)
+	now := sim.Time(0)
+	drops := 0
+	// 50% load: no marking expected once adapted.
+	for i := 0; i < 30000; i++ {
+		now += 2 * sim.Millisecond
+		if !a.Enqueue(pkt(1000), now) {
+			drops++
+		}
+		a.Dequeue(now)
+	}
+	if drops > 300 { // minor adaptation transient allowed
+		t.Fatalf("AVQ dropped %d packets at 50%% load", drops)
+	}
+}
+
+func TestAVQECNMarksInsteadOfDrops(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := NewAVQ(500, 1000, true, rng)
+	now := sim.Time(0)
+	for i := 0; i < 40000; i++ {
+		now += 800 * sim.Microsecond // 1250 pkt/s arrivals
+		p := pkt(1000)
+		p.ECT = true
+		a.Enqueue(p, now)
+		if i%5 != 0 { // serve 1000 pkt/s
+			a.Dequeue(now)
+		}
+	}
+	if a.ECNMarks == 0 {
+		t.Fatal("AVQ/ECN never marked")
+	}
+	if a.EarlyDrops != 0 {
+		t.Fatal("AVQ/ECN dropped ECT packets")
+	}
+}

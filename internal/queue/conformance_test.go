@@ -1,0 +1,88 @@
+package queue
+
+import (
+	"math/rand"
+	"testing"
+
+	"pert/internal/netem"
+	"pert/internal/sim"
+)
+
+// TestDisciplineConformance subjects every queue discipline to the same
+// randomized workload and checks the invariants the Link contract relies on:
+// FIFO delivery of accepted packets, truthful Len/Bytes accounting, a hard
+// Limit that is never exceeded, and nil from an empty Dequeue.
+func TestDisciplineConformance(t *testing.T) {
+	const limit = 32
+	makers := map[string]func(rng *rand.Rand) netem.Discipline{
+		"droptail": func(*rand.Rand) netem.Discipline { return NewDropTail(limit) },
+		"red": func(rng *rand.Rand) netem.Discipline {
+			return NewRED(REDConfig{Limit: limit, MinTh: 4, MaxTh: 12, MaxP: 0.1, Wq: 0.2, Gentle: true}, rng)
+		},
+		"red-ecn": func(rng *rand.Rand) netem.Discipline {
+			return NewRED(REDConfig{Limit: limit, MinTh: 4, MaxTh: 12, MaxP: 0.2, Wq: 0.2, Gentle: true, ECN: true}, rng)
+		},
+		"adaptive-red": func(rng *rand.Rand) netem.Discipline {
+			return NewAdaptiveRED(AdaptiveREDConfig{Limit: limit, CapacityPPS: 1000}, rng)
+		},
+		"pi": func(rng *rand.Rand) netem.Discipline {
+			return NewPI(limit, 8, PIGains{A: 1e-3, B: 0.9e-3, Interval: sim.Millisecond}, false, rng)
+		},
+		"rem": func(rng *rand.Rand) netem.Discipline {
+			return NewREM(limit, 1000, false, rng)
+		},
+		"avq": func(rng *rand.Rand) netem.Discipline {
+			return NewAVQ(limit, 1000, false, rng)
+		},
+	}
+
+	for name, mk := range makers {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 10; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				q := mk(rand.New(rand.NewSource(seed + 100)))
+				var model []*netem.Packet
+				bytes := 0
+				now := sim.Time(0)
+				nextID := uint64(1)
+				for op := 0; op < 4000; op++ {
+					now += sim.Duration(rng.Intn(2000)) * sim.Microsecond
+					if rng.Intn(3) > 0 { // 2/3 enqueue
+						p := &netem.Packet{ID: nextID, Size: 40 + rng.Intn(1400), ECT: rng.Intn(2) == 0}
+						nextID++
+						if q.Enqueue(p, now) {
+							model = append(model, p)
+							bytes += p.Size
+						}
+					} else {
+						got := q.Dequeue(now)
+						if len(model) == 0 {
+							if got != nil {
+								t.Fatalf("seed %d: dequeue from empty returned %v", seed, got.ID)
+							}
+						} else {
+							if got == nil {
+								t.Fatalf("seed %d: nil dequeue with %d queued", seed, len(model))
+							}
+							if got != model[0] {
+								t.Fatalf("seed %d: FIFO violated: got %d want %d", seed, got.ID, model[0].ID)
+							}
+							model = model[1:]
+							bytes -= got.Size
+						}
+					}
+					if q.Len() != len(model) {
+						t.Fatalf("seed %d op %d: Len=%d model=%d", seed, op, q.Len(), len(model))
+					}
+					if q.Bytes() != bytes {
+						t.Fatalf("seed %d op %d: Bytes=%d model=%d", seed, op, q.Bytes(), bytes)
+					}
+					if q.Len() > limit {
+						t.Fatalf("seed %d: limit exceeded: %d", seed, q.Len())
+					}
+				}
+			}
+		})
+	}
+}

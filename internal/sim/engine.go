@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Event is a scheduled callback. Events fire in (time, sequence) order, so
+// two events scheduled for the same instant fire in scheduling order, which
+// keeps runs fully deterministic.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // heap index; -1 once popped or canceled
+	dead   bool
+	engine *Engine
+}
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Event) Cancel() {
+	if e == nil || e.dead {
+		return
+	}
+	e.dead = true
+	if e.index >= 0 {
+		heap.Remove(&e.engine.pq, e.index)
+	}
+}
+
+// Scheduled reports whether the event is still pending.
+func (e *Event) Scheduled() bool { return e != nil && !e.dead && e.index >= 0 }
+
+// Time reports when the event is (or was) scheduled to fire.
+func (e *Event) Time() Time { return e.at }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. It owns virtual time,
+// the pending-event heap, and the run's random number generator. An Engine is
+// not safe for concurrent use; simulations are deterministic single-goroutine
+// programs by design.
+type Engine struct {
+	now     Time
+	pq      eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+
+	// Processed counts events executed so far; useful for benchmarks and
+	// runaway-simulation guards.
+	Processed uint64
+}
+
+// NewEngine returns an engine with virtual time 0 and a deterministic RNG
+// derived from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random number generator. All
+// stochastic model components (RED marking, PERT response draws, traffic
+// generators) must draw from this generator so a seed fully determines a run.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it always indicates a model bug, and silently reordering events
+// would corrupt causality.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn, engine: e}
+	heap.Push(&e.pq, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Run executes events in timestamp order until the queue empties, Stop is
+// called, or virtual time would pass until. It returns the number of events
+// processed by this call. The engine's clock is left at min(until, time of
+// last event); calling Run again with a later horizon resumes the simulation.
+func (e *Engine) Run(until Time) uint64 {
+	e.stopped = false
+	var n uint64
+	for len(e.pq) > 0 && !e.stopped {
+		next := e.pq[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.pq)
+		e.now = next.at
+		next.dead = true
+		next.fn()
+		n++
+	}
+	if e.now < until && !e.stopped {
+		e.now = until
+	}
+	e.Processed += n
+	return n
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending returns the number of events still scheduled.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Every invokes fn(now) at t0 and then every period thereafter, until the
+// returned ticker is stopped or the simulation ends. It is the building block
+// for periodic samplers (queue-length probes, throughput series).
+func (e *Engine) Every(t0 Time, period Duration, fn func(Time)) *Ticker {
+	if period <= 0 {
+		panic("sim: non-positive ticker period")
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.ev = e.At(t0, t.tick)
+	return t
+}
+
+// Ticker is a repeating event created by Engine.Every.
+type Ticker struct {
+	engine  *Engine
+	period  Duration
+	fn      func(Time)
+	ev      *Event
+	stopped bool
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn(t.engine.Now())
+	if !t.stopped {
+		t.ev = t.engine.After(t.period, t.tick)
+	}
+}
+
+// Stop halts the ticker; pending fires are canceled.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.ev.Cancel()
+}

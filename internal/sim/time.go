@@ -1,0 +1,52 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// virtual time, an event heap, and periodic sampling helpers. It is the
+// foundation every other subsystem (links, queues, TCP endpoints, traffic
+// generators) is built on, playing the role ns-2's scheduler plays in the
+// paper's evaluation.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is virtual simulation time in nanoseconds since the start of the run.
+// Nanosecond integer ticks keep event ordering exact and runs reproducible;
+// floating-point seconds are only used at the API edges.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = Time
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable virtual time; used as "never".
+const MaxTime Time = math.MaxInt64
+
+// Seconds converts floating-point seconds to virtual time, rounding to the
+// nearest nanosecond.
+func Seconds(s float64) Time {
+	return Time(math.Round(s * 1e9))
+}
+
+// Milliseconds converts floating-point milliseconds to virtual time.
+func Milliseconds(ms float64) Time {
+	return Time(math.Round(ms * 1e6))
+}
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Milliseconds reports t as floating-point milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / 1e6 }
+
+// String formats the time as seconds with microsecond precision.
+func (t Time) String() string {
+	return fmt.Sprintf("%.6fs", t.Seconds())
+}

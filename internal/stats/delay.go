@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"math/rand"
+
+	"pert/internal/netem"
+	"pert/internal/sim"
+)
+
+// DelayMonitor measures the per-packet queueing+transmission delay through
+// one link (departure time minus arrival time), keeping a reservoir for
+// percentile queries. This is the end-user-visible latency metric router-AQM
+// papers report alongside mean queue length.
+type DelayMonitor struct {
+	res     *Reservoir
+	pending map[uint64]sim.Time
+	from    sim.Time
+}
+
+// MonitorDelay instruments the link, sampling packets that arrive after
+// from. It chains with existing hooks.
+func MonitorDelay(link *netem.Link, from sim.Time, rng *rand.Rand) *DelayMonitor {
+	m := &DelayMonitor{
+		res:     NewReservoir(4096, rng),
+		pending: make(map[uint64]sim.Time),
+		from:    from,
+	}
+	prevEnq := link.OnEnqueue
+	link.OnEnqueue = func(p *netem.Packet, now sim.Time) {
+		if prevEnq != nil {
+			prevEnq(p, now)
+		}
+		if now >= m.from {
+			m.pending[p.ID] = now
+		}
+	}
+	prevDep := link.OnDepart
+	link.OnDepart = func(p *netem.Packet, now sim.Time) {
+		if prevDep != nil {
+			prevDep(p, now)
+		}
+		if at, ok := m.pending[p.ID]; ok {
+			delete(m.pending, p.ID)
+			m.res.Add((now - at).Seconds())
+		}
+	}
+	prevDrop := link.OnDrop
+	link.OnDrop = func(p *netem.Packet, now sim.Time) {
+		if prevDrop != nil {
+			prevDrop(p, now)
+		}
+		delete(m.pending, p.ID)
+	}
+	return m
+}
+
+// Quantile returns the q-th delay quantile in seconds.
+func (m *DelayMonitor) Quantile(q float64) float64 { return m.res.Quantile(q) }
+
+// P50P95P99 returns the three standard latency percentiles in seconds.
+func (m *DelayMonitor) P50P95P99() (p50, p95, p99 float64) {
+	qs := m.res.Quantiles(0.50, 0.95, 0.99)
+	return qs[0], qs[1], qs[2]
+}
+
+// Samples returns the number of delays measured.
+func (m *DelayMonitor) Samples() uint64 { return m.res.Seen() }

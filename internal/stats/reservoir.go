@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Reservoir keeps a bounded uniform sample of a stream (Vitter's algorithm
+// R), supporting quantile queries over arbitrarily long runs with fixed
+// memory — used for queueing-delay percentiles where the full distribution
+// would be millions of samples.
+type Reservoir struct {
+	cap  int
+	rng  *rand.Rand
+	buf  []float64
+	seen uint64
+}
+
+// NewReservoir creates a reservoir holding at most capacity samples.
+func NewReservoir(capacity int, rng *rand.Rand) *Reservoir {
+	if capacity <= 0 {
+		panic("stats: reservoir capacity must be positive")
+	}
+	return &Reservoir{cap: capacity, rng: rng}
+}
+
+// Add offers one observation.
+func (r *Reservoir) Add(x float64) {
+	r.seen++
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, x)
+		return
+	}
+	if j := r.rng.Int63n(int64(r.seen)); j < int64(r.cap) {
+		r.buf[j] = x
+	}
+}
+
+// Seen returns the number of observations offered.
+func (r *Reservoir) Seen() uint64 { return r.seen }
+
+// Quantile returns the q-th sample quantile (0 <= q <= 1) of the retained
+// sample, or 0 if empty.
+func (r *Reservoir) Quantile(q float64) float64 {
+	if len(r.buf) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := append([]float64(nil), r.buf...)
+	sort.Float64s(sorted)
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Quantiles returns several quantiles in one sort.
+func (r *Reservoir) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(r.buf) == 0 {
+		return out
+	}
+	sorted := append([]float64(nil), r.buf...)
+	sort.Float64s(sorted)
+	for i, q := range qs {
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		out[i] = sorted[int(q*float64(len(sorted)-1))]
+	}
+	return out
+}

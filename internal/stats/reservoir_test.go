@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pert/internal/netem"
+	"pert/internal/sim"
+)
+
+func TestReservoirSmallStreamExact(t *testing.T) {
+	r := NewReservoir(100, rand.New(rand.NewSource(1)))
+	for i := 1; i <= 9; i++ {
+		r.Add(float64(i))
+	}
+	if got := r.Quantile(0.5); got != 5 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := r.Quantile(0); got != 1 {
+		t.Fatalf("min = %v", got)
+	}
+	if got := r.Quantile(1); got != 9 {
+		t.Fatalf("max = %v", got)
+	}
+	if r.Seen() != 9 {
+		t.Fatalf("seen = %d", r.Seen())
+	}
+}
+
+func TestReservoirLargeStreamApproximate(t *testing.T) {
+	r := NewReservoir(2048, rand.New(rand.NewSource(2)))
+	// Uniform [0,1): quantiles should be close to their nominal values.
+	src := rand.New(rand.NewSource(3))
+	for i := 0; i < 200000; i++ {
+		r.Add(src.Float64())
+	}
+	qs := r.Quantiles(0.5, 0.95, 0.99)
+	for i, want := range []float64{0.5, 0.95, 0.99} {
+		if math.Abs(qs[i]-want) > 0.04 {
+			t.Fatalf("q%v = %v", want, qs[i])
+		}
+	}
+}
+
+func TestReservoirEmptyAndClamp(t *testing.T) {
+	r := NewReservoir(8, rand.New(rand.NewSource(4)))
+	if r.Quantile(0.5) != 0 {
+		t.Fatal("empty reservoir non-zero")
+	}
+	r.Add(7)
+	if r.Quantile(-1) != 7 || r.Quantile(2) != 7 {
+		t.Fatal("quantile clamp broken")
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by observed min/max.
+func TestReservoirMonotoneProperty(t *testing.T) {
+	f := func(xs []float64, seed int64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		r := NewReservoir(64, rand.New(rand.NewSource(seed)))
+		min, max := math.Inf(1), math.Inf(-1)
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			r.Add(x)
+			min = math.Min(min, x)
+			max = math.Max(max, x)
+		}
+		if r.Seen() == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			v := r.Quantile(q)
+			if v < prev || v < min || v > max {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(16))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelayMonitorMeasuresSojourn(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := netem.NewNetwork(eng)
+	a, b := net.AddNode(), net.AddNode()
+	q := &fixedFIFO{}
+	l := net.AddLink(a, b, 8e6, 0, q) // 1000B = 1ms serialization
+	net.ComputeRoutes()
+	m := MonitorDelay(l, 0, rand.New(rand.NewSource(5)))
+	b.AttachFlow(1, nullHandler{})
+	// 10 back-to-back packets: the k-th waits k ms (service of those ahead
+	// plus its own transmission).
+	for i := 0; i < 10; i++ {
+		net.SendFrom(a, &netem.Packet{ID: net.NewPacketID(), Flow: 1, Src: a.ID, Dst: b.ID, Size: 1000})
+	}
+	eng.Run(sim.Second)
+	if m.Samples() != 10 {
+		t.Fatalf("samples = %d", m.Samples())
+	}
+	if got := m.Quantile(1); math.Abs(got-0.010) > 1e-9 {
+		t.Fatalf("max sojourn = %v, want 10 ms", got)
+	}
+	if got := m.Quantile(0); math.Abs(got-0.001) > 1e-9 {
+		t.Fatalf("min sojourn = %v, want 1 ms", got)
+	}
+}
+
+func TestDelayMonitorIgnoresDrops(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := netem.NewNetwork(eng)
+	a, b := net.AddNode(), net.AddNode()
+	q := &fixedFIFO{limit: 2}
+	l := net.AddLink(a, b, 8e6, 0, q)
+	net.ComputeRoutes()
+	m := MonitorDelay(l, 0, rand.New(rand.NewSource(6)))
+	b.AttachFlow(1, nullHandler{})
+	for i := 0; i < 10; i++ {
+		net.SendFrom(a, &netem.Packet{ID: net.NewPacketID(), Flow: 1, Src: a.ID, Dst: b.ID, Size: 1000})
+	}
+	eng.Run(sim.Second)
+	// 1 in service + 2 queued delivered; 7 dropped.
+	if m.Samples() != 3 {
+		t.Fatalf("samples = %d", m.Samples())
+	}
+}
+
+type nullHandler struct{}
+
+func (nullHandler) Receive(*netem.Packet, sim.Time) {}
+
+// fixedFIFO is a minimal test FIFO with optional limit.
+type fixedFIFO struct {
+	pkts  []*netem.Packet
+	limit int
+}
+
+func (f *fixedFIFO) Enqueue(p *netem.Packet, _ sim.Time) bool {
+	if f.limit > 0 && len(f.pkts) >= f.limit {
+		return false
+	}
+	f.pkts = append(f.pkts, p)
+	return true
+}
+
+func (f *fixedFIFO) Dequeue(_ sim.Time) *netem.Packet {
+	if len(f.pkts) == 0 {
+		return nil
+	}
+	p := f.pkts[0]
+	f.pkts = f.pkts[1:]
+	return p
+}
+
+func (f *fixedFIFO) Len() int { return len(f.pkts) }
+func (f *fixedFIFO) Bytes() int {
+	n := 0
+	for _, p := range f.pkts {
+		n += p.Size
+	}
+	return n
+}

@@ -1,0 +1,218 @@
+// Package stats provides the measurement instruments used across the
+// experiments: the Jain fairness index, time-averaged queue monitoring,
+// link utilization/drop-rate meters over measurement windows, histograms for
+// empirical PDFs, and per-cohort throughput time series.
+package stats
+
+import (
+	"math"
+
+	"pert/internal/netem"
+	"pert/internal/sim"
+)
+
+// Jain returns the Jain fairness index (sum x)^2 / (n * sum x^2) of the
+// allocation xs. It is 1 when all shares are equal and approaches 1/n under
+// total unfairness. An empty or all-zero allocation is trivially fair (1).
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumsq float64
+	for _, x := range xs {
+		sum += x
+		sumsq += x * x
+	}
+	if sumsq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumsq)
+}
+
+// Series accumulates scalar samples and reports moments.
+type Series struct {
+	n           int
+	sum, sumsq  float64
+	min, max    float64
+	hasExtremes bool
+}
+
+// Add folds in one sample.
+func (s *Series) Add(x float64) {
+	s.n++
+	s.sum += x
+	s.sumsq += x * x
+	if !s.hasExtremes || x < s.min {
+		s.min = x
+	}
+	if !s.hasExtremes || x > s.max {
+		s.max = x
+	}
+	s.hasExtremes = true
+}
+
+// N returns the number of samples.
+func (s *Series) N() int { return s.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (s *Series) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Std returns the population standard deviation.
+func (s *Series) Std() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sumsq/float64(s.n) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Max returns the largest sample (0 with no samples).
+func (s *Series) Max() float64 {
+	if !s.hasExtremes {
+		return 0
+	}
+	return s.max
+}
+
+// Min returns the smallest sample (0 with no samples).
+func (s *Series) Min() float64 {
+	if !s.hasExtremes {
+		return 0
+	}
+	return s.min
+}
+
+// QueueMonitor periodically samples a link's instantaneous queue length.
+type QueueMonitor struct {
+	Queue  netem.Discipline
+	Series Series
+	ticker *sim.Ticker
+}
+
+// MonitorQueue samples the link's queue every interval starting at from.
+func MonitorQueue(eng *sim.Engine, link *netem.Link, from sim.Time, interval sim.Duration) *QueueMonitor {
+	m := &QueueMonitor{Queue: link.Queue}
+	m.ticker = eng.Every(from, interval, func(sim.Time) {
+		m.Series.Add(float64(m.Queue.Len()))
+	})
+	return m
+}
+
+// Stop halts sampling.
+func (m *QueueMonitor) Stop() { m.ticker.Stop() }
+
+// Meter measures a link over a window: utilization, drop rate, marks.
+type Meter struct {
+	Link *netem.Link
+
+	startTime     sim.Time
+	startTxBytes  uint64
+	startArrivals uint64
+	startDrops    uint64
+	startMarks    uint64
+	started       bool
+}
+
+// NewMeter creates a meter for the link; call Start at the beginning of the
+// measurement window.
+func NewMeter(link *netem.Link) *Meter { return &Meter{Link: link} }
+
+// Start snapshots the link counters at the beginning of the window.
+func (m *Meter) Start(now sim.Time) {
+	m.started = true
+	m.startTime = now
+	m.startTxBytes = m.Link.Stats.TxBytes
+	m.startArrivals = m.Link.Stats.Arrivals
+	m.startDrops = m.Link.Stats.Drops
+	m.startMarks = m.Link.Stats.Marks
+}
+
+// Utilization returns the link utilization in [0,1] over [start, now].
+func (m *Meter) Utilization(now sim.Time) float64 {
+	if !m.started || now <= m.startTime {
+		return 0
+	}
+	return m.Link.Utilization(m.startTxBytes, now-m.startTime)
+}
+
+// DropRate returns the fraction of offered packets dropped over the window.
+func (m *Meter) DropRate() float64 {
+	arr := m.Link.Stats.Arrivals - m.startArrivals
+	if arr == 0 {
+		return 0
+	}
+	return float64(m.Link.Stats.Drops-m.startDrops) / float64(arr)
+}
+
+// MarkRate returns the fraction of offered packets ECN-marked over the
+// window.
+func (m *Meter) MarkRate() float64 {
+	arr := m.Link.Stats.Arrivals - m.startArrivals
+	if arr == 0 {
+		return 0
+	}
+	return float64(m.Link.Stats.Marks-m.startMarks) / float64(arr)
+}
+
+// Drops returns the number of drops in the window.
+func (m *Meter) Drops() uint64 { return m.Link.Stats.Drops - m.startDrops }
+
+// Histogram is a fixed-width bucket histogram over [0, Max) used for
+// empirical PDFs such as Figure 4's distribution of normalized queue length.
+type Histogram struct {
+	Max     float64
+	Buckets []uint64
+	total   uint64
+}
+
+// NewHistogram creates a histogram with n equal buckets spanning [0, max).
+func NewHistogram(max float64, n int) *Histogram {
+	if n <= 0 || max <= 0 {
+		panic("stats: histogram needs positive size and range")
+	}
+	return &Histogram{Max: max, Buckets: make([]uint64, n)}
+}
+
+// Add records one observation; values outside [0, Max) clamp to the edge
+// buckets.
+func (h *Histogram) Add(x float64) {
+	i := int(x / h.Max * float64(len(h.Buckets)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Buckets) {
+		i = len(h.Buckets) - 1
+	}
+	h.Buckets[i]++
+	h.total++
+}
+
+// PDF returns each bucket's fraction of the total mass.
+func (h *Histogram) PDF() []float64 {
+	out := make([]float64, len(h.Buckets))
+	if h.total == 0 {
+		return out
+	}
+	for i, b := range h.Buckets {
+		out[i] = float64(b) / float64(h.total)
+	}
+	return out
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// BucketCenter returns the midpoint value of bucket i.
+func (h *Histogram) BucketCenter(i int) float64 {
+	w := h.Max / float64(len(h.Buckets))
+	return (float64(i) + 0.5) * w
+}

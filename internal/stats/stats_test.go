@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pert/internal/netem"
+	"pert/internal/sim"
+)
+
+func TestJain(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 1},
+		{[]float64{0, 0}, 1},
+		{[]float64{5}, 1},
+		{[]float64{1, 1, 1, 1}, 1},
+		{[]float64{1, 0, 0, 0}, 0.25},
+		{[]float64{2, 4}, 0.9},
+	}
+	for _, tc := range cases {
+		if got := Jain(tc.xs); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Jain(%v) = %v, want %v", tc.xs, got, tc.want)
+		}
+	}
+}
+
+// Property: Jain index is always in [1/n, 1] for any non-negative allocation
+// with at least one positive share, and is scale-invariant.
+func TestJainProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		var anyPos bool
+		for i, v := range raw {
+			xs[i] = float64(v)
+			if v > 0 {
+				anyPos = true
+			}
+		}
+		j := Jain(xs)
+		if !anyPos {
+			return j == 1
+		}
+		n := float64(len(xs))
+		if j < 1/n-1e-9 || j > 1+1e-9 {
+			return false
+		}
+		scaled := make([]float64, len(xs))
+		for i := range xs {
+			scaled[i] = xs[i] * 3.5
+		}
+		return math.Abs(Jain(scaled)-j) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(8))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Std() != 0 || s.Max() != 0 || s.Min() != 0 {
+		t.Fatal("empty series not zeroed")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 || s.Mean() != 5 {
+		t.Fatalf("n=%d mean=%v", s.N(), s.Mean())
+	}
+	if math.Abs(s.Std()-2) > 1e-9 {
+		t.Fatalf("std=%v, want 2", s.Std())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min=%v max=%v", s.Min(), s.Max())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(1.0, 10)
+	for _, x := range []float64{0.05, 0.15, 0.15, 0.95, 1.5, -0.2} {
+		h.Add(x)
+	}
+	pdf := h.PDF()
+	if h.Total() != 6 {
+		t.Fatalf("total=%d", h.Total())
+	}
+	if math.Abs(pdf[0]-2.0/6) > 1e-9 { // 0.05 and the clamped -0.2
+		t.Fatalf("bucket0=%v", pdf[0])
+	}
+	if math.Abs(pdf[1]-2.0/6) > 1e-9 {
+		t.Fatalf("bucket1=%v", pdf[1])
+	}
+	if math.Abs(pdf[9]-2.0/6) > 1e-9 { // 0.95 and the clamped 1.5
+		t.Fatalf("bucket9=%v", pdf[9])
+	}
+	if got := h.BucketCenter(0); math.Abs(got-0.05) > 1e-9 {
+		t.Fatalf("center0=%v", got)
+	}
+	var sum float64
+	for _, p := range pdf {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("pdf sums to %v", sum)
+	}
+}
+
+func TestHistogramEmptyPDF(t *testing.T) {
+	h := NewHistogram(1, 4)
+	for _, p := range h.PDF() {
+		if p != 0 {
+			t.Fatal("empty histogram PDF non-zero")
+		}
+	}
+}
+
+type fixedQueue struct{ n int }
+
+func (f *fixedQueue) Enqueue(*netem.Packet, sim.Time) bool { return true }
+func (f *fixedQueue) Dequeue(sim.Time) *netem.Packet       { return nil }
+func (f *fixedQueue) Len() int                             { return f.n }
+func (f *fixedQueue) Bytes() int                           { return f.n * 1000 }
+
+func TestQueueMonitor(t *testing.T) {
+	eng := sim.NewEngine(1)
+	q := &fixedQueue{}
+	link := &netem.Link{Queue: q}
+	m := MonitorQueue(eng, link, 0, 10*sim.Millisecond)
+	step := 0
+	eng.Every(5*sim.Millisecond, 10*sim.Millisecond, func(sim.Time) {
+		step++
+		q.n = step // queue grows 1,2,3,... between samples
+	})
+	eng.Run(105 * sim.Millisecond)
+	m.Stop()
+	// Samples at 0,10,...,100 ms observe 0,1,2,...,10.
+	if m.Series.N() != 11 {
+		t.Fatalf("samples=%d", m.Series.N())
+	}
+	if got := m.Series.Mean(); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("mean=%v", got)
+	}
+}
+
+func TestMeterWindow(t *testing.T) {
+	link := &netem.Link{Capacity: 8e6} // 1 MB/s
+	m := NewMeter(link)
+	link.Stats.TxBytes = 500
+	link.Stats.Arrivals = 10
+	link.Stats.Drops = 1
+	link.Stats.Marks = 2
+	m.Start(sim.Second)
+	link.Stats.TxBytes += 500_000 // half the window's capacity
+	link.Stats.Arrivals += 100
+	link.Stats.Drops += 5
+	link.Stats.Marks += 10
+	if u := m.Utilization(sim.Second + 500*sim.Millisecond); math.Abs(u-1.0) > 1e-9 {
+		t.Fatalf("utilization=%v", u)
+	}
+	if u := m.Utilization(2 * sim.Second); math.Abs(u-0.5) > 1e-9 {
+		t.Fatalf("utilization=%v", u)
+	}
+	if d := m.DropRate(); math.Abs(d-0.05) > 1e-9 {
+		t.Fatalf("droprate=%v", d)
+	}
+	if d := m.MarkRate(); math.Abs(d-0.10) > 1e-9 {
+		t.Fatalf("markrate=%v", d)
+	}
+	if m.Drops() != 5 {
+		t.Fatalf("drops=%d", m.Drops())
+	}
+}

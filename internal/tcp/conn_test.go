@@ -1,0 +1,465 @@
+package tcp
+
+import (
+	"testing"
+
+	"pert/internal/netem"
+	"pert/internal/queue"
+	"pert/internal/sim"
+	"pert/internal/topo"
+)
+
+// testbed builds a dumbbell with the given bottleneck and returns it.
+func testbed(t *testing.T, seed int64, bw float64, rtt sim.Duration, hosts, buf int) (*sim.Engine, *topo.Dumbbell) {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	net := netem.NewNetwork(eng)
+	d := topo.NewDumbbell(net, topo.DumbbellConfig{
+		Bandwidth:  bw,
+		Delay:      rtt / 3, // some delay at the bottleneck, rest on access
+		Hosts:      hosts,
+		RTTs:       []sim.Duration{rtt},
+		BufferPkts: buf,
+		Queue: func(limit int, _ float64) netem.Discipline {
+			return queue.NewDropTail(limit)
+		},
+	})
+	return eng, d
+}
+
+func TestSingleFlowCleanTransfer(t *testing.T) {
+	eng, d := testbed(t, 1, 10e6, 60*sim.Millisecond, 1, 1000)
+	done := sim.Time(0)
+	f := NewFlow(d.Net, d.Left[0], d.Right[0], 1, Reno{}, Config{
+		TotalSegs:  200,
+		OnComplete: func(now sim.Time) { done = now },
+	})
+	f.Start(0)
+	eng.Run(60 * sim.Second)
+
+	if done == 0 {
+		t.Fatal("transfer did not complete")
+	}
+	if f.Conn.Stats.Retransmits != 0 {
+		t.Fatalf("clean path retransmitted %d segments", f.Conn.Stats.Retransmits)
+	}
+	if f.Sink.UniqueSegs != 200 {
+		t.Fatalf("sink got %d unique segments", f.Sink.UniqueSegs)
+	}
+	if got := f.Conn.RTT().Min; got < 60*sim.Millisecond || got > 70*sim.Millisecond {
+		t.Fatalf("min RTT = %v, want ~60 ms + serialization", got)
+	}
+	// 200 segs of 1000 B at 10 Mbps is ~0.17 s of serialization; with slow
+	// start the transfer must finish within a couple of seconds.
+	if done > 5*sim.Second {
+		t.Fatalf("transfer took %v", done)
+	}
+}
+
+func TestSlowStartDoubling(t *testing.T) {
+	eng, d := testbed(t, 1, 100e6, 100*sim.Millisecond, 1, 10000)
+	f := NewFlow(d.Net, d.Left[0], d.Right[0], 1, Reno{}, Config{})
+	f.Start(0)
+	// After ~3 RTTs of slow start from IW=2 the window should be >= 8.
+	eng.Run(400 * sim.Millisecond)
+	if f.Conn.Cwnd() < 8 {
+		t.Fatalf("cwnd = %v after 4 RTTs of slow start", f.Conn.Cwnd())
+	}
+}
+
+func TestUtilizationHighWithSingleFlow(t *testing.T) {
+	eng, d := testbed(t, 1, 10e6, 40*sim.Millisecond, 1, 100)
+	f := NewFlow(d.Net, d.Left[0], d.Right[0], 1, Reno{}, Config{})
+	f.Start(0)
+	eng.Run(5 * sim.Second)
+	start := d.Forward.Stats.TxBytes
+	eng.Run(25 * sim.Second)
+	u := d.Forward.Utilization(start, 20*sim.Second)
+	if u < 0.85 {
+		t.Fatalf("bottleneck utilization = %v, want >= 0.85", u)
+	}
+	if f.Conn.Stats.RTOs != 0 {
+		t.Fatalf("steady AIMD hit %d RTOs", f.Conn.Stats.RTOs)
+	}
+}
+
+func TestLossRecoveryViaSack(t *testing.T) {
+	// Tiny buffer forces overflow during slow start; SACK recovery must
+	// retransmit without an RTO and the transfer must complete.
+	eng, d := testbed(t, 1, 5e6, 60*sim.Millisecond, 1, 10)
+	var losses int
+	f := NewFlow(d.Net, d.Left[0], d.Right[0], 1, Reno{}, Config{
+		TotalSegs: 2000,
+		OnLoss:    func(_ sim.Time, k LossKind) { losses++ },
+	})
+	f.Start(0)
+	eng.Run(60 * sim.Second)
+
+	if !f.Conn.Completed() {
+		t.Fatal("transfer did not complete despite SACK recovery")
+	}
+	if d.Forward.Stats.Drops == 0 {
+		t.Fatal("test premise broken: no drops at 10-packet buffer")
+	}
+	if f.Conn.Stats.FastRecoveries == 0 {
+		t.Fatal("drops never triggered fast recovery")
+	}
+	if losses == 0 {
+		t.Fatal("OnLoss hook never fired")
+	}
+	if f.Sink.UniqueSegs != 2000 {
+		t.Fatalf("sink got %d unique segments", f.Sink.UniqueSegs)
+	}
+}
+
+func TestFastRecoveryAvoidsRTOMostly(t *testing.T) {
+	eng, d := testbed(t, 2, 10e6, 60*sim.Millisecond, 1, 30)
+	f := NewFlow(d.Net, d.Left[0], d.Right[0], 1, Reno{}, Config{})
+	f.Start(0)
+	eng.Run(60 * sim.Second)
+	if f.Conn.Stats.FastRecoveries < 5 {
+		t.Fatalf("only %d fast recoveries in 60 s of sawtooth", f.Conn.Stats.FastRecoveries)
+	}
+	// SACK should keep timeouts rare relative to recoveries.
+	if f.Conn.Stats.RTOs > f.Conn.Stats.FastRecoveries/2 {
+		t.Fatalf("RTOs %d vs recoveries %d: SACK recovery not effective",
+			f.Conn.Stats.RTOs, f.Conn.Stats.FastRecoveries)
+	}
+}
+
+// lossy wraps a discipline and deterministically drops the n-th..m-th data
+// segments once each, to exercise precise recovery paths.
+type lossy struct {
+	netem.Discipline
+	dropSeqs map[int64]bool
+}
+
+func (l *lossy) Enqueue(p *netem.Packet, now sim.Time) bool {
+	if !p.IsAck && !p.Retrans && l.dropSeqs[p.Seq] {
+		delete(l.dropSeqs, p.Seq)
+		return false
+	}
+	return l.Discipline.Enqueue(p, now)
+}
+
+func lossyBed(seed int64, drops ...int64) (*sim.Engine, *topo.Dumbbell, *lossy) {
+	eng := sim.NewEngine(seed)
+	net := netem.NewNetwork(eng)
+	set := map[int64]bool{}
+	for _, s := range drops {
+		set[s] = true
+	}
+	var ly *lossy
+	first := true
+	d := topo.NewDumbbell(net, topo.DumbbellConfig{
+		Bandwidth:  10e6,
+		Delay:      20 * sim.Millisecond,
+		Hosts:      1,
+		RTTs:       []sim.Duration{60 * sim.Millisecond},
+		BufferPkts: 1000,
+		Queue: func(limit int, _ float64) netem.Discipline {
+			q := netem.Discipline(queue.NewDropTail(limit))
+			if first { // instrument only the forward direction
+				first = false
+				ly = &lossy{Discipline: q, dropSeqs: set}
+				return ly
+			}
+			return q
+		},
+	})
+	return eng, d, ly
+}
+
+func TestSingleDropFastRetransmit(t *testing.T) {
+	eng, d, _ := lossyBed(1, 50)
+	f := NewFlow(d.Net, d.Left[0], d.Right[0], 1, Reno{}, Config{TotalSegs: 500})
+	f.Start(0)
+	eng.Run(30 * sim.Second)
+	if !f.Conn.Completed() {
+		t.Fatal("did not complete")
+	}
+	if f.Conn.Stats.RTOs != 0 {
+		t.Fatalf("single drop caused %d RTOs", f.Conn.Stats.RTOs)
+	}
+	if f.Conn.Stats.FastRecoveries != 1 {
+		t.Fatalf("fast recoveries = %d, want 1", f.Conn.Stats.FastRecoveries)
+	}
+	if f.Conn.Stats.Retransmits != 1 {
+		t.Fatalf("retransmits = %d, want exactly 1", f.Conn.Stats.Retransmits)
+	}
+	if f.Sink.UniqueSegs != 500 {
+		t.Fatalf("unique segs = %d", f.Sink.UniqueSegs)
+	}
+}
+
+func TestBurstDropSackRecovery(t *testing.T) {
+	// Drop a burst of 4 segments in one window: SACK should recover all in
+	// (usually) one recovery episode without timeout.
+	eng, d, _ := lossyBed(1, 60, 62, 64, 66)
+	f := NewFlow(d.Net, d.Left[0], d.Right[0], 1, Reno{}, Config{TotalSegs: 500})
+	f.Start(0)
+	eng.Run(30 * sim.Second)
+	if !f.Conn.Completed() {
+		t.Fatal("did not complete")
+	}
+	if f.Conn.Stats.RTOs != 0 {
+		t.Fatalf("burst drop caused %d RTOs", f.Conn.Stats.RTOs)
+	}
+	if f.Conn.Stats.Retransmits != 4 {
+		t.Fatalf("retransmits = %d, want 4", f.Conn.Stats.Retransmits)
+	}
+	if f.Sink.UniqueSegs != 500 {
+		t.Fatalf("unique segs = %d", f.Sink.UniqueSegs)
+	}
+}
+
+func TestRetransmitDropCausesRTOAndStillCompletes(t *testing.T) {
+	// Drop segment 10, and when it is retransmitted drop it again via a
+	// discipline that kills the first retransmission too.
+	eng := sim.NewEngine(1)
+	net := netem.NewNetwork(eng)
+	killRetrans := 1
+	var first = true
+	d := topo.NewDumbbell(net, topo.DumbbellConfig{
+		Bandwidth: 10e6, Delay: 20 * sim.Millisecond, Hosts: 1,
+		RTTs: []sim.Duration{60 * sim.Millisecond}, BufferPkts: 1000,
+		Queue: func(limit int, _ float64) netem.Discipline {
+			q := netem.Discipline(queue.NewDropTail(limit))
+			if first {
+				first = false
+				return dropFunc{q, func(p *netem.Packet) bool {
+					if p.IsAck || p.Seq != 10 {
+						return false
+					}
+					if !p.Retrans {
+						return true // original
+					}
+					if killRetrans > 0 {
+						killRetrans--
+						return true
+					}
+					return false
+				}}
+			}
+			return q
+		},
+	})
+	var rtoSeen, frSeen bool
+	f := NewFlow(net, d.Left[0], d.Right[0], 1, Reno{}, Config{
+		TotalSegs: 300,
+		OnLoss: func(_ sim.Time, k LossKind) {
+			if k == LossTimeout {
+				rtoSeen = true
+			} else {
+				frSeen = true
+			}
+		},
+	})
+	f.Start(0)
+	eng.Run(60 * sim.Second)
+	if !f.Conn.Completed() {
+		t.Fatal("did not complete after lost retransmission")
+	}
+	if !frSeen {
+		t.Fatal("no fast retransmit")
+	}
+	if !rtoSeen || f.Conn.Stats.RTOs == 0 {
+		t.Fatal("lost retransmission should force an RTO")
+	}
+	if f.Sink.UniqueSegs != 300 {
+		t.Fatalf("unique segs = %d", f.Sink.UniqueSegs)
+	}
+}
+
+type dropFunc struct {
+	netem.Discipline
+	drop func(*netem.Packet) bool
+}
+
+func (d dropFunc) Enqueue(p *netem.Packet, now sim.Time) bool {
+	if d.drop(p) {
+		return false
+	}
+	return d.Discipline.Enqueue(p, now)
+}
+
+func TestECNFlowOverREDAvoidsDrops(t *testing.T) {
+	eng := sim.NewEngine(3)
+	net := netem.NewNetwork(eng)
+	d := topo.NewDumbbell(net, topo.DumbbellConfig{
+		Bandwidth: 10e6, Delay: 20 * sim.Millisecond, Hosts: 2,
+		RTTs: []sim.Duration{60 * sim.Millisecond},
+		Queue: func(limit int, pps float64) netem.Discipline {
+			return queue.NewAdaptiveRED(queue.AdaptiveREDConfig{
+				Limit: limit, CapacityPPS: pps, ECN: true,
+			}, eng.Rand())
+		},
+	})
+	var flows []*Flow
+	for i := 0; i < 2; i++ {
+		f := NewFlow(net, d.Left[i], d.Right[i], i+1, Reno{}, Config{ECN: true})
+		f.Start(sim.Time(i) * 100 * sim.Millisecond)
+		flows = append(flows, f)
+	}
+	// Let slow start's initial overshoot settle, then measure steady state.
+	eng.Run(5 * sim.Second)
+	arrivals0, drops0 := d.Forward.Stats.Arrivals, d.Forward.Stats.Drops
+	eng.Run(35 * sim.Second)
+	if d.Forward.Stats.Marks == 0 {
+		t.Fatal("RED/ECN never marked")
+	}
+	var responses uint64
+	for _, f := range flows {
+		responses += f.Conn.Stats.ECNResponses
+	}
+	if responses == 0 {
+		t.Fatal("senders never responded to ECE")
+	}
+	arr := d.Forward.Stats.Arrivals - arrivals0
+	drops := d.Forward.Stats.Drops - drops0
+	if rate := float64(drops) / float64(arr); rate > 0.002 {
+		t.Fatalf("steady-state drop rate %v with ECN, want ~0", rate)
+	}
+}
+
+func TestTwoFlowsFairShare(t *testing.T) {
+	eng, d := testbed(t, 4, 10e6, 60*sim.Millisecond, 2, 0)
+	f1 := NewFlow(d.Net, d.Left[0], d.Right[0], 1, Reno{}, Config{})
+	f2 := NewFlow(d.Net, d.Left[1], d.Right[1], 2, Reno{}, Config{})
+	f1.Start(0)
+	f2.Start(sim.Second)
+	eng.Run(20 * sim.Second)
+	g1, g2 := f1.Sink.UniqueSegs, f2.Sink.UniqueSegs
+	eng.Run(80 * sim.Second)
+	d1 := float64(f1.Sink.UniqueSegs - g1)
+	d2 := float64(f2.Sink.UniqueSegs - g2)
+	ratio := d1 / d2
+	if ratio < 0.6 || ratio > 1.67 {
+		t.Fatalf("long-run share ratio = %v, want near 1", ratio)
+	}
+}
+
+func TestVegasKeepsQueueSmall(t *testing.T) {
+	eng, d := testbed(t, 5, 10e6, 60*sim.Millisecond, 1, 500)
+	f := NewFlow(d.Net, d.Left[0], d.Right[0], 1, NewVegas(), Config{})
+	f.Start(0)
+	eng.Run(10 * sim.Second)
+	// Steady state: sample the bottleneck queue over 20 s.
+	var sum float64
+	var n int
+	eng.Every(eng.Now(), 100*sim.Millisecond, func(sim.Time) {
+		sum += float64(d.Forward.Queue.Len())
+		n++
+	})
+	eng.Run(30 * sim.Second)
+	avgQ := sum / float64(n)
+	if avgQ > 10 {
+		t.Fatalf("Vegas steady queue = %v packets, want small (alpha..beta band)", avgQ)
+	}
+	if d.Forward.Stats.Drops != 0 {
+		t.Fatalf("Vegas dropped %d packets on an uncontended link", d.Forward.Stats.Drops)
+	}
+	// And it should still use the link well.
+	start := d.Forward.Stats.TxBytes
+	eng.Run(40 * sim.Second)
+	if u := d.Forward.Utilization(start, 10*sim.Second); u < 0.8 {
+		t.Fatalf("Vegas utilization = %v", u)
+	}
+}
+
+func TestPERTKeepsQueueLowerThanReno(t *testing.T) {
+	run := func(cc func() CongestionControl) (avgQ float64, drops uint64) {
+		eng, d := testbed(t, 6, 20e6, 60*sim.Millisecond, 4, 0)
+		for i := 0; i < 4; i++ {
+			f := NewFlow(d.Net, d.Left[i], d.Right[i], i+1, cc(), Config{})
+			f.Start(sim.Time(i) * 200 * sim.Millisecond)
+		}
+		eng.Run(10 * sim.Second)
+		var sum float64
+		var n int
+		eng.Every(eng.Now(), 50*sim.Millisecond, func(sim.Time) {
+			sum += float64(d.Forward.Queue.Len())
+			n++
+		})
+		dropsBefore := d.Forward.Stats.Drops
+		eng.Run(50 * sim.Second)
+		return sum / float64(n), d.Forward.Stats.Drops - dropsBefore
+	}
+	renoQ, renoDrops := run(func() CongestionControl { return Reno{} })
+	pertQ, pertDrops := run(func() CongestionControl { return NewPERTRed() })
+	if pertQ >= renoQ*0.7 {
+		t.Fatalf("PERT avg queue %v vs Reno %v: expected clear reduction", pertQ, renoQ)
+	}
+	if pertDrops > renoDrops/4 {
+		t.Fatalf("PERT drops %d vs Reno %d: expected near-elimination", pertDrops, renoDrops)
+	}
+}
+
+func TestPERTEarlyResponsesHappen(t *testing.T) {
+	eng, d := testbed(t, 7, 10e6, 60*sim.Millisecond, 2, 0)
+	var flows []*Flow
+	for i := 0; i < 2; i++ {
+		f := NewFlow(d.Net, d.Left[i], d.Right[i], i+1, NewPERTRed(), Config{})
+		f.Start(sim.Time(i) * 100 * sim.Millisecond)
+		flows = append(flows, f)
+	}
+	eng.Run(30 * sim.Second)
+	var early uint64
+	for _, f := range flows {
+		early += f.Conn.Stats.EarlyResponses
+	}
+	if early == 0 {
+		t.Fatal("PERT never responded early on a saturated link")
+	}
+}
+
+func TestBoundedTransferCompletionDetaches(t *testing.T) {
+	eng, d := testbed(t, 8, 10e6, 60*sim.Millisecond, 1, 100)
+	completions := 0
+	f := NewFlow(d.Net, d.Left[0], d.Right[0], 1, Reno{}, Config{
+		TotalSegs:  10,
+		OnComplete: func(sim.Time) { completions++ },
+	})
+	f.Start(0)
+	eng.Run(10 * sim.Second)
+	if completions != 1 {
+		t.Fatalf("completions = %d", completions)
+	}
+	if !f.Conn.Completed() {
+		t.Fatal("conn not marked complete")
+	}
+	if pend := eng.Pending(); pend != 0 {
+		t.Fatalf("%d events still pending after completion (timer leak?)", pend)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, uint64, uint64) {
+		eng, d := testbed(t, 42, 10e6, 60*sim.Millisecond, 3, 0)
+		var fs []*Flow
+		for i := 0; i < 3; i++ {
+			f := NewFlow(d.Net, d.Left[i], d.Right[i], i+1, NewPERTRed(), Config{})
+			f.Start(sim.Time(i) * 50 * sim.Millisecond)
+			fs = append(fs, f)
+		}
+		eng.Run(20 * sim.Second)
+		return fs[0].Sink.UniqueSegs, fs[1].Sink.UniqueSegs, d.Forward.Stats.TxPackets
+	}
+	a1, a2, a3 := run()
+	b1, b2, b3 := run()
+	if a1 != b1 || a2 != b2 || a3 != b3 {
+		t.Fatalf("non-deterministic: (%d,%d,%d) vs (%d,%d,%d)", a1, a2, a3, b1, b2, b3)
+	}
+}
+
+func TestReverseTrafficDoesNotDeadlock(t *testing.T) {
+	eng, d := testbed(t, 9, 10e6, 60*sim.Millisecond, 2, 0)
+	fwd := NewFlow(d.Net, d.Left[0], d.Right[0], 1, Reno{}, Config{})
+	rev := NewFlow(d.Net, d.Right[1], d.Left[1], 2, Reno{}, Config{})
+	fwd.Start(0)
+	rev.Start(0)
+	eng.Run(30 * sim.Second)
+	if fwd.Sink.UniqueSegs == 0 || rev.Sink.UniqueSegs == 0 {
+		t.Fatalf("progress: fwd=%d rev=%d", fwd.Sink.UniqueSegs, rev.Sink.UniqueSegs)
+	}
+}

@@ -1,0 +1,84 @@
+package tcp
+
+import (
+	"testing"
+
+	"pert/internal/sim"
+)
+
+func TestDelAckHalvesAckVolume(t *testing.T) {
+	run := func(delack bool) (acks, segs uint64) {
+		eng, d := testbed(t, 1, 10e6, 60*sim.Millisecond, 1, 1000)
+		f := NewFlow(d.Net, d.Left[0], d.Right[0], 1, Reno{}, Config{
+			TotalSegs: 1000, DelAck: delack,
+		})
+		f.Start(0)
+		eng.Run(60 * sim.Second)
+		if !f.Conn.Completed() {
+			t.Fatal("transfer incomplete")
+		}
+		return f.Sink.AcksSent, f.Sink.UniqueSegs
+	}
+	acksOn, _ := run(true)
+	acksOff, segs := run(false)
+	if acksOff != segs {
+		t.Fatalf("per-packet acking sent %d acks for %d segments", acksOff, segs)
+	}
+	// Delayed ACKs should send roughly half as many.
+	if acksOn > acksOff*2/3 {
+		t.Fatalf("delack sent %d acks vs %d without", acksOn, acksOff)
+	}
+	if acksOn < acksOff/3 {
+		t.Fatalf("delack sent suspiciously few acks: %d", acksOn)
+	}
+}
+
+func TestDelAckTimerFlushesLoneSegment(t *testing.T) {
+	// A single segment with nothing following must still get acked (after
+	// the 200 ms delack timeout), or the sender would RTO.
+	eng, d := testbed(t, 1, 10e6, 60*sim.Millisecond, 1, 1000)
+	f := NewFlow(d.Net, d.Left[0], d.Right[0], 1, Reno{}, Config{
+		TotalSegs: 1, DelAck: true, InitialCwnd: 1,
+	})
+	f.Start(0)
+	eng.Run(sim.Second)
+	if !f.Conn.Completed() {
+		t.Fatal("lone segment never acked")
+	}
+	if f.Conn.Stats.RTOs != 0 {
+		t.Fatalf("delack starvation caused %d RTOs", f.Conn.Stats.RTOs)
+	}
+}
+
+func TestDelAckImmediateOnOutOfOrder(t *testing.T) {
+	// Loss recovery must not be slowed: dupacks fire immediately.
+	eng, d, _ := lossyBed(1, 50)
+	f := NewFlow(d.Net, d.Left[0], d.Right[0], 1, Reno{}, Config{
+		TotalSegs: 300, DelAck: true,
+	})
+	f.Start(0)
+	eng.Run(30 * sim.Second)
+	if !f.Conn.Completed() {
+		t.Fatal("did not complete")
+	}
+	if f.Conn.Stats.RTOs != 0 {
+		t.Fatalf("delack delayed dupacks: %d RTOs", f.Conn.Stats.RTOs)
+	}
+	if f.Conn.Stats.FastRecoveries != 1 {
+		t.Fatalf("fast recoveries = %d", f.Conn.Stats.FastRecoveries)
+	}
+}
+
+func TestDelAckThroughputUnharmed(t *testing.T) {
+	run := func(delack bool) uint64 {
+		eng, d := testbed(t, 4, 10e6, 60*sim.Millisecond, 1, 0)
+		f := NewFlow(d.Net, d.Left[0], d.Right[0], 1, Reno{}, Config{DelAck: delack})
+		f.Start(0)
+		eng.Run(30 * sim.Second)
+		return f.Sink.UniqueSegs
+	}
+	on, off := run(true), run(false)
+	if float64(on) < 0.85*float64(off) {
+		t.Fatalf("delack goodput %d vs %d without: too costly", on, off)
+	}
+}

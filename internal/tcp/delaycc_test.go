@@ -1,0 +1,110 @@
+package tcp
+
+import (
+	"testing"
+
+	"pert/internal/sim"
+)
+
+// runCC drives three flows of a controller and reports steady-state queue,
+// drops and utilization on a BDP-buffered dumbbell.
+func runCC(t *testing.T, seed int64, mk func() CongestionControl) (avgQ float64, drops uint64, util float64) {
+	t.Helper()
+	eng, d := testbed(t, seed, 20e6, 60*sim.Millisecond, 3, 0)
+	for i := 0; i < 3; i++ {
+		f := NewFlow(d.Net, d.Left[i], d.Right[i], i+1, mk(), Config{})
+		f.Start(sim.Time(i) * 300 * sim.Millisecond)
+	}
+	eng.Run(10 * sim.Second)
+	drops0 := d.Forward.Stats.Drops
+	tx0 := d.Forward.Stats.TxBytes
+	var sum float64
+	var n int
+	eng.Every(eng.Now(), 50*sim.Millisecond, func(sim.Time) {
+		sum += float64(d.Forward.Queue.Len())
+		n++
+	})
+	eng.Run(50 * sim.Second)
+	return sum / float64(n), d.Forward.Stats.Drops - drops0, d.Forward.Utilization(tx0, 40*sim.Second)
+}
+
+func TestDUALKeepsQueueBelowDroptail(t *testing.T) {
+	dualQ, _, dualU := runCC(t, 41, func() CongestionControl { return NewDUAL() })
+	renoQ, _, _ := runCC(t, 41, func() CongestionControl { return Reno{} })
+	if dualQ >= renoQ {
+		t.Fatalf("DUAL queue %v >= Reno %v: midpoint rule ineffective", dualQ, renoQ)
+	}
+	if dualU < 0.85 {
+		t.Fatalf("DUAL utilization = %v", dualU)
+	}
+}
+
+func TestDUALReducesLosses(t *testing.T) {
+	_, dualDrops, _ := runCC(t, 42, func() CongestionControl { return NewDUAL() })
+	_, renoDrops, _ := runCC(t, 42, func() CongestionControl { return Reno{} })
+	if renoDrops == 0 {
+		t.Skip("baseline had no drops")
+	}
+	if dualDrops > renoDrops {
+		t.Fatalf("DUAL drops %d > Reno %d", dualDrops, renoDrops)
+	}
+}
+
+func TestCARDCompletesAndUtilizes(t *testing.T) {
+	q, _, util := runCC(t, 43, func() CongestionControl { return NewCARD() })
+	if util < 0.7 {
+		t.Fatalf("CARD utilization = %v", util)
+	}
+	if q <= 0 {
+		t.Fatalf("CARD queue = %v", q)
+	}
+}
+
+func TestCARDOscillatesAroundKnee(t *testing.T) {
+	// Single CARD flow on an empty link: the window must oscillate (grow
+	// then shrink), not grow unboundedly or collapse.
+	eng, d := testbed(t, 44, 10e6, 60*sim.Millisecond, 1, 500)
+	f := NewFlow(d.Net, d.Left[0], d.Right[0], 1, NewCARD(), Config{})
+	f.Start(0)
+	eng.Run(10 * sim.Second)
+	var minW, maxW = 1e18, 0.0
+	eng.Every(eng.Now(), 100*sim.Millisecond, func(sim.Time) {
+		w := f.Conn.Cwnd()
+		if w < minW {
+			minW = w
+		}
+		if w > maxW {
+			maxW = w
+		}
+	})
+	eng.Run(60 * sim.Second)
+	if maxW <= minW {
+		t.Fatalf("window did not move: [%v, %v]", minW, maxW)
+	}
+	// The gradient rule must actually fire multiplicative decreases: the
+	// trough must sit well below the peak. (CARD is historically known to
+	// miss *stable* standing queues — the gradient is zero there, one of
+	// the weaknesses the paper's Figure 3 quantifies — so we assert the
+	// mechanism oscillates, not that the queue stays small.)
+	if minW > maxW*7.0/8 {
+		t.Fatalf("no multiplicative decreases visible: window in [%v, %v]", minW, maxW)
+	}
+}
+
+func TestDelayCCTransfersComplete(t *testing.T) {
+	for name, mk := range map[string]func() CongestionControl{
+		"dual": func() CongestionControl { return NewDUAL() },
+		"card": func() CongestionControl { return NewCARD() },
+	} {
+		eng, d := testbed(t, 45, 10e6, 60*sim.Millisecond, 1, 50)
+		f := NewFlow(d.Net, d.Left[0], d.Right[0], 1, mk(), Config{TotalSegs: 3000})
+		f.Start(0)
+		eng.Run(120 * sim.Second)
+		if !f.Conn.Completed() {
+			t.Fatalf("%s: transfer incomplete", name)
+		}
+		if f.Sink.UniqueSegs != 3000 {
+			t.Fatalf("%s: delivered %d", name, f.Sink.UniqueSegs)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package tcp
+
+import (
+	"testing"
+
+	"pert/internal/netem"
+	"pert/internal/sim"
+)
+
+func TestLimitedTransmitAvoidsRTOAtSmallWindow(t *testing.T) {
+	// Window of ~4 segments with one drop: without limited transmit there
+	// are too few dupacks to trigger fast retransmit and the sender RTOs;
+	// with it, new segments keep the ACK clock alive.
+	run := func(lt bool) (rtos, frs uint64) {
+		eng := sim.NewEngine(1)
+		net := netem.NewNetwork(eng)
+		dropped := false
+		a, b := net.AddNode(), net.AddNode()
+		q := func() netem.Discipline { return &sinkTail{} }
+		net.AddLink(a, b, 1e9, 30*sim.Millisecond, dropFunc{q(), func(p *netem.Packet) bool {
+			if !p.IsAck && !p.Retrans && p.Seq == 20 && !dropped {
+				dropped = true
+				return true
+			}
+			return false
+		}})
+		net.AddLink(b, a, 1e9, 30*sim.Millisecond, q())
+		net.ComputeRoutes()
+		f := NewFlow(net, a, b, 1, Reno{}, Config{
+			MaxCwnd:         3, // receiver-limited: too few dupacks without RFC 3042
+			LimitedTransmit: lt,
+			TotalSegs:       60,
+		})
+		f.Start(0)
+		eng.Run(30 * sim.Second)
+		if !f.Conn.Completed() {
+			t.Fatalf("lt=%v: transfer incomplete", lt)
+		}
+		return f.Conn.Stats.RTOs, f.Conn.Stats.FastRecoveries
+	}
+	rtosOff, _ := run(false)
+	rtosOn, frsOn := run(true)
+	if rtosOff == 0 {
+		t.Skip("baseline did not RTO; topology premise broken")
+	}
+	if rtosOn != 0 {
+		t.Fatalf("limited transmit still hit %d RTOs", rtosOn)
+	}
+	if frsOn != 1 {
+		t.Fatalf("limited transmit: fast recoveries = %d", frsOn)
+	}
+}
+
+func TestSlowStartRestartCollapsesIdleWindow(t *testing.T) {
+	eng, d := testbed(t, 2, 10e6, 60*sim.Millisecond, 1, 1000)
+	// Application-limited: send 200 segments, go idle, then more. Model by
+	// two bounded transfers on one connection is not supported; instead
+	// use an unbounded flow and verify via direct state: grow the window,
+	// drain, idle past RTO, and check the next trySend collapses cwnd.
+	f := NewFlow(d.Net, d.Left[0], d.Right[0], 1, Reno{}, Config{
+		SlowStartRestart: true,
+		TotalSegs:        200,
+	})
+	f.Start(0)
+	eng.Run(30 * sim.Second) // transfer completes; window ended large
+	if !f.Conn.Completed() {
+		t.Fatal("transfer incomplete")
+	}
+
+	// Second connection pattern: bursty application via web-like reuse is
+	// modeled by a fresh conn; here verify the state transition directly.
+	f2 := NewFlow(d.Net, d.Left[0], d.Right[0], 2, Reno{}, Config{SlowStartRestart: true})
+	f2.Start(eng.Now())
+	eng.Run(eng.Now() + 5*sim.Second)
+	grown := f2.Conn.Cwnd()
+	if grown < 10 {
+		t.Fatalf("premise: window did not grow (%v)", grown)
+	}
+	// Let everything drain (stop acking by detaching the sink), wait far
+	// beyond the RTO, then reattach and send.
+	f2.Sink.Close()
+	eng.Run(eng.Now() + 10*sim.Second)
+	// All in-flight data is lost with the sink gone; RTOs collapse cwnd
+	// anyway in that case. Use conn with nothing outstanding instead:
+	if f2.Conn.Cwnd() > grown {
+		t.Fatalf("window grew while starved: %v", f2.Conn.Cwnd())
+	}
+}
+
+func TestSlowStartRestartStateRule(t *testing.T) {
+	// Unit-level check of the restart rule itself.
+	eng, d := testbed(t, 3, 10e6, 60*sim.Millisecond, 1, 1000)
+	f := NewFlow(d.Net, d.Left[0], d.Right[0], 1, Reno{}, Config{
+		SlowStartRestart: true, TotalSegs: 300,
+	})
+	f.Start(0)
+	eng.Run(20 * sim.Second)
+	if !f.Conn.Completed() {
+		t.Fatal("incomplete")
+	}
+	c := f.Conn
+	c.SetCwnd(40)
+	c.completed = false // re-open for the rule check
+	c.lastTx = eng.Now()
+	eng.Run(eng.Now() + 10*sim.Second) // idle >> RTO
+	c.maybeSlowStartRestart()
+	if c.Cwnd() != c.cfg.InitialCwnd {
+		t.Fatalf("cwnd = %v after idle, want initial %v", c.Cwnd(), c.cfg.InitialCwnd)
+	}
+	if c.Ssthresh() != 40 {
+		t.Fatalf("ssthresh = %v, want previous cwnd", c.Ssthresh())
+	}
+}
+
+func TestSlowStartRestartDisabledByDefault(t *testing.T) {
+	eng, d := testbed(t, 4, 10e6, 60*sim.Millisecond, 1, 1000)
+	f := NewFlow(d.Net, d.Left[0], d.Right[0], 1, Reno{}, Config{TotalSegs: 300})
+	f.Start(0)
+	eng.Run(20 * sim.Second)
+	c := f.Conn
+	c.SetCwnd(40)
+	c.lastTx = eng.Now()
+	eng.Run(eng.Now() + 10*sim.Second)
+	c.maybeSlowStartRestart()
+	if c.Cwnd() != 40 {
+		t.Fatalf("restart applied despite being disabled: cwnd = %v", c.Cwnd())
+	}
+}

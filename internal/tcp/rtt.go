@@ -1,0 +1,88 @@
+// Package tcp implements packet-granularity TCP endpoints for the simulator:
+// a sender with slow start, congestion avoidance, fast retransmit/recovery
+// with a SACK scoreboard, RFC 6298 retransmission timing, and RFC 3168 ECN
+// response; a receiver generating cumulative ACKs with SACK blocks; and
+// pluggable congestion-control flavors (NewReno/SACK, Vegas, and the paper's
+// PERT via internal/core). The abstraction level deliberately matches ns-2's
+// Agent/TCP: sequence numbers count segments, not bytes.
+package tcp
+
+import "pert/internal/sim"
+
+// RTTEstimator tracks smoothed RTT and RTO per RFC 6298, plus the running
+// minimum RTT used by delay-based congestion control as the propagation-delay
+// estimate.
+type RTTEstimator struct {
+	SRTT   sim.Duration
+	RTTVar sim.Duration
+	Min    sim.Duration
+	Latest sim.Duration
+
+	MinRTO sim.Duration
+	MaxRTO sim.Duration
+
+	rto     sim.Duration
+	backoff uint
+	init    bool
+}
+
+// NewRTTEstimator returns an estimator with conventional simulator bounds:
+// initial RTO 1 s, clamped to [200 ms, 60 s].
+func NewRTTEstimator() *RTTEstimator {
+	return &RTTEstimator{
+		MinRTO: 200 * sim.Millisecond,
+		MaxRTO: 60 * sim.Second,
+		rto:    sim.Second,
+		Min:    sim.MaxTime,
+	}
+}
+
+// Sample folds one RTT measurement into the estimator and resets any
+// exponential backoff.
+func (e *RTTEstimator) Sample(rtt sim.Duration) {
+	if rtt <= 0 {
+		return
+	}
+	e.Latest = rtt
+	if rtt < e.Min {
+		e.Min = rtt
+	}
+	if !e.init {
+		e.init = true
+		e.SRTT = rtt
+		e.RTTVar = rtt / 2
+	} else {
+		// RFC 6298: alpha = 1/8, beta = 1/4.
+		diff := e.SRTT - rtt
+		if diff < 0 {
+			diff = -diff
+		}
+		e.RTTVar = (3*e.RTTVar + diff) / 4
+		e.SRTT = (7*e.SRTT + rtt) / 8
+	}
+	e.rto = e.SRTT + 4*e.RTTVar
+	e.backoff = 0
+}
+
+// RTO returns the current retransmission timeout including backoff, clamped
+// to [MinRTO, MaxRTO].
+func (e *RTTEstimator) RTO() sim.Duration {
+	rto := e.rto << e.backoff
+	if rto < e.MinRTO || rto <= 0 { // <=0 guards shift overflow
+		rto = e.MinRTO
+	}
+	if rto > e.MaxRTO {
+		rto = e.MaxRTO
+	}
+	return rto
+}
+
+// Backoff doubles the RTO after a retransmission timeout (Karn).
+func (e *RTTEstimator) Backoff() {
+	if e.backoff < 16 {
+		e.backoff++
+	}
+}
+
+// HasSample reports whether at least one RTT measurement has been folded in.
+func (e *RTTEstimator) HasSample() bool { return e.init }

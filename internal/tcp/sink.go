@@ -1,0 +1,180 @@
+package tcp
+
+import (
+	"pert/internal/netem"
+	"pert/internal/sim"
+)
+
+// Sink is a TCP receiver at segment granularity: it reassembles the sequence
+// space, returns one cumulative ACK (with up to 3 SACK blocks) per arriving
+// data segment, and implements the receiver half of ECN (echoing CE via ECE
+// until the sender's CWR arrives). Like ns-2's TCPSink, ACKs are immediate;
+// delayed ACKs are not modeled.
+type Sink struct {
+	node *netem.Node
+	net  *netem.Network
+	flow int
+	peer netem.NodeID
+
+	cum     int64 // next expected segment
+	ooo     Scoreboard
+	ecnEcho bool
+
+	// Delayed-ACK state (RFC 1122 style: ack every second segment or after
+	// DelAckTimeout, immediately on out-of-order data). Disabled by
+	// default, matching ns-2's TCPSink.
+	delAck        bool
+	delAckTimeout sim.Duration
+	pendingAcks   int
+	pendingPkt    *netem.Packet // most recent unacked data segment
+	delAckTimer   *sim.Event
+
+	// Stats.
+	SegsReceived  uint64 // all data segments, including duplicates
+	UniqueSegs    uint64 // first-time segments (goodput)
+	BytesGoodput  uint64
+	AcksSent      uint64
+	LastArrival   sim.Time
+	payloadPerSeg int
+}
+
+// EnableDelAck turns on delayed ACKs with the given timeout (0 selects the
+// conventional 200 ms).
+func (s *Sink) EnableDelAck(timeout sim.Duration) {
+	if timeout == 0 {
+		timeout = 200 * sim.Millisecond
+	}
+	s.delAck = true
+	s.delAckTimeout = timeout
+}
+
+// NewSink creates a receiver for the given flow, attached to node, acking
+// back to peer.
+func NewSink(net *netem.Network, node *netem.Node, flow int, peer netem.NodeID, payloadPerSeg int) *Sink {
+	s := &Sink{node: node, net: net, flow: flow, peer: peer, payloadPerSeg: payloadPerSeg}
+	node.AttachFlow(flow, s)
+	return s
+}
+
+// CumAck returns the receiver's next expected segment.
+func (s *Sink) CumAck() int64 { return s.cum }
+
+// Receive implements netem.Handler for data segments.
+func (s *Sink) Receive(p *netem.Packet, now sim.Time) {
+	if p.IsAck {
+		return // stray; sinks only consume data
+	}
+	s.SegsReceived++
+	s.LastArrival = now
+
+	if p.CE {
+		s.ecnEcho = true
+	}
+	if p.CWR {
+		s.ecnEcho = false
+		if p.CE { // CE and CWR on the same segment: CE wins for later ACKs
+			s.ecnEcho = true
+		}
+	}
+
+	fresh := false
+	advanced := false
+	hadGap := s.ooo.SackedCount() > 0
+	switch {
+	case p.Seq == s.cum:
+		fresh = true
+		advanced = true
+		s.cum++
+		// Swallow any contiguous out-of-order run.
+		blocks := s.ooo.Blocks()
+		if len(blocks) > 0 && blocks[0].Start <= s.cum {
+			s.cum = blocks[0].End
+		}
+		s.ooo.AckedUpTo(s.cum)
+	case p.Seq > s.cum:
+		if !s.ooo.IsSacked(p.Seq) {
+			fresh = true
+		}
+		s.ooo.Add(netem.SackBlock{Start: p.Seq, End: p.Seq + 1})
+	default:
+		// Below cum: duplicate of something already delivered.
+	}
+	if fresh {
+		s.UniqueSegs++
+		s.BytesGoodput += uint64(s.payloadPerSeg)
+	}
+
+	// Delayed ACKs: in-order data may wait for a second segment or the
+	// timer; out-of-order or duplicate data is acked immediately (fast
+	// retransmit depends on prompt duplicate ACKs).
+	// An ACK that fills a gap must go out immediately (RFC 5681), as must
+	// duplicate ACKs for out-of-order data.
+	inOrder := advanced && !hadGap
+	if s.delAck && inOrder {
+		s.pendingAcks++
+		s.pendingPkt = p
+		if s.pendingAcks < 2 {
+			if s.delAckTimer == nil || !s.delAckTimer.Scheduled() {
+				s.delAckTimer = s.net.Engine().After(s.delAckTimeout, s.flushAck)
+			}
+			return
+		}
+	}
+	s.sendAck(p)
+}
+
+// flushAck fires the delayed-ACK timer.
+func (s *Sink) flushAck() {
+	if s.pendingAcks == 0 || s.pendingPkt == nil {
+		return
+	}
+	s.sendAck(s.pendingPkt)
+}
+
+// sendAck emits a cumulative ACK echoing the given data segment's metadata.
+func (s *Sink) sendAck(p *netem.Packet) {
+	s.pendingAcks = 0
+	s.pendingPkt = nil
+	if s.delAckTimer != nil {
+		s.delAckTimer.Cancel()
+	}
+	ack := &netem.Packet{
+		ID:          s.net.NewPacketID(),
+		Flow:        s.flow,
+		Src:         s.node.ID,
+		Dst:         s.peer,
+		Size:        ackSize,
+		IsAck:       true,
+		AckNo:       s.cum,
+		Echo:        p.SentAt,
+		ECE:         s.ecnEcho,
+		Retrans:     p.Retrans,     // propagate so the sender can apply Karn's rule
+		QueueSample: p.QueueSample, // echo instrumentation back to the sender
+		OWD:         p.OWD,         // echo any measured forward one-way delay
+	}
+	// Advertise up to 3 SACK blocks; the block containing the segment that
+	// just arrived goes first, per RFC 2018.
+	blocks := s.ooo.Blocks()
+	if len(blocks) > 0 {
+		first := -1
+		for i, b := range blocks {
+			if p.Seq >= b.Start && p.Seq < b.End {
+				first = i
+				break
+			}
+		}
+		if first >= 0 {
+			ack.Sack = append(ack.Sack, blocks[first])
+		}
+		for i := len(blocks) - 1; i >= 0 && len(ack.Sack) < 3; i-- {
+			if i != first {
+				ack.Sack = append(ack.Sack, blocks[i])
+			}
+		}
+	}
+	s.AcksSent++
+	s.net.SendFrom(s.node, ack)
+}
+
+// Close detaches the sink from its node.
+func (s *Sink) Close() { s.node.DetachFlow(s.flow) }

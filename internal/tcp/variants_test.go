@@ -1,0 +1,76 @@
+package tcp
+
+import (
+	"testing"
+
+	"pert/internal/core"
+	"pert/internal/sim"
+)
+
+// runVariant drives three flows of the given PERT flavor over a DropTail
+// dumbbell and returns steady-state queue, drops, and utilization.
+func runVariant(t *testing.T, seed int64, build func(c *Conn) core.Responder) (avgQ float64, drops uint64, util float64) {
+	t.Helper()
+	eng, d := testbed(t, seed, 20e6, 60*sim.Millisecond, 3, 0)
+	for i := 0; i < 3; i++ {
+		f := NewFlow(d.Net, d.Left[i], d.Right[i], i+1, NewPERTLazy(build), Config{})
+		f.Start(sim.Time(i) * 200 * sim.Millisecond)
+	}
+	eng.Run(10 * sim.Second)
+	drops0 := d.Forward.Stats.Drops
+	tx0 := d.Forward.Stats.TxBytes
+	var sum float64
+	var n int
+	eng.Every(eng.Now(), 50*sim.Millisecond, func(sim.Time) {
+		sum += float64(d.Forward.Queue.Len())
+		n++
+	})
+	eng.Run(50 * sim.Second)
+	return sum / float64(n), d.Forward.Stats.Drops - drops0, d.Forward.Utilization(tx0, 40*sim.Second)
+}
+
+func TestREMVariantEndToEnd(t *testing.T) {
+	q, drops, util := runVariant(t, 31, func(c *Conn) core.Responder {
+		return core.NewREMResponder(c.Engine().Rand(), 0, 0, 3*sim.Millisecond)
+	})
+	if drops > 20 {
+		t.Fatalf("PERT/REM steady-state drops = %d", drops)
+	}
+	if util < 0.8 {
+		t.Fatalf("PERT/REM utilization = %v", util)
+	}
+	if q > 60 {
+		t.Fatalf("PERT/REM queue = %v packets", q)
+	}
+}
+
+func TestAdaptiveVariantEndToEnd(t *testing.T) {
+	q, drops, util := runVariant(t, 32, func(c *Conn) core.Responder {
+		return core.NewAdaptiveResponder(c.Engine().Rand())
+	})
+	if util < 0.8 {
+		t.Fatalf("adaptive PERT utilization = %v", util)
+	}
+	// The escalating spacing trades a somewhat longer queue for fewer
+	// responses; it must still avoid sustained loss.
+	if drops > 100 {
+		t.Fatalf("adaptive PERT steady-state drops = %d", drops)
+	}
+	_ = q
+}
+
+func TestVariantsComparableToStandardPERT(t *testing.T) {
+	qStd, dropsStd, utilStd := runVariant(t, 33, func(c *Conn) core.Responder {
+		return core.NewREDResponder(c.Engine().Rand())
+	})
+	if dropsStd > 20 || utilStd < 0.8 {
+		t.Fatalf("standard PERT baseline off: drops=%d util=%v", dropsStd, utilStd)
+	}
+	qREM, _, _ := runVariant(t, 33, func(c *Conn) core.Responder {
+		return core.NewREMResponder(c.Engine().Rand(), 0, 0, 3*sim.Millisecond)
+	})
+	// Same order of magnitude of queueing: both are delay-targeting.
+	if qREM > 10*qStd+20 {
+		t.Fatalf("REM queue %v wildly above RED emulation %v", qREM, qStd)
+	}
+}

@@ -1,0 +1,23 @@
+package tcp
+
+import (
+	"testing"
+
+	"pert/internal/sim"
+)
+
+func TestVegasDebugTrace(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("debug trace; run with -v")
+	}
+	eng, d := testbed(t, 5, 10e6, 60*sim.Millisecond, 1, 500)
+	f := NewFlow(d.Net, d.Left[0], d.Right[0], 1, NewVegas(), Config{})
+	f.Start(0)
+	v := f.Conn.cc.(*Vegas)
+	eng.Every(0, sim.Second, func(now sim.Time) {
+		t.Logf("t=%v cwnd=%.1f ss=%v grow=%v minRTT=%v srtt=%v q=%d drops=%d rtos=%d fr=%d una=%d",
+			now, f.Conn.Cwnd(), v.slowStart, v.growEpoch, f.Conn.RTT().Min, f.Conn.RTT().SRTT,
+			d.Forward.Queue.Len(), d.Forward.Stats.Drops, f.Conn.Stats.RTOs, f.Conn.Stats.FastRecoveries, f.Conn.SndUna())
+	})
+	eng.Run(20 * sim.Second)
+}

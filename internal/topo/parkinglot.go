@@ -1,0 +1,95 @@
+package topo
+
+import (
+	"pert/internal/netem"
+	"pert/internal/queue"
+	"pert/internal/sim"
+)
+
+// ParkingLotConfig describes the Figure 10 multi-bottleneck topology: a chain
+// of routers R1..Routers, each with a cloud of CloudSize hosts. Hosts in
+// cloud i send to hosts in cloud i+1 (hop-by-hop traffic), and cloud 1
+// additionally sends to the last cloud (through traffic crossing every core
+// link).
+type ParkingLotConfig struct {
+	Routers   int          // number of core routers; the paper uses 6
+	CloudSize int          // hosts per cloud; the paper uses 20
+	CoreBW    float64      // core link rate; paper: 150 Mbps
+	CoreDelay sim.Duration // core link one-way delay; paper: 5 ms
+	EdgeBW    float64      // cloud attachment rate; paper: 1 Gbps
+	EdgeDelay sim.Duration // cloud attachment delay; paper: 5 ms
+
+	BufferPkts int // core queue size; zero = BDP of core link with 60 ms RTT
+	PktSize    int // default 1040
+
+	Queue QueueFactory // core queues (both directions). Required.
+}
+
+// ParkingLot is the built Figure 10 topology.
+type ParkingLot struct {
+	Net     *netem.Network
+	Routers []*netem.Node
+	Clouds  [][]*netem.Node
+	// Forward[i] is the instrumented core link Routers[i] -> Routers[i+1].
+	Forward []*netem.Link
+	Reverse []*netem.Link
+
+	BufferPkts  int
+	CapacityPPS float64
+}
+
+// NewParkingLot builds the topology.
+func NewParkingLot(net *netem.Network, cfg ParkingLotConfig) *ParkingLot {
+	if cfg.Queue == nil {
+		panic("topo: ParkingLotConfig.Queue is required")
+	}
+	if cfg.Routers < 2 {
+		panic("topo: parking lot needs at least two routers")
+	}
+	if cfg.CloudSize <= 0 {
+		panic("topo: parking lot needs hosts in each cloud")
+	}
+	if cfg.CoreBW == 0 {
+		cfg.CoreBW = 150e6
+	}
+	if cfg.CoreDelay == 0 {
+		cfg.CoreDelay = 5 * sim.Millisecond
+	}
+	if cfg.EdgeBW == 0 {
+		cfg.EdgeBW = 1e9
+	}
+	if cfg.EdgeDelay == 0 {
+		cfg.EdgeDelay = 5 * sim.Millisecond
+	}
+	if cfg.PktSize == 0 {
+		cfg.PktSize = 1040
+	}
+	if cfg.BufferPkts == 0 {
+		cfg.BufferPkts = BDPPackets(cfg.CoreBW, 60*sim.Millisecond, cfg.PktSize)
+	}
+
+	pps := cfg.CoreBW / (8 * float64(cfg.PktSize))
+	p := &ParkingLot{Net: net, BufferPkts: cfg.BufferPkts, CapacityPPS: pps}
+
+	for i := 0; i < cfg.Routers; i++ {
+		p.Routers = append(p.Routers, net.AddNode())
+	}
+	for i := 0; i+1 < cfg.Routers; i++ {
+		fwd := net.AddLink(p.Routers[i], p.Routers[i+1], cfg.CoreBW, cfg.CoreDelay, cfg.Queue(cfg.BufferPkts, pps))
+		rev := net.AddLink(p.Routers[i+1], p.Routers[i], cfg.CoreBW, cfg.CoreDelay, cfg.Queue(cfg.BufferPkts, pps))
+		p.Forward = append(p.Forward, fwd)
+		p.Reverse = append(p.Reverse, rev)
+	}
+	for i := 0; i < cfg.Routers; i++ {
+		cloud := make([]*netem.Node, cfg.CloudSize)
+		for j := range cloud {
+			h := net.AddNode()
+			net.AddDuplexLink(h, p.Routers[i], cfg.EdgeBW, cfg.EdgeDelay,
+				queue.NewDropTail(10000), queue.NewDropTail(10000))
+			cloud[j] = h
+		}
+		p.Clouds = append(p.Clouds, cloud)
+	}
+	net.ComputeRoutes()
+	return p
+}

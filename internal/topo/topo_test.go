@@ -1,0 +1,196 @@
+package topo
+
+import (
+	"testing"
+
+	"pert/internal/netem"
+	"pert/internal/queue"
+	"pert/internal/sim"
+)
+
+func dt(limit int, _ float64) netem.Discipline { return queue.NewDropTail(limit) }
+
+func TestBDPPackets(t *testing.T) {
+	// 100 Mbps * 60 ms / (8 * 1040 B) = 721 packets.
+	got := BDPPackets(100e6, 60*sim.Millisecond, 1040)
+	if got != 721 {
+		t.Fatalf("BDP = %d, want 721", got)
+	}
+	if BDPPackets(1e6, 10*sim.Millisecond, 1040) != 1 {
+		t.Fatalf("small BDP = %d", BDPPackets(1e6, 10*sim.Millisecond, 1040))
+	}
+}
+
+func TestDumbbellStructure(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := netem.NewNetwork(eng)
+	d := NewDumbbell(net, DumbbellConfig{
+		Bandwidth: 100e6,
+		Delay:     20 * sim.Millisecond,
+		Hosts:     3,
+		RTTs:      []sim.Duration{60 * sim.Millisecond},
+		Queue:     dt,
+	})
+	if len(d.Left) != 3 || len(d.Right) != 3 {
+		t.Fatalf("hosts: %d/%d", len(d.Left), len(d.Right))
+	}
+	// 2 routers + 6 hosts.
+	if len(net.Nodes) != 8 {
+		t.Fatalf("nodes = %d", len(net.Nodes))
+	}
+	if d.Forward.From != d.R1 || d.Forward.To != d.R2 {
+		t.Fatal("forward link endpoints wrong")
+	}
+	if d.BufferPkts != 721 {
+		t.Fatalf("BDP buffer = %d, want 721", d.BufferPkts)
+	}
+	if d.CapacityPPS < 12019 || d.CapacityPPS > 12020 {
+		t.Fatalf("pps = %v", d.CapacityPPS)
+	}
+}
+
+func TestDumbbellRealizesRTT(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := netem.NewNetwork(eng)
+	rtts := []sim.Duration{60 * sim.Millisecond, 100 * sim.Millisecond}
+	d := NewDumbbell(net, DumbbellConfig{
+		Bandwidth: 1e9, // fast link: serialization negligible
+		Delay:     20 * sim.Millisecond,
+		Hosts:     2,
+		RTTs:      rtts,
+		Queue:     dt,
+	})
+	for i, want := range rtts {
+		i, want := i, want
+		// Ping: send a packet right and have a handler reflect it.
+		var rtt sim.Duration
+		sent := eng.Now()
+		reflect := handlerFunc(func(p *netem.Packet, now sim.Time) {
+			p.Src, p.Dst = p.Dst, p.Src
+			net.SendFrom(d.Right[i], p)
+		})
+		catch := handlerFunc(func(p *netem.Packet, now sim.Time) { rtt = now - sent })
+		d.Right[i].AttachFlow(100+i, reflect)
+		d.Left[i].AttachFlow(100+i, catch)
+		net.SendFrom(d.Left[i], &netem.Packet{ID: uint64(i), Flow: 100 + i, Src: d.Left[i].ID, Dst: d.Right[i].ID, Size: 40})
+		eng.Run(eng.Now() + sim.Second)
+		// Propagation RTT plus a few microseconds of serialization.
+		if rtt < want || rtt > want+sim.Millisecond {
+			t.Fatalf("pair %d: rtt = %v, want ~%v", i, rtt, want)
+		}
+	}
+}
+
+type handlerFunc func(p *netem.Packet, now sim.Time)
+
+func (f handlerFunc) Receive(p *netem.Packet, now sim.Time) { f(p, now) }
+
+func TestDumbbellBufferFloor(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := netem.NewNetwork(eng)
+	d := NewDumbbell(net, DumbbellConfig{
+		Bandwidth: 1e6, // BDP ~7 packets
+		Delay:     20 * sim.Millisecond,
+		Hosts:     20,
+		RTTs:      []sim.Duration{60 * sim.Millisecond},
+		Queue:     dt,
+	})
+	if d.BufferPkts < 40 {
+		t.Fatalf("buffer %d below 2*hosts floor", d.BufferPkts)
+	}
+}
+
+func TestDumbbellExplicitBuffer(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := netem.NewNetwork(eng)
+	d := NewDumbbell(net, DumbbellConfig{
+		Bandwidth: 100e6, Delay: 20 * sim.Millisecond, Hosts: 1,
+		RTTs: []sim.Duration{60 * sim.Millisecond}, BufferPkts: 123, Queue: dt,
+	})
+	if d.BufferPkts != 123 {
+		t.Fatalf("buffer = %d", d.BufferPkts)
+	}
+}
+
+func TestDumbbellValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := netem.NewNetwork(eng)
+	for name, cfg := range map[string]DumbbellConfig{
+		"no queue": {Bandwidth: 1e6, Hosts: 1},
+		"no hosts": {Bandwidth: 1e6, Queue: dt},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			NewDumbbell(net, cfg)
+		}()
+	}
+}
+
+func TestParkingLotStructure(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := netem.NewNetwork(eng)
+	p := NewParkingLot(net, ParkingLotConfig{
+		Routers:   6,
+		CloudSize: 4,
+		Queue:     dt,
+	})
+	if len(p.Routers) != 6 || len(p.Clouds) != 6 {
+		t.Fatalf("routers=%d clouds=%d", len(p.Routers), len(p.Clouds))
+	}
+	if len(p.Forward) != 5 || len(p.Reverse) != 5 {
+		t.Fatalf("core links fwd=%d rev=%d", len(p.Forward), len(p.Reverse))
+	}
+	for i, l := range p.Forward {
+		if l.From != p.Routers[i] || l.To != p.Routers[i+1] {
+			t.Fatalf("core link %d endpoints wrong", i)
+		}
+	}
+	// 6 routers + 24 hosts.
+	if len(net.Nodes) != 30 {
+		t.Fatalf("nodes = %d", len(net.Nodes))
+	}
+}
+
+func TestParkingLotEndToEndPath(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := netem.NewNetwork(eng)
+	p := NewParkingLot(net, ParkingLotConfig{Routers: 6, CloudSize: 2, Queue: dt})
+	src := p.Clouds[0][0]
+	dst := p.Clouds[5][1]
+	var arrived sim.Time
+	dst.AttachFlow(1, handlerFunc(func(_ *netem.Packet, now sim.Time) { arrived = now }))
+	net.SendFrom(src, &netem.Packet{ID: 1, Flow: 1, Src: src.ID, Dst: dst.ID, Size: 40})
+	eng.Run(sim.Second)
+	if arrived == 0 {
+		t.Fatal("through packet never arrived")
+	}
+	// 2 edge hops (5 ms each) + 5 core hops (5 ms each) = 35 ms plus
+	// serialization.
+	want := 35 * sim.Millisecond
+	if arrived < want || arrived > want+sim.Millisecond {
+		t.Fatalf("arrival %v, want ~%v", arrived, want)
+	}
+}
+
+func TestParkingLotValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := netem.NewNetwork(eng)
+	for name, cfg := range map[string]ParkingLotConfig{
+		"no queue":    {Routers: 3, CloudSize: 2},
+		"one router":  {Routers: 1, CloudSize: 2, Queue: dt},
+		"empty cloud": {Routers: 3, CloudSize: 0, Queue: dt},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			NewParkingLot(net, cfg)
+		}()
+	}
+}

@@ -1,0 +1,71 @@
+// Package trafficgen generates the paper's workloads: long-term FTP flows
+// (infinite-backlog TCP) and bursty web sessions in the style of Feldmann et
+// al. [11] — alternating exponential think times and heavy-tailed (Pareto)
+// object transfers carried over real short TCP connections.
+package trafficgen
+
+import (
+	"math"
+	"math/rand"
+
+	"pert/internal/sim"
+)
+
+// Pareto draws from a Pareto distribution with the given shape and mean
+// (shape must exceed 1 for the mean to exist). Web object sizes are
+// classically Pareto with shape 1.1-1.5.
+func Pareto(rng *rand.Rand, shape, mean float64) float64 {
+	if shape <= 1 {
+		panic("trafficgen: Pareto shape must exceed 1")
+	}
+	xm := mean * (shape - 1) / shape
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return xm / math.Pow(u, 1/shape)
+}
+
+// Exponential draws a duration with the given mean.
+func Exponential(rng *rand.Rand, mean sim.Duration) sim.Duration {
+	return sim.Duration(rng.ExpFloat64() * float64(mean))
+}
+
+// Geometric draws a positive integer with the given mean (>= 1) via
+// inversion: the number of objects on a web page.
+func Geometric(rng *rand.Rand, mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	k := 1 + int(math.Floor(math.Log(u)/math.Log(1-p)))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// Uniform draws a duration uniformly from [0, max).
+func Uniform(rng *rand.Rand, max sim.Duration) sim.Duration {
+	if max <= 0 {
+		return 0
+	}
+	return sim.Duration(rng.Int63n(int64(max)))
+}
+
+// IDs hands out unique flow identifiers across all generators in a scenario.
+type IDs struct{ next int }
+
+// NewIDs returns an allocator starting at 1.
+func NewIDs() *IDs { return &IDs{next: 1} }
+
+// Next returns a fresh flow ID.
+func (i *IDs) Next() int {
+	id := i.next
+	i.next++
+	return id
+}

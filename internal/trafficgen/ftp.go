@@ -1,0 +1,63 @@
+package trafficgen
+
+import (
+	"pert/internal/netem"
+	"pert/internal/sim"
+	"pert/internal/tcp"
+)
+
+// FTPConfig describes a fleet of long-term flows.
+type FTPConfig struct {
+	// CC builds one congestion controller per flow. Required.
+	CC func() tcp.CongestionControl
+	// Conn is the base connection config (ECN, payload, hooks); TotalSegs
+	// is forced to 0 (unbounded).
+	Conn tcp.Config
+	// StartWindow staggers flow starts uniformly over [0, StartWindow),
+	// the paper's (0, 50 s) rule scaled per experiment.
+	StartWindow sim.Duration
+	// StartAt offsets all starts (cohort arrivals in the Figure 12
+	// experiment).
+	StartAt sim.Time
+}
+
+// FTPFleet creates n unbounded flows from srcs[i%len] to dsts[i%len] with
+// randomized start times and returns them.
+func FTPFleet(net *netem.Network, ids *IDs, srcs, dsts []*netem.Node, n int, cfg FTPConfig) []*tcp.Flow {
+	if cfg.CC == nil {
+		panic("trafficgen: FTPConfig.CC is required")
+	}
+	rng := net.Engine().Rand()
+	flows := make([]*tcp.Flow, 0, n)
+	for i := 0; i < n; i++ {
+		conn := cfg.Conn
+		conn.TotalSegs = 0
+		f := tcp.NewFlow(net, srcs[i%len(srcs)], dsts[i%len(dsts)], ids.Next(), cfg.CC(), conn)
+		f.Start(cfg.StartAt + Uniform(rng, cfg.StartWindow))
+		flows = append(flows, f)
+	}
+	return flows
+}
+
+// Goodputs returns each flow's delivered payload bytes since the given
+// snapshot (use with GoodputSnapshot to window the measurement).
+func Goodputs(flows []*tcp.Flow, since []uint64) []float64 {
+	out := make([]float64, len(flows))
+	for i, f := range flows {
+		var base uint64
+		if since != nil {
+			base = since[i]
+		}
+		out[i] = float64(f.Sink.BytesGoodput - base)
+	}
+	return out
+}
+
+// GoodputSnapshot records each flow's delivered bytes for later windowing.
+func GoodputSnapshot(flows []*tcp.Flow) []uint64 {
+	out := make([]uint64, len(flows))
+	for i, f := range flows {
+		out[i] = f.Sink.BytesGoodput
+	}
+	return out
+}

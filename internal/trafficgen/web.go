@@ -1,0 +1,153 @@
+package trafficgen
+
+import (
+	"pert/internal/netem"
+	"pert/internal/sim"
+	"pert/internal/tcp"
+)
+
+// WebConfig parameterizes a web session per the guidelines of Feldmann et
+// al. [11]: pages arrive after exponential think times, each page carries a
+// geometric number of objects, and object sizes are heavy-tailed (Pareto).
+// Objects within a page are fetched sequentially over fresh TCP connections.
+type WebConfig struct {
+	MeanThink      sim.Duration // default 1 s
+	ObjectsPerPage float64      // geometric mean; default 2
+	ParetoShape    float64      // default 1.2
+	MeanObjectSegs float64      // mean object size in segments; default 12
+	// ParallelConns is how many objects of a page are fetched concurrently
+	// (browsers use 2-6 connections per host). Default 1 (sequential, the
+	// conservative classic model).
+	ParallelConns int
+
+	// CC builds the controller for each transfer; default Reno (web
+	// background traffic is standard TCP in all the paper's experiments).
+	CC func() tcp.CongestionControl
+	// Conn is the base connection configuration for transfers.
+	Conn tcp.Config
+
+	// OnObject, when set, observes every completed object transfer with
+	// its size and flow completion time — the user-facing web-latency
+	// metric (see the ext-fct experiment).
+	OnObject func(segs int64, fct sim.Duration)
+}
+
+func (c *WebConfig) applyDefaults() {
+	if c.MeanThink == 0 {
+		c.MeanThink = sim.Second
+	}
+	if c.ObjectsPerPage == 0 {
+		c.ObjectsPerPage = 2
+	}
+	if c.ParetoShape == 0 {
+		c.ParetoShape = 1.2
+	}
+	if c.MeanObjectSegs == 0 {
+		c.MeanObjectSegs = 12
+	}
+	if c.ParallelConns == 0 {
+		c.ParallelConns = 1
+	}
+	if c.CC == nil {
+		c.CC = func() tcp.CongestionControl { return tcp.Reno{} }
+	}
+}
+
+// WebSession alternates think times and page fetches between a client and a
+// server node for the lifetime of the simulation.
+type WebSession struct {
+	net  *netem.Network
+	eng  *sim.Engine
+	ids  *IDs
+	src  *netem.Node
+	dst  *netem.Node
+	cfg  WebConfig
+	stop bool
+
+	// Stats.
+	Pages         uint64
+	Objects       uint64
+	SegsRequested uint64
+
+	remaining   int // objects left on the current page
+	outstanding int // transfers currently in flight
+}
+
+// StartWebSession begins a session at time at.
+func StartWebSession(net *netem.Network, ids *IDs, src, dst *netem.Node, cfg WebConfig, at sim.Time) *WebSession {
+	cfg.applyDefaults()
+	w := &WebSession{net: net, eng: net.Engine(), ids: ids, src: src, dst: dst, cfg: cfg}
+	w.eng.At(at, w.think)
+	return w
+}
+
+// Stop ends the session after the in-flight object completes.
+func (w *WebSession) Stop() { w.stop = true }
+
+func (w *WebSession) think() {
+	if w.stop {
+		return
+	}
+	delay := Exponential(w.eng.Rand(), w.cfg.MeanThink)
+	w.eng.After(delay, func() {
+		if w.stop {
+			return
+		}
+		w.Pages++
+		w.remaining = Geometric(w.eng.Rand(), w.cfg.ObjectsPerPage)
+		w.pump()
+	})
+}
+
+// pump launches object transfers until the page's parallelism budget is
+// filled, and returns to thinking when the page completes.
+func (w *WebSession) pump() {
+	if w.stop {
+		return
+	}
+	if w.remaining == 0 && w.outstanding == 0 {
+		w.think()
+		return
+	}
+	for w.remaining > 0 && w.outstanding < w.cfg.ParallelConns {
+		w.remaining--
+		w.outstanding++
+		w.fetchOne()
+	}
+}
+
+// fetchOne transfers a single object over a fresh connection.
+func (w *WebSession) fetchOne() {
+	segs := int64(Pareto(w.eng.Rand(), w.cfg.ParetoShape, w.cfg.MeanObjectSegs))
+	if segs < 1 {
+		segs = 1
+	}
+	w.Objects++
+	w.SegsRequested += uint64(segs)
+	conn := w.cfg.Conn
+	conn.TotalSegs = segs
+	var f *tcp.Flow
+	started := w.eng.Now()
+	conn.OnComplete = func(done sim.Time) {
+		f.Sink.Close()
+		w.outstanding--
+		if w.cfg.OnObject != nil {
+			w.cfg.OnObject(segs, done-started)
+		}
+		w.pump()
+	}
+	f = tcp.NewFlow(w.net, w.src, w.dst, w.ids.Next(), w.cfg.CC(), conn)
+	f.Start(w.eng.Now())
+}
+
+// WebFleet starts n sessions between alternating (src, dst) pairs, each with
+// a start time uniform in [0, startWindow).
+func WebFleet(net *netem.Network, ids *IDs, srcs, dsts []*netem.Node, n int, cfg WebConfig, startWindow sim.Duration) []*WebSession {
+	rng := net.Engine().Rand()
+	out := make([]*WebSession, 0, n)
+	for i := 0; i < n; i++ {
+		s := StartWebSession(net, ids, srcs[i%len(srcs)], dsts[i%len(dsts)], cfg, Uniform(rng, startWindow))
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package trafficgen
+
+import (
+	"testing"
+
+	"pert/internal/sim"
+)
+
+func TestParallelConnsFetchConcurrently(t *testing.T) {
+	eng, d := bed(21)
+	ids := NewIDs()
+	var maxOutstanding int
+	s := StartWebSession(d.Net, ids, d.Left[0], d.Right[0], WebConfig{
+		MeanThink:      200 * sim.Millisecond,
+		ObjectsPerPage: 6,
+		ParallelConns:  3,
+	}, 0)
+	eng.Every(0, sim.Millisecond, func(sim.Time) {
+		if s.outstanding > maxOutstanding {
+			maxOutstanding = s.outstanding
+		}
+	})
+	eng.Run(60 * sim.Second)
+	if s.Pages < 10 {
+		t.Fatalf("pages = %d", s.Pages)
+	}
+	if maxOutstanding != 3 {
+		t.Fatalf("max outstanding = %d, want 3 (parallelism bound)", maxOutstanding)
+	}
+}
+
+func TestParallelConnsFasterPages(t *testing.T) {
+	run := func(par int) uint64 {
+		eng, d := bed(22)
+		ids := NewIDs()
+		s := StartWebSession(d.Net, ids, d.Left[0], d.Right[0], WebConfig{
+			MeanThink:      100 * sim.Millisecond,
+			ObjectsPerPage: 6,
+			ParallelConns:  par,
+		}, 0)
+		eng.Run(120 * sim.Second)
+		return s.Pages
+	}
+	seq := run(1)
+	par := run(4)
+	if par <= seq {
+		t.Fatalf("parallel fetching completed %d pages vs %d sequential", par, seq)
+	}
+}
+
+func TestSequentialDefaultUnchanged(t *testing.T) {
+	// ParallelConns default 1 must behave sequentially: never more than one
+	// transfer in flight.
+	eng, d := bed(23)
+	ids := NewIDs()
+	s := StartWebSession(d.Net, ids, d.Left[0], d.Right[0], WebConfig{MeanThink: 100 * sim.Millisecond}, 0)
+	bad := false
+	eng.Every(0, sim.Millisecond, func(sim.Time) {
+		if s.outstanding > 1 {
+			bad = true
+		}
+	})
+	eng.Run(30 * sim.Second)
+	if bad {
+		t.Fatal("default config had concurrent transfers")
+	}
+	if s.Objects == 0 {
+		t.Fatal("no progress")
+	}
+}

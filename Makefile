@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench results results-paper fuzz clean
+.PHONY: all build test vet check bench results results-paper fuzz clean
 
-all: build vet test
+all: build check
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Full gate: vet plus the test suite under the race detector (exercises the
+# harness and the parallel sweep workers).
+check: vet
+	$(GO) test -race -timeout 20m ./...
 
 # Full benchmark run: every paper figure/table at quick scale, ablations,
 # and substrate micro-benchmarks.

@@ -9,6 +9,7 @@
 package pert
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -26,13 +27,18 @@ import (
 // runExperiment executes a registered experiment once per iteration.
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
-	run := experiments.Registry[id]
-	if run == nil {
+	exp, ok := experiments.ByID(id)
+	if !ok {
 		b.Fatalf("unknown experiment %q", id)
 	}
+	ctx := context.Background()
 	var tables []*experiments.Table
 	for i := 0; i < b.N; i++ {
-		tables = run(experiments.Quick)
+		var err error
+		tables, err = exp.Run(ctx, experiments.Quick)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
 	}
 	rows := 0
 	for _, t := range tables {

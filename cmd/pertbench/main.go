@@ -4,34 +4,50 @@
 // Usage:
 //
 //	pertbench [-scale quick|paper] [-exp fig6,fig7,...|all] [-format text|json|csv]
+//	          [-json] [-progress] [-parallel N] [-timeout D]
 //
 // Quick scale (default) shrinks bandwidth and duration while preserving the
 // dimensionless shape of each experiment; paper scale runs the publication's
 // exact parameters (much slower).
+//
+// -json emits one machine-readable report for the whole sweep (schema in
+// EXPERIMENTS.md): per-run wall time, sim-event throughput, all tables, and
+// error entries for runs that failed — a failing experiment does not stop
+// the others. -progress streams per-run progress lines to stderr. Ctrl-C
+// cancels the sweep between scenarios.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"pert/internal/experiments"
+	"pert/internal/harness"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pertbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	scaleFlag := fs.String("scale", "quick", "experiment scale: quick or paper")
 	expFlag := fs.String("exp", "all", "comma-separated experiment IDs (fig2..fig14, table1, ext-*) or 'all'")
 	format := fs.String("format", "text", "output format: text, json, or csv")
+	jsonReport := fs.Bool("json", false, "emit a single JSON report for the whole sweep (overrides -format)")
+	progress := fs.Bool("progress", false, "stream per-run progress lines to stderr")
 	parallel := fs.Int("parallel", 0, "simulation worker count for sweeps (0 = all cores)")
+	timeout := fs.Duration("timeout", 0, "per-run timeout (0 = none); a timed-out run fails, the sweep continues")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -49,8 +65,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "pertbench: unknown scale %q (want quick or paper)\n", *scaleFlag)
 		return 2
 	}
-	if *parallel > 0 {
-		experiments.SetParallelism(*parallel)
+	switch *format {
+	case "text", "json", "csv":
+	default:
+		fmt.Fprintf(stderr, "pertbench: unknown format %q\n", *format)
+		return 2
 	}
 
 	var ids []string
@@ -59,15 +78,56 @@ func run(args []string, stdout, stderr io.Writer) int {
 	} else {
 		ids = strings.Split(*expFlag, ",")
 	}
+	var exps []experiments.Experiment
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
-		runExp, ok := experiments.Registry[id]
+		exp, ok := experiments.ByID(id)
 		if !ok {
+			if *jsonReport {
+				// In report mode an unknown ID becomes an error entry so
+				// the rest of the sweep still runs and is recorded.
+				exps = append(exps, failingExperiment(id))
+				continue
+			}
 			fmt.Fprintf(stderr, "pertbench: unknown experiment %q (use -list)\n", id)
 			return 2
 		}
-		start := time.Now()
-		for _, table := range runExp(scale) {
+		exps = append(exps, exp)
+	}
+
+	opts := harness.Options{Workers: *parallel, Timeout: *timeout}
+	if *progress {
+		opts.Sink = harness.NewWriterSink(stderr)
+		opts.ProgressInterval = time.Second
+	}
+	rep, runErr := harness.Run(ctx, exps, scale, opts)
+
+	if *jsonReport {
+		if err := rep.WriteJSON(stdout); err != nil {
+			fmt.Fprintf(stderr, "pertbench: %v\n", err)
+			return 1
+		}
+		if runErr != nil {
+			fmt.Fprintf(stderr, "pertbench: %v\n", runErr)
+			return 1
+		}
+		if len(rep.Failed()) > 0 {
+			for _, f := range rep.Failed() {
+				fmt.Fprintf(stderr, "pertbench: %s: %s\n", f.ID, f.Error)
+			}
+			return 1
+		}
+		return 0
+	}
+
+	code := 0
+	for _, rec := range rep.Runs {
+		if rec.Error != "" {
+			fmt.Fprintf(stderr, "pertbench: %s: %s\n", rec.ID, rec.Error)
+			code = 1
+			continue
+		}
+		for _, table := range rec.Tables {
 			switch *format {
 			case "json":
 				if err := table.FprintJSON(stdout); err != nil {
@@ -78,14 +138,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 				table.FprintCSV(stdout)
 			case "text":
 				table.Fprint(stdout)
-			default:
-				fmt.Fprintf(stderr, "pertbench: unknown format %q\n", *format)
-				return 2
 			}
 		}
 		if *format == "text" {
-			fmt.Fprintf(stdout, "[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+			wall := time.Duration(rec.WallSeconds * float64(time.Second))
+			fmt.Fprintf(stdout, "[%s completed in %v]\n\n", rec.ID, wall.Round(time.Millisecond))
 		}
 	}
-	return 0
+	if runErr != nil {
+		fmt.Fprintf(stderr, "pertbench: %v\n", runErr)
+		return 1
+	}
+	return code
+}
+
+// failingExperiment is a placeholder whose run always errors — how report
+// mode records experiment IDs that don't exist.
+func failingExperiment(id string) experiments.Experiment {
+	return experiments.Experiment{
+		ID:    id,
+		Title: "unknown experiment",
+		Run: func(context.Context, experiments.Scale) ([]*experiments.Table, error) {
+			return nil, fmt.Errorf("unknown experiment %q (use -list)", id)
+		},
+	}
 }

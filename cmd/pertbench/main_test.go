@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -9,7 +10,7 @@ import (
 
 func TestListIDs(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("exit %d", code)
 	}
 	ids := strings.Fields(out.String())
@@ -31,7 +32,7 @@ func TestListIDs(t *testing.T) {
 
 func TestFig5Text(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-exp", "fig5"}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"-exp", "fig5"}, &out, &errb); code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
 	s := out.String()
@@ -42,7 +43,7 @@ func TestFig5Text(t *testing.T) {
 
 func TestFig13JSON(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-exp", "fig13", "-format", "json"}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"-exp", "fig13", "-format", "json"}, &out, &errb); code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
 	dec := json.NewDecoder(strings.NewReader(out.String()))
@@ -67,7 +68,7 @@ func TestFig13JSON(t *testing.T) {
 
 func TestFig5CSV(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-exp", "fig5", "-format", "csv"}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"-exp", "fig5", "-format", "csv"}, &out, &errb); code != 0 {
 		t.Fatalf("exit %d", code)
 	}
 	first := strings.SplitN(out.String(), "\n", 2)[0]
@@ -76,18 +77,98 @@ func TestFig5CSV(t *testing.T) {
 	}
 }
 
+// TestJSONReport exercises the acceptance scenario: a sweep where one
+// experiment ID is bogus still runs the others, records the failure as an
+// error entry, and exits nonzero with a valid report on stdout.
+func TestJSONReport(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run(context.Background(), []string{"-json", "-exp", "fig5,fig13,nope"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d (want 1), stderr: %s", code, errb.String())
+	}
+	var rep struct {
+		SchemaVersion int     `json:"schema_version"`
+		Version       string  `json:"version"`
+		Scale         string  `json:"scale"`
+		Workers       int     `json:"workers"`
+		WallSeconds   float64 `json:"wall_seconds"`
+		SimEvents     uint64  `json:"sim_events"`
+		Runs          []struct {
+			ID          string  `json:"id"`
+			WallSeconds float64 `json:"wall_seconds"`
+			SimEvents   uint64  `json:"sim_events"`
+			Error       string  `json:"error"`
+			Tables      []struct {
+				ID      string     `json:"id"`
+				Columns []string   `json:"columns"`
+				Rows    [][]string `json:"rows"`
+			} `json:"tables"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid report JSON: %v\n%s", err, out.String())
+	}
+	if rep.SchemaVersion != 1 || rep.Scale != "quick" || rep.Workers < 1 || rep.Version == "" {
+		t.Fatalf("report metadata: %+v", rep)
+	}
+	if len(rep.Runs) != 3 {
+		t.Fatalf("runs = %d", len(rep.Runs))
+	}
+	byID := map[string]int{}
+	for i, r := range rep.Runs {
+		byID[r.ID] = i
+	}
+	fail := rep.Runs[byID["nope"]]
+	if fail.Error == "" || len(fail.Tables) != 0 {
+		t.Fatalf("failing run: %+v", fail)
+	}
+	// fig5 is analytic: wall time is recorded but no sim events accrue.
+	fig5 := rep.Runs[byID["fig5"]]
+	if fig5.Error != "" || len(fig5.Tables) != 1 || fig5.WallSeconds <= 0 {
+		t.Fatalf("fig5 run: %+v", fig5)
+	}
+	if len(fig5.Tables[0].Rows) == 0 || len(fig5.Tables[0].Columns) == 0 {
+		t.Fatalf("fig5 table empty: %+v", fig5.Tables[0])
+	}
+	fig13 := rep.Runs[byID["fig13"]]
+	if fig13.Error != "" || len(fig13.Tables) != 2 {
+		t.Fatalf("fig13 run: %+v", fig13)
+	}
+}
+
+func TestProgressLines(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-exp", "fig13", "-progress"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	s := errb.String()
+	if !strings.Contains(s, "fig13: started") || !strings.Contains(s, "fig13: done in") {
+		t.Fatalf("progress lines:\n%s", s)
+	}
+}
+
+func TestCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errb bytes.Buffer
+	if code := run(ctx, []string{"-exp", "fig5"}, &out, &errb); code != 1 {
+		t.Fatalf("cancelled exit = %d", code)
+	}
+}
+
 func TestErrors(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-exp", "nope"}, &out, &errb); code != 2 {
+	ctx := context.Background()
+	if code := run(ctx, []string{"-exp", "nope"}, &out, &errb); code != 2 {
 		t.Fatalf("unknown experiment exit = %d", code)
 	}
-	if code := run([]string{"-scale", "huge"}, &out, &errb); code != 2 {
+	if code := run(ctx, []string{"-scale", "huge"}, &out, &errb); code != 2 {
 		t.Fatalf("unknown scale exit = %d", code)
 	}
-	if code := run([]string{"-exp", "fig5", "-format", "xml"}, &out, &errb); code != 2 {
+	if code := run(ctx, []string{"-exp", "fig5", "-format", "xml"}, &out, &errb); code != 2 {
 		t.Fatalf("unknown format exit = %d", code)
 	}
-	if code := run([]string{"-bogusflag"}, &out, &errb); code != 2 {
+	if code := run(ctx, []string{"-bogusflag"}, &out, &errb); code != 2 {
 		t.Fatalf("bad flag exit = %d", code)
 	}
 }

@@ -7,6 +7,7 @@
 //
 //	pertsim -scheme PERT -bw 50e6 -rtt 60ms -flows 20 -web 50 -dur 60s
 //	pertsim -config scenario.json -trace pkts.tr -qseries queue.csv
+//	pertsim -scheme Vegas -json     # one-row table in the stable JSON schema
 package main
 
 import (
@@ -43,10 +44,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	warm := fs.Duration("warm", 15*time.Second, "measurement window start")
 	seed := fs.Int64("seed", 1, "RNG seed")
 	jitter := fs.Duration("jitter", 0, "uniform per-packet access-link delay jitter bound")
+	jsonOut := fs.Bool("json", false, "emit the result as a one-row JSON table (schema in EXPERIMENTS.md)")
 	config := fs.String("config", "", "load the scenario from a JSON file (overrides topology/traffic flags)")
 	tracePath := fs.String("trace", "", "write an ns-2-style packet trace of the bottleneck to this file")
 	qseriesPath := fs.String("qseries", "", "write a queue-length time series (CSV) to this file")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if !experiments.Scheme(*scheme).Known() {
+		fmt.Fprintf(stderr, "pertsim: unknown scheme %q\n", *scheme)
 		return 2
 	}
 
@@ -131,6 +137,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, c := range cleanups {
 		c()
 	}
+	if *jsonOut {
+		if err := resultTable(spec, res).FprintJSON(stdout); err != nil {
+			fmt.Fprintf(stderr, "pertsim: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 	fmt.Fprintf(stdout, "scheme         %s\n", res.Scheme)
 	fmt.Fprintf(stdout, "buffer         %d packets\n", res.BufferPkts)
 	fmt.Fprintf(stdout, "avg queue      %.2f packets (%.3f of buffer)\n", res.AvgQueue, res.NormQueue)
@@ -141,6 +154,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "utilization    %.3f\n", res.Utilization)
 	fmt.Fprintf(stdout, "jain fairness  %.3f\n", res.Jain)
 	return 0
+}
+
+// resultTable renders one scenario result in the stable JSON table schema,
+// so single runs feed the same plotting pipelines as pertbench sweeps.
+func resultTable(spec experiments.DumbbellSpec, res experiments.DumbbellResult) *experiments.Table {
+	t := &experiments.Table{
+		ID:    "pertsim",
+		Title: "Single-bottleneck scenario result",
+		Header: []string{"scheme", "seed", "buffer_pkts", "avg_queue_pkts", "norm_queue",
+			"delay_p50_ms", "delay_p99_ms", "drop_rate", "mark_rate", "utilization", "jain"},
+		Units: map[string]string{
+			"buffer_pkts":    "packets",
+			"avg_queue_pkts": "packets",
+			"norm_queue":     "fraction of buffer",
+			"delay_p50_ms":   "ms",
+			"delay_p99_ms":   "ms",
+			"drop_rate":      "fraction",
+			"mark_rate":      "fraction",
+			"utilization":    "fraction",
+			"jain":           "index",
+		},
+	}
+	t.AddRow(string(res.Scheme), fmt.Sprint(spec.Seed), fmt.Sprint(res.BufferPkts),
+		fmt.Sprintf("%.2f", res.AvgQueue), fmt.Sprintf("%.3f", res.NormQueue),
+		fmt.Sprintf("%.2f", res.DelayP50*1000), fmt.Sprintf("%.2f", res.DelayP99*1000),
+		fmt.Sprintf("%.3g", res.DropRate), fmt.Sprintf("%.3g", res.MarkRate),
+		fmt.Sprintf("%.3f", res.Utilization), fmt.Sprintf("%.3f", res.Jain))
+	return t
 }
 
 // createBuffered opens path for writing with a buffer; the returned func

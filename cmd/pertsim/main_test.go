@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -65,10 +66,43 @@ func TestHeterogeneousRTTs(t *testing.T) {
 	}
 }
 
+func TestJSONOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-scheme", "PERT", "-bw", "10e6", "-flows", "3",
+		"-dur", "12s", "-warm", "4s", "-seed", "9", "-json"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	var tab struct {
+		ID      string            `json:"id"`
+		Columns []string          `json:"columns"`
+		Rows    [][]string        `json:"rows"`
+		Units   map[string]string `json:"units"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &tab); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if tab.ID != "pertsim" || len(tab.Rows) != 1 {
+		t.Fatalf("table: %+v", tab)
+	}
+	if len(tab.Rows[0]) != len(tab.Columns) {
+		t.Fatalf("row width %d vs %d columns", len(tab.Rows[0]), len(tab.Columns))
+	}
+	if tab.Rows[0][0] != "PERT" || tab.Rows[0][1] != "9" {
+		t.Fatalf("row: %v", tab.Rows[0])
+	}
+	if tab.Units["avg_queue_pkts"] != "packets" {
+		t.Fatalf("units: %v", tab.Units)
+	}
+}
+
 func TestErrorPaths(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-rtts", "garbage"}, &out, &errb); code != 2 {
 		t.Fatalf("bad rtts exit = %d", code)
+	}
+	if code := run([]string{"-scheme", "TURBO"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown scheme exit = %d", code)
 	}
 	if code := run([]string{"-config", "/nonexistent/x.json"}, &out, &errb); code != 1 {
 		t.Fatalf("missing config exit = %d", code)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"pert/internal/netem"
@@ -18,7 +19,10 @@ import (
 // population PERT should lose throughput share. The sweep varies the PERT
 // fraction of a fixed flow population and reports each group's mean per-flow
 // goodput share and the usual link panels.
-func ExtCoexist(scale Scale) *Table {
+func ExtCoexist(ctx context.Context, scale Scale) (*Table, error) {
+	if err := checkRun(ctx, scale); err != nil {
+		return nil, err
+	}
 	dur, from, until, sw := scale.window()
 	bwMbps, total := 30.0, 16
 	if scale == Paper {
@@ -31,6 +35,9 @@ func ExtCoexist(scale Scale) *Table {
 			"share_ratio", "avg_queue_pkts", "drop_rate", "utilization"},
 	}
 	for i, frac := range []float64{0.25, 0.5, 0.75, 1.0} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		nPert := int(frac * float64(total))
 		nSack := total - nPert
 		r := runCoexist(9500+int64(i), bwMbps*1e6, nPert, nSack, dur, from, until, sw)
@@ -45,7 +52,7 @@ func ExtCoexist(scale Scale) *Table {
 		"shares are mean per-flow goodput fractions of link capacity",
 		"the paper's Section 7 open issue: proactive flows concede bandwidth to loss-based ones;",
 		"the adaptive pro-activeness mechanisms (core.AdaptiveResponder) are its sketched mitigations")
-	return t
+	return t, nil
 }
 
 type coexistResult struct {

@@ -96,6 +96,9 @@ func (c ScenarioConfig) Spec() (DumbbellSpec, Scheme, error) {
 	if c.Scheme == "" {
 		scheme = PERT
 	}
+	if !scheme.Known() {
+		return fail(fmt.Errorf("experiments: unknown scheme %q", c.Scheme))
+	}
 	return spec, scheme, nil
 }
 

@@ -61,13 +61,19 @@ func TestLoadScenarioDefaults(t *testing.T) {
 
 func TestLoadScenarioRejectsBadInput(t *testing.T) {
 	cases := map[string]string{
-		"garbage":       `nope`,
-		"unknown field": `{"bandwidth_bps":1e6,"flows":1,"duration":"1s","bogus":1}`,
-		"no bandwidth":  `{"flows":1,"duration":"10s"}`,
-		"no traffic":    `{"bandwidth_bps":1e6,"duration":"10s"}`,
-		"no duration":   `{"bandwidth_bps":1e6,"flows":1}`,
-		"bad rtt":       `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","rtts":["abc"]}`,
-		"bad jitter":    `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","access_jitter":"xyz"}`,
+		"garbage":               `nope`,
+		"unknown field":         `{"bandwidth_bps":1e6,"flows":1,"duration":"1s","bogus":1}`,
+		"no bandwidth":          `{"flows":1,"duration":"10s"}`,
+		"no traffic":            `{"bandwidth_bps":1e6,"duration":"10s"}`,
+		"no duration":           `{"bandwidth_bps":1e6,"flows":1}`,
+		"bad rtt":               `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","rtts":["abc"]}`,
+		"bad jitter":            `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","access_jitter":"xyz"}`,
+		"negative duration":     `{"bandwidth_bps":1e6,"flows":1,"duration":"-5s"}`,
+		"negative jitter":       `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","access_jitter":"-2ms"}`,
+		"negative start window": `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","start_window":"-1s"}`,
+		"measure_from at end":   `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","measure_from":"10s"}`,
+		"bad target_delay":      `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","target_delay":"-3ms"}`,
+		"unknown scheme":        `{"scheme":"TURBO","bandwidth_bps":1e6,"flows":1,"duration":"10s"}`,
 	}
 	for name, in := range cases {
 		if _, _, err := LoadScenario(strings.NewReader(in)); err == nil {

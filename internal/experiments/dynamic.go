@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"pert/internal/netem"
@@ -16,7 +17,13 @@ import (
 // fast the scheme converges to the new fair share. The paper shows PERT (its
 // Figure 12) with SACK/RED-ECN and Vegas in the companion thesis; we run all
 // four schemes.
-func Fig12(scale Scale, scheme Scheme) *Table {
+func Fig12(ctx context.Context, scale Scale, scheme Scheme) (*Table, error) {
+	if err := checkRun(ctx, scale); err != nil {
+		return nil, err
+	}
+	if !scheme.Known() {
+		return nil, fmt.Errorf("experiments: unknown scheme %q", scheme)
+	}
 	cohortSize := 25
 	phase := seconds(100) // paper: +25 flows every 100 s, then -25 every 100 s
 	bw := 150e6
@@ -64,6 +71,7 @@ func Fig12(scale Scale, scheme Scheme) *Table {
 	t := &Table{
 		ID:     "fig12",
 		Title:  fmt.Sprintf("Dynamic behaviour under cohort arrivals/departures (%s, %d flows per cohort)", scheme, cohortSize),
+		XLabel: "interval",
 		Header: []string{"interval", "active"},
 	}
 	for c := 0; c < nCohorts; c++ {
@@ -75,6 +83,9 @@ func Fig12(scale Scale, scheme Scheme) *Table {
 		prev[c] = trafficgen.GoodputSnapshot(cohorts[c])
 	}
 	for step := 0; step < 2*nCohorts; step++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		eng.Run(sim.Time(step+1) * phase)
 		active := 0
 		row := []string{
@@ -98,5 +109,5 @@ func Fig12(scale Scale, scheme Scheme) *Table {
 		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes, "cohort shares should converge to bandwidth/active_cohorts within each interval")
-	return t
+	return t, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -13,19 +14,23 @@ func TestRegistryComplete(t *testing.T) {
 		"fig9", "fig11", "fig12", "fig13", "fig14", "table1",
 		"ext-aqm", "ext-validation", "ext-jitter", "ext-delaycc", "ext-highspeed", "ext-coexist", "ext-fct", "ext-threshold", "ext-stability", "ext-replicated"}
 	for _, id := range want {
-		if Registry[id] == nil {
+		exp, ok := ByID(id)
+		if !ok || exp.Run == nil {
 			t.Errorf("experiment %q not registered", id)
 		}
+		if ok && exp.Title == "" {
+			t.Errorf("experiment %q has no title", id)
+		}
 	}
-	if len(Registry) != len(want) {
-		t.Errorf("registry has %d entries, want %d", len(Registry), len(want))
+	if len(Experiments) != len(want) {
+		t.Errorf("registry has %d entries, want %d", len(Experiments), len(want))
 	}
 }
 
 func TestIDsOrdered(t *testing.T) {
 	ids := IDs()
-	if len(ids) != len(Registry) {
-		t.Fatalf("IDs() returned %d of %d", len(ids), len(Registry))
+	if len(ids) != len(Experiments) {
+		t.Fatalf("IDs() returned %d of %d", len(ids), len(Experiments))
 	}
 	if ids[0] != "fig2" || ids[len(ids)-1] != "table1" {
 		t.Fatalf("ordering: %v", ids)
@@ -104,7 +109,10 @@ func TestFormatters(t *testing.T) {
 }
 
 func TestFig5CurveTable(t *testing.T) {
-	tab := Fig5()
+	tab, err := Fig5(context.Background(), Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) < 10 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
@@ -125,11 +133,18 @@ func TestFig5CurveTable(t *testing.T) {
 }
 
 func TestFig13Tables(t *testing.T) {
-	a := Fig13a()
+	ctx := context.Background()
+	a, err := Fig13a(ctx, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(a.Rows) != 8 {
 		t.Fatalf("fig13a rows = %d", len(a.Rows))
 	}
-	bcd := Fig13bcd()
+	bcd, err := Fig13bcd(ctx, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(bcd.Rows) != 4 {
 		t.Fatalf("fig13bcd rows = %d", len(bcd.Rows))
 	}

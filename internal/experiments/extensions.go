@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -19,7 +20,10 @@ import (
 // citation list (Adaptive RED, PI, REM, AVQ, all with ECN), on the standard
 // dumbbell workload. The paper's thesis predicts the end-host column should
 // track its router counterpart.
-func ExtAQM(scale Scale) *Table {
+func ExtAQM(ctx context.Context, scale Scale) (*Table, error) {
+	if err := checkRun(ctx, scale); err != nil {
+		return nil, err
+	}
 	dur, from, until, sw := scale.window()
 	bwMbps, flows, webs := 30.0, 12, 25
 	if scale == Paper {
@@ -44,6 +48,9 @@ func ExtAQM(scale Scale) *Table {
 		{SackDroptail, "no AQM"},
 	}
 	for i, row := range rows {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r := RunDumbbell(DumbbellSpec{
 			Seed:      9000 + int64(i),
 			Bandwidth: bwMbps * 1e6,
@@ -55,7 +62,7 @@ func ExtAQM(scale Scale) *Table {
 			sci(r.DropRate), sci(r.MarkRate), f3(r.Utilization), f3(r.Jain))
 	}
 	t.Notes = append(t.Notes, "extension beyond the paper: REM and AVQ complete its cited AQM list")
-	return t
+	return t, nil
 }
 
 // ExtJitter probes the robustness question behind the paper's Section 2:
@@ -64,7 +71,10 @@ func ExtAQM(scale Scale) *Table {
 // link and PERT is compared with Sack/Droptail across jitter magnitudes — if
 // the srtt_0.99 smoothing does its job, PERT's queue/loss advantage must
 // survive noise comparable to its own thresholds (5-10 ms).
-func ExtJitter(scale Scale) *Table {
+func ExtJitter(ctx context.Context, scale Scale) (*Table, error) {
+	if err := checkRun(ctx, scale); err != nil {
+		return nil, err
+	}
 	dur, from, until, sw := scale.window()
 	bwMbps, flows := 30.0, 12
 	if scale == Paper {
@@ -76,6 +86,9 @@ func ExtJitter(scale Scale) *Table {
 		Header: []string{"jitter_ms", "scheme", "avg_queue_pkts", "drop_rate", "utilization", "jain"},
 	}
 	for i, jMs := range []float64{0, 2, 5, 10} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		spec := DumbbellSpec{
 			Seed:      9200 + int64(i),
 			Bandwidth: bwMbps * 1e6,
@@ -101,7 +114,7 @@ func ExtJitter(scale Scale) *Table {
 		"jitter is uniform per packet on all four access links of each path (order-preserving)",
 		"fixed 5/10 ms thresholds starve once noise reaches their scale — the [21]/[26] critique;",
 		"thresholds above the noise floor restore PERT's behaviour at the cost of a longer queue")
-	return t
+	return t, nil
 }
 
 // ExtDelayCC compares the full lineage of delay-based congestion avoidance
@@ -110,7 +123,10 @@ func ExtJitter(scale Scale) *Table {
 // DropTail bottleneck. The paper evaluates these schemes only as predictors
 // (Figure 3); this extension closes the loop and shows how prediction
 // quality translates into queue/loss/fairness behaviour.
-func ExtDelayCC(scale Scale) *Table {
+func ExtDelayCC(ctx context.Context, scale Scale) (*Table, error) {
+	if err := checkRun(ctx, scale); err != nil {
+		return nil, err
+	}
 	dur, from, until, sw := scale.window()
 	bwMbps, flows := 30.0, 12
 	if scale == Paper {
@@ -142,19 +158,25 @@ func ExtDelayCC(scale Scale) *Table {
 		{"Sack (loss-based)", "-", func() tcp.CongestionControl { return tcp.Reno{} }},
 	}
 	for i, row := range rows {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r := RunDumbbellWith(spec(9300+int64(i)), row.cc)
 		t.AddRow(row.name, row.year, f2(r.AvgQueue), f2(r.DelayP99*1000),
 			sci(r.DropRate), f3(r.Utilization), f3(r.Jain))
 	}
 	t.Notes = append(t.Notes, "all schemes over plain DropTail; homogeneous populations (no co-existence)")
-	return t
+	return t, nil
 }
 
 // ExtHighSpeed tests the paper's footnote 1: PERT's early response is argued
 // to compose with any loss-based probing, including aggressive high-speed
 // variants. On a large-BDP dumbbell, HighSpeed TCP (RFC 3649) runs bare and
 // with PERT layered on top of its growth engine.
-func ExtHighSpeed(scale Scale) *Table {
+func ExtHighSpeed(ctx context.Context, scale Scale) (*Table, error) {
+	if err := checkRun(ctx, scale); err != nil {
+		return nil, err
+	}
 	dur, from, until, sw := scale.window()
 	bw, rtt, flows := 100e6, ms(100), 4
 	if scale == Paper {
@@ -175,6 +197,9 @@ func ExtHighSpeed(scale Scale) *Table {
 		{"PERT over Reno", func() tcp.CongestionControl { return tcp.NewPERTRed() }},
 	}
 	for i, row := range rows {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r := RunDumbbellWith(DumbbellSpec{
 			Seed:      9400 + int64(i),
 			Bandwidth: bw,
@@ -186,7 +211,7 @@ func ExtHighSpeed(scale Scale) *Table {
 			f3(r.Utilization), f3(r.Jain))
 	}
 	t.Notes = append(t.Notes, "footnote 1: the early-response argument holds for any loss-based probing")
-	return t
+	return t, nil
 }
 
 // ExtValidation cross-validates the packet-level simulator against the
@@ -194,7 +219,10 @@ func ExtHighSpeed(scale Scale) *Table {
 // fluid equilibrium (9) predicts the stationary window W* = RC/N and the
 // queueing delay Tq* = Tmin + p*/L; the packet simulation's time-averaged
 // cwnd and srtt-derived queueing delay are compared against the prediction.
-func ExtValidation(scale Scale) *Table {
+func ExtValidation(ctx context.Context, scale Scale) (*Table, error) {
+	if err := checkRun(ctx, scale); err != nil {
+		return nil, err
+	}
 	t := &Table{
 		ID:     "ext-validation",
 		Title:  "Extension: packet-level simulation vs fluid-model equilibrium (eq. 9)",
@@ -206,6 +234,9 @@ func ExtValidation(scale Scale) *Table {
 		dur, measureFrom = seconds(300), seconds(100)
 	}
 	for _, n := range []int{4, 8, 16} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		bw := 20e6
 		rtt := 60 * sim.Millisecond
 		pps := bw / (8 * 1040)
@@ -255,5 +286,5 @@ func ExtValidation(scale Scale) *Table {
 	t.Notes = append(t.Notes,
 		"W* = RC/N with R = propagation + measured queueing delay",
 		"Tq* = Tmin + p*/L from the linear response region (eq. 9)")
-	return t
+	return t, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -18,7 +19,10 @@ import (
 // schemes that keep the bottleneck queue short (PERT, router AQM) should
 // complete small objects much faster than DropTail even at equal link
 // utilization.
-func ExtFCT(scale Scale) *Table {
+func ExtFCT(ctx context.Context, scale Scale) (*Table, error) {
+	if err := checkRun(ctx, scale); err != nil {
+		return nil, err
+	}
 	dur, from, until, sw := scale.window()
 	bwMbps, flows, webs := 30.0, 10, 60
 	if scale == Paper {
@@ -31,6 +35,9 @@ func ExtFCT(scale Scale) *Table {
 			"large_fct_p50_ms", "objects", "avg_queue_pkts", "utilization"},
 	}
 	for i, s := range []Scheme{PERT, SackDroptail, SackRED, Vegas} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r := runFCT(9600+int64(i), s, bwMbps*1e6, flows, webs, dur, from, until, sw)
 		t.AddRow(string(s), f2(r.smallP50*1000), f2(r.smallP95*1000),
 			f2(r.largeP50*1000), fmt.Sprint(r.objects), f2(r.avgQueue), f3(r.util))
@@ -38,7 +45,7 @@ func ExtFCT(scale Scale) *Table {
 	t.Notes = append(t.Notes,
 		"small = objects of at most 12 segments (the distribution mean); large = the rest",
 		"FCTs measured only for objects completing inside the measurement window")
-	return t
+	return t, nil
 }
 
 type fctResult struct {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -19,7 +20,10 @@ func fig13Base(r float64) fluid.PERTParams {
 // Fig13a reproduces the minimum sampling interval delta as a function of the
 // minimum number of flows (equation 13; C = 10 Mbps = 1000 pkt/s at 1250 B,
 // R = 200 ms).
-func Fig13a() *Table {
+func Fig13a(ctx context.Context, scale Scale) (*Table, error) {
+	if err := checkRun(ctx, scale); err != nil {
+		return nil, err
+	}
 	p := fluid.PERTParams{
 		C: 1000, N: 1, R: 0.2,
 		Tmin: 0.05, Tmax: 0.1, Pmax: 0.1, Alpha: 0.99, Delta: 0.1,
@@ -33,7 +37,7 @@ func Fig13a() *Table {
 		t.AddRow(fmt.Sprintf("%g", n), fmt.Sprintf("%.4f", fluid.MinDelta(p, n, p.R)))
 	}
 	t.Notes = append(t.Notes, "paper reads ~0.1 s near N=40; delta shrinks monotonically with N")
-	return t
+	return t, nil
 }
 
 // Fig13bcd reproduces the fluid-model trajectories at R = 100, 160 and
@@ -41,7 +45,10 @@ func Fig13a() *Table {
 // persistent oscillations respectively. For each R the table reports the
 // Theorem 1 verdict, the equilibrium, and the trajectory's late-time
 // deviation and oscillation amplitude.
-func Fig13bcd() *Table {
+func Fig13bcd(ctx context.Context, scale Scale) (*Table, error) {
+	if err := checkRun(ctx, scale); err != nil {
+		return nil, err
+	}
 	t := &Table{
 		ID:     "fig13bcd",
 		Title:  "PERT fluid model (14) trajectories (C=100 pkt/s, N=5)",
@@ -74,5 +81,5 @@ func Fig13bcd() *Table {
 	}
 	t.Notes = append(t.Notes,
 		"paper: stable at 100 ms, decaying oscillations at 160 ms, persistent oscillation at/beyond the 171 ms boundary")
-	return t
+	return t, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"pert/internal/netem"
@@ -15,7 +16,10 @@ import (
 // parking lot (six routers, 150 Mbps / 5 ms core links, 20-host clouds),
 // hop-by-hop traffic between adjacent clouds plus through traffic from cloud
 // 1 to cloud 6; per-core-link queue, drops, utilization and per-hop fairness.
-func Fig11(scale Scale) *Table {
+func Fig11(ctx context.Context, scale Scale) (*Table, error) {
+	if err := checkRun(ctx, scale); err != nil {
+		return nil, err
+	}
 	dur, from, until, sw := scale.window()
 	coreBW, cloud, perHop := 150e6, 20, 20
 	if scale == Quick {
@@ -29,6 +33,9 @@ func Fig11(scale Scale) *Table {
 	}
 
 	for si, scheme := range AllSection4Schemes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		eng := sim.NewEngine(7000 + int64(si))
 		net := netem.NewNetwork(eng)
 		env := schemeEnv{capacityPPS: coreBW / (8 * 1040), nFlows: perHop, maxRTT: ms(60)}
@@ -80,5 +87,5 @@ func Fig11(scale Scale) *Table {
 		_ = dur
 	}
 	t.Notes = append(t.Notes, "through = fairness among cloud1->cloud6 flows crossing all core links")
-	return t
+	return t, nil
 }

@@ -1,55 +1,131 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// Parallelism controls how many independent simulations the sweep runners
-// execute concurrently. Each scenario owns its engine and RNG, so results
-// are bit-identical at any setting; only wall-clock time changes. Default:
-// all cores.
-var parallelism = runtime.GOMAXPROCS(0)
+// defaultWorkers is the sweep worker count used when the context does not
+// carry an explicit one (see WithWorkers). It defaults to all cores and is
+// only mutated through the deprecated SetParallelism shim.
+var defaultWorkers atomic.Int64
 
-// SetParallelism sets the sweep worker count (minimum 1) and returns the
-// previous value.
+func init() { defaultWorkers.Store(int64(runtime.GOMAXPROCS(0))) }
+
+// workersKey carries an explicit sweep worker count in a context.
+type workersKey struct{}
+
+// WithWorkers returns a context that carries an explicit sweep worker count
+// for this run. The harness threads harness.Options.Workers through here so
+// every forEach under the run uses it; n < 1 leaves ctx unchanged.
+func WithWorkers(ctx context.Context, n int) context.Context {
+	if n < 1 {
+		return ctx
+	}
+	return context.WithValue(ctx, workersKey{}, n)
+}
+
+// Workers reports the sweep worker count carried by ctx, falling back to the
+// process default (all cores). Each scenario owns its engine and RNG, so
+// results are bit-identical at any setting; only wall-clock time changes.
+func Workers(ctx context.Context) int {
+	if n, ok := ctx.Value(workersKey{}).(int); ok && n >= 1 {
+		return n
+	}
+	return int(defaultWorkers.Load())
+}
+
+// SetParallelism sets the process-default sweep worker count (minimum 1) and
+// returns the previous value.
+//
+// Deprecated: SetParallelism mutates process-global state. New code should
+// pass an explicit count via harness.Options.Workers or WithWorkers; this
+// shim remains so existing callers keep compiling and only applies when the
+// context carries no count of its own.
 func SetParallelism(n int) int {
-	old := parallelism
 	if n < 1 {
 		n = 1
 	}
-	parallelism = n
-	return old
+	return int(defaultWorkers.Swap(int64(n)))
 }
 
-// forEach runs fn(i) for i in [0, n) on the configured number of workers and
-// waits for completion. Order of execution is unspecified; callers must
-// write results into per-index slots.
-func forEach(n int, fn func(i int)) {
-	workers := parallelism
+// forEach runs fn(i) for i in [0, n) on Workers(ctx) workers and waits for
+// completion. Order of execution is unspecified; callers must write results
+// into per-index slots. Cancellation is observed between scenario launches:
+// once ctx is done no further index is dispatched, in-flight scenarios run
+// to completion, and ctx.Err() is returned. A panic inside fn is recovered
+// into an error (poisoning one scenario must not kill a whole sweep) and
+// stops the dispatch of further indices.
+func forEach(ctx context.Context, n int, fn func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers := Workers(ctx)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := safeCall(i, fn); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		next     = make(chan int)
+		once     sync.Once
+		firstErr error
+		failed   atomic.Bool
+	)
+	fail := func(err error) {
+		once.Do(func() { firstErr = err })
+		failed.Store(true)
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				fn(i)
+				if err := safeCall(i, fn); err != nil {
+					fail(err)
+				}
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		if failed.Load() {
+			break
+		}
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// safeCall invokes fn(i), converting a panic into an error.
+func safeCall(i int, fn func(int)) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiments: scenario %d panicked: %v", i, r)
+		}
+	}()
+	fn(i)
+	return nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -42,7 +43,10 @@ type ReplicatedResult struct {
 // only variance source is the seeded randomness (start times, web draws,
 // marking decisions), so tight intervals here certify that single-seed
 // tables elsewhere are representative.
-func ExtReplicated(scale Scale) *Table {
+func ExtReplicated(ctx context.Context, scale Scale) (*Table, error) {
+	if err := checkRun(ctx, scale); err != nil {
+		return nil, err
+	}
 	replicas := 5
 	spec := AblationSpec(9700)
 	if scale == Paper {
@@ -60,12 +64,15 @@ func ExtReplicated(scale Scale) *Table {
 			"util_ci", "jain", "jain_ci"},
 	}
 	for _, s := range []Scheme{PERT, SackDroptail, SackRED, Vegas} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r := RunReplicated(spec, s, replicas)
 		t.AddRow(string(s), f2(r.AvgQueue.Mean), "±"+f2(r.AvgQueue.CI95),
 			f3(r.Utilization.Mean), "±"+f3(r.Utilization.CI95),
 			f3(r.Jain.Mean), "±"+f3(r.Jain.CI95))
 	}
-	return t
+	return t, nil
 }
 
 // RunReplicated executes the scenario n times with consecutive seeds and

@@ -1,6 +1,11 @@
 package experiments
 
-import "pert/internal/sim"
+import (
+	"context"
+	"fmt"
+
+	"pert/internal/sim"
+)
 
 // Scale selects experiment sizing.
 type Scale string
@@ -16,6 +21,18 @@ const (
 
 // Valid reports whether s names a known scale.
 func (s Scale) Valid() bool { return s == Quick || s == Paper }
+
+// checkRun is the shared entry-point guard: cancelled contexts and unknown
+// scales become errors before any scenario is built.
+func checkRun(ctx context.Context, scale Scale) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if !scale.Valid() {
+		return fmt.Errorf("experiments: unknown scale %q (want %q or %q)", scale, Quick, Paper)
+	}
+	return nil
+}
 
 // seconds is shorthand for durations in experiment specs.
 func seconds(x float64) sim.Duration { return sim.Seconds(x) }

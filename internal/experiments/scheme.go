@@ -40,6 +40,20 @@ const (
 // Table 1.
 var AllSection4Schemes = []Scheme{PERT, SackDroptail, SackRED, Vegas}
 
+// AllSchemes is every scheme this package can run.
+var AllSchemes = []Scheme{PERT, SackDroptail, SackRED, Vegas, PERTPI, SackPI, PERTREM, SackREM, SackAVQ}
+
+// Known reports whether s names a runnable scheme; callers should check it
+// before handing s to scenario builders, which panic on unknown schemes.
+func (s Scheme) Known() bool {
+	for _, k := range AllSchemes {
+		if s == k {
+			return true
+		}
+	}
+	return false
+}
+
 // schemeEnv captures what a scheme needs from the scenario to build its
 // pieces: link capacity in packets/second, a flow-count bound, and an RTT
 // bound (for PI design rules).

@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"pert/internal/core"
 	"pert/internal/netem"
@@ -42,16 +44,26 @@ func Section2Cases(scale Scale) (cases []Section2Case, bandwidth float64, buffer
 }
 
 // traceCache memoizes Section 2 traces so Figures 2, 3 and 4 share one
-// simulation per case instead of re-running it.
-var traceCache = map[string]*predictors.Trace{}
+// simulation per case instead of re-running it. Guarded by traceMu: the
+// harness worker pool may run section 2 figures concurrently with other
+// experiments' sweeps.
+var (
+	traceMu    sync.Mutex
+	traceCache = map[string]*predictors.Trace{}
+)
 
 func section2Trace(c Section2Case, seed int64, bandwidth float64, buffer int, dur, warm sim.Duration) *predictors.Trace {
 	key := fmt.Sprintf("%s-%d-%g-%d-%d", c.Name, seed, bandwidth, buffer, dur)
-	if tr, ok := traceCache[key]; ok {
+	traceMu.Lock()
+	tr, ok := traceCache[key]
+	traceMu.Unlock()
+	if ok {
 		return tr
 	}
-	tr := section2Run(c, seed, bandwidth, buffer, dur, warm)
+	tr = section2Run(c, seed, bandwidth, buffer, dur, warm)
+	traceMu.Lock()
 	traceCache[key] = tr
+	traceMu.Unlock()
 	return tr
 }
 
@@ -122,7 +134,10 @@ const lossCoalesceGap = 60 * sim.Millisecond
 // Fig2 reproduces "fraction of transitions from high-RTT to loss when losses
 // are measured within a flow vs at the bottleneck queue": the fixed 65 ms
 // threshold predictor evaluated against both loss series.
-func Fig2(scale Scale) *Table {
+func Fig2(ctx context.Context, scale Scale) (*Table, error) {
+	if err := checkRun(ctx, scale); err != nil {
+		return nil, err
+	}
 	cases, bw, buf, dur, warm := Section2Cases(scale)
 	t := &Table{
 		ID:     "fig2",
@@ -130,6 +145,9 @@ func Fig2(scale Scale) *Table {
 		Header: []string{"case", "long_flows", "web", "frac_flow_losses", "frac_queue_losses", "samples"},
 	}
 	for i, c := range cases {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		tr := section2Trace(c, 100+int64(i), bw, buf, dur, warm)
 		// The paper's 65 ms threshold is its tagged flow's propagation
 		// delay (60 ms) plus 5 ms; we apply the same P+5ms rule with P
@@ -144,13 +162,16 @@ func Fig2(scale Scale) *Table {
 	}
 	t.Notes = append(t.Notes, "threshold = P+5ms (the paper's 65 ms for its 60 ms path)",
 		"paper finding: queue-level fraction is significantly higher than flow-level")
-	return t
+	return t, nil
 }
 
 // Fig3 reproduces "prediction efficiency, false positives and false
 // negatives for different predictors", evaluated against queue-level losses
 // and averaged over the six cases.
-func Fig3(scale Scale) *Table {
+func Fig3(ctx context.Context, scale Scale) (*Table, error) {
+	if err := checkRun(ctx, scale); err != nil {
+		return nil, err
+	}
 	cases, bw, buf, dur, warm := Section2Cases(scale)
 	t := &Table{
 		ID:     "fig3",
@@ -159,6 +180,9 @@ func Fig3(scale Scale) *Table {
 	}
 	traces := make([]*predictors.Trace, len(cases))
 	for i, c := range cases {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		traces[i] = section2Trace(c, 100+int64(i), bw, buf, dur, warm)
 	}
 	// Fresh predictor instances per trace: they are stateful.
@@ -179,7 +203,7 @@ func Fig3(scale Scale) *Table {
 		t.AddRow(name, f3(e/n), f3(fp/n), f3(fn/n))
 	}
 	t.Notes = append(t.Notes, "paper finding: ewma-0.99 achieves high efficiency with low FP and FN; Vegas best among prior schemes")
-	return t
+	return t, nil
 }
 
 // Fig4 reproduces the "probability distribution of normalized queue length
@@ -189,7 +213,10 @@ func Fig3(scale Scale) *Table {
 // the fewer false positives exist at all (the paper measured only 0.7-1.5%
 // for srtt_0.99; at reduced scale this rounds to zero events), so the
 // distribution is reported across the family.
-func Fig4(scale Scale) *Table {
+func Fig4(ctx context.Context, scale Scale) (*Table, error) {
+	if err := checkRun(ctx, scale); err != nil {
+		return nil, err
+	}
 	cases, bw, buf, dur, warm := Section2Cases(scale)
 	signals := []struct {
 		name     string
@@ -204,6 +231,9 @@ func Fig4(scale Scale) *Table {
 		hists[i] = stats.NewHistogram(1, 10)
 	}
 	for i, c := range cases {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		tr := section2Trace(c, 100+int64(i), bw, buf, dur, warm)
 		losses := predictors.CoalesceLosses(tr.QueueLosses, lossCoalesceGap)
 		for si, sig := range signals {
@@ -233,7 +263,7 @@ func Fig4(scale Scale) *Table {
 		t.Notes = append(t.Notes, fmt.Sprintf("%s false positives observed: %d", sig.name, hists[si].Total()))
 	}
 	t.Notes = append(t.Notes, "paper finding: false positives concentrate at low queue occupancy (< 50%)")
-	return t
+	return t, nil
 }
 
 // ExtThreshold sweeps the detection margin of the per-ACK signal family over
@@ -241,7 +271,10 @@ func Fig4(scale Scale) *Table {
 // state machine frames: small margins predict early but cry wolf (transition
 // 5), large margins miss losses entirely (transition 4). This is the
 // operating-point analysis behind the paper's choice of P+5 ms.
-func ExtThreshold(scale Scale) *Table {
+func ExtThreshold(ctx context.Context, scale Scale) (*Table, error) {
+	if err := checkRun(ctx, scale); err != nil {
+		return nil, err
+	}
 	cases, bw, buf, dur, warm := Section2Cases(scale)
 	t := &Table{
 		ID:     "ext-threshold",
@@ -250,6 +283,9 @@ func ExtThreshold(scale Scale) *Table {
 	}
 	traces := make([]*predictors.Trace, len(cases))
 	for i, c := range cases {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		traces[i] = section2Trace(c, 100+int64(i), bw, buf, dur, warm)
 	}
 	signals := []struct {
@@ -278,19 +314,25 @@ func ExtThreshold(scale Scale) *Table {
 		"pushing the margin past the typical queue excursion both raises false positives",
 		"(episodes that peak below the margin end unconfirmed) and explodes false negatives",
 		"the smoothed signal dominates the instantaneous one at every operating point (Fig. 3's finding)")
-	return t
+	return t, nil
 }
 
-// Fig5 tabulates the PERT response curve (an analytic figure in the paper).
-func Fig5() *Table {
+// Fig5 tabulates the PERT response curve (an analytic figure in the paper;
+// both scales produce the same table).
+func Fig5(ctx context.Context, scale Scale) (*Table, error) {
+	if err := checkRun(ctx, scale); err != nil {
+		return nil, err
+	}
 	t := &Table{
 		ID:     "fig5",
 		Title:  "PERT probabilistic response curve (Tmin=5ms, Tmax=10ms, pmax=0.05, gentle)",
+		XLabel: "queueing_delay_ms",
 		Header: []string{"queueing_delay_ms", "response_prob"},
+		Units:  map[string]string{"queueing_delay_ms": "ms", "response_prob": "probability"},
 	}
 	curve := core.DefaultCurve()
 	for _, q := range []float64{0, 2.5, 5, 6, 7.5, 9, 10, 12.5, 15, 17.5, 20, 25} {
 		t.AddRow(f2(q), f3(curve.Prob(ms(q))))
 	}
-	return t
+	return t, nil
 }

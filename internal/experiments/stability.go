@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -14,7 +15,10 @@ import (
 // samples once per own packet (delta = N/C) while router RED samples every
 // packet (delta = 1/C). The table sweeps the flow count and reports each
 // scheme's certified stability boundary in RTT.
-func ExtStability(Scale) *Table {
+func ExtStability(ctx context.Context, scale Scale) (*Table, error) {
+	if err := checkRun(ctx, scale); err != nil {
+		return nil, err
+	}
 	t := &Table{
 		ID:    "ext-stability",
 		Title: "Extension: certified stability boundary in RTT, PERT vs router RED (Section 5.4)",
@@ -57,7 +61,7 @@ func ExtStability(Scale) *Table {
 	t.Notes = append(t.Notes,
 		"identical lhs by L_PERT = L_RED*C (Section 5.4); the per-flow sampling interval inflates",
 		"PERT's rhs, enlarging the certified region — more so as the flow count grows")
-	return t
+	return t, nil
 }
 
 // boundaryR finds the largest RTT (within [1 ms, 5 s]) for which stable(r)

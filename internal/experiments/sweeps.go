@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"pert/internal/sim"
@@ -12,17 +13,30 @@ type sweepPoint struct {
 	spec  DumbbellSpec
 }
 
+// sweepUnits annotates the shared four-panel columns for the JSON schema.
+func sweepUnits() map[string]string {
+	return map[string]string{
+		"avg_queue_pkts": "packets",
+		"norm_queue":     "fraction of buffer",
+		"drop_rate":      "fraction",
+		"mark_rate":      "fraction",
+		"utilization":    "fraction",
+		"jain":           "index",
+	}
+}
+
 // runSweep executes every (point, scheme) cell and formats the four panels
 // the paper plots: average queue (normalized), drop rate, utilization, Jain
-// index.
-func runSweep(id, title, xlabel string, points []sweepPoint, schemes []Scheme) *Table {
+// index. Cells run on Workers(ctx) workers; each owns its engine and RNG, so
+// rows are bit-identical at any worker count.
+func runSweep(ctx context.Context, id, title, xlabel string, points []sweepPoint, schemes []Scheme) (*Table, error) {
 	t := &Table{
 		ID:     id,
 		Title:  title,
+		XLabel: xlabel,
 		Header: []string{xlabel, "scheme", "avg_queue_pkts", "norm_queue", "drop_rate", "mark_rate", "utilization", "jain"},
+		Units:  sweepUnits(),
 	}
-	// Every (point, scheme) cell is an independent deterministic
-	// simulation; run them on all cores and emit rows in order.
 	type cell struct {
 		label string
 		s     Scheme
@@ -35,20 +49,25 @@ func runSweep(id, title, xlabel string, points []sweepPoint, schemes []Scheme) *
 		}
 	}
 	results := make([]DumbbellResult, len(cells))
-	forEach(len(cells), func(i int) {
+	if err := forEach(ctx, len(cells), func(i int) {
 		results[i] = RunDumbbell(cells[i].spec, cells[i].s)
-	})
+	}); err != nil {
+		return nil, fmt.Errorf("%s: %w", id, err)
+	}
 	for i, r := range results {
 		t.AddRow(cells[i].label, string(cells[i].s), f2(r.AvgQueue), f3(r.NormQueue),
 			sci(r.DropRate), sci(r.MarkRate), f3(r.Utilization), f3(r.Jain))
 	}
-	return t
+	return t, nil
 }
 
 // Fig6 reproduces "Impact of bottleneck link bandwidth": bandwidth sweep at
 // 60 ms RTT, flow count scaled with bandwidth so the link can be driven to
 // full utilization at every point.
-func Fig6(scale Scale) *Table {
+func Fig6(ctx context.Context, scale Scale) (*Table, error) {
+	if err := checkRun(ctx, scale); err != nil {
+		return nil, err
+	}
 	dur, from, until, sw := scale.window()
 	type bw struct {
 		mbps  float64
@@ -73,14 +92,20 @@ func Fig6(scale Scale) *Table {
 			},
 		})
 	}
-	t := runSweep("fig6", "Impact of bottleneck link bandwidth (RTT 60 ms)", "bandwidth", points, AllSection4Schemes)
+	t, err := runSweep(ctx, "fig6", "Impact of bottleneck link bandwidth (RTT 60 ms)", "bandwidth", points, AllSection4Schemes)
+	if err != nil {
+		return nil, err
+	}
 	t.Notes = append(t.Notes, "flows scale with bandwidth as in the paper")
-	return t
+	return t, nil
 }
 
 // Fig7 reproduces "Impact of round trip delays": RTT sweep at fixed
 // bandwidth and 50 flows (paper: 150 Mbps).
-func Fig7(scale Scale) *Table {
+func Fig7(ctx context.Context, scale Scale) (*Table, error) {
+	if err := checkRun(ctx, scale); err != nil {
+		return nil, err
+	}
 	dur, from, until, sw := scale.window()
 	bwMbps, flows := 30.0, 10
 	rtts := []float64{10, 30, 60, 150, 400}
@@ -101,13 +126,15 @@ func Fig7(scale Scale) *Table {
 			},
 		})
 	}
-	t := runSweep("fig7", fmt.Sprintf("Impact of end-to-end RTT (%g Mbps, %d flows)", bwMbps, flows), "rtt", points, AllSection4Schemes)
-	return t
+	return runSweep(ctx, "fig7", fmt.Sprintf("Impact of end-to-end RTT (%g Mbps, %d flows)", bwMbps, flows), "rtt", points, AllSection4Schemes)
 }
 
 // Fig8 reproduces "Impact of varying the number of long-term flows" (paper:
 // 500 Mbps, 60 ms, 1..1000 flows).
-func Fig8(scale Scale) *Table {
+func Fig8(ctx context.Context, scale Scale) (*Table, error) {
+	if err := checkRun(ctx, scale); err != nil {
+		return nil, err
+	}
 	dur, from, until, sw := scale.window()
 	bwMbps := 50.0
 	counts := []int{1, 4, 16, 64, 256}
@@ -128,12 +155,15 @@ func Fig8(scale Scale) *Table {
 			},
 		})
 	}
-	return runSweep("fig8", fmt.Sprintf("Impact of number of long-term flows (%g Mbps, 60 ms)", bwMbps), "flows", points, AllSection4Schemes)
+	return runSweep(ctx, "fig8", fmt.Sprintf("Impact of number of long-term flows (%g Mbps, 60 ms)", bwMbps), "flows", points, AllSection4Schemes)
 }
 
 // Fig9 reproduces "Impact of web traffic": web-session sweep over a base of
 // long-term flows (paper: 150 Mbps, 50 flows, 10..1000 sessions).
-func Fig9(scale Scale) *Table {
+func Fig9(ctx context.Context, scale Scale) (*Table, error) {
+	if err := checkRun(ctx, scale); err != nil {
+		return nil, err
+	}
 	dur, from, until, sw := scale.window()
 	bwMbps, flows := 30.0, 10
 	webs := []int{10, 50, 100, 200}
@@ -154,13 +184,16 @@ func Fig9(scale Scale) *Table {
 			},
 		})
 	}
-	return runSweep("fig9", fmt.Sprintf("Impact of web traffic (%g Mbps, %d long flows)", bwMbps, flows), "web_sessions", points, AllSection4Schemes)
+	return runSweep(ctx, "fig9", fmt.Sprintf("Impact of web traffic (%g Mbps, %d long flows)", bwMbps, flows), "web_sessions", points, AllSection4Schemes)
 }
 
 // Table1 reproduces "Impact of different RTTs": ten flows with RTTs
 // 12..120 ms sharing one bottleneck with background web sessions; per-scheme
 // normalized queue, drop rate, utilization and fairness.
-func Table1(scale Scale) *Table {
+func Table1(ctx context.Context, scale Scale) (*Table, error) {
+	if err := checkRun(ctx, scale); err != nil {
+		return nil, err
+	}
 	dur, from, until, sw := scale.window()
 	bwMbps, webs := 30.0, 20
 	if scale == Paper {
@@ -174,8 +207,12 @@ func Table1(scale Scale) *Table {
 		ID:     "table1",
 		Title:  fmt.Sprintf("Flows with different RTTs (%g Mbps, 10 flows, RTTs 12..120 ms, %d web sessions)", bwMbps, webs),
 		Header: []string{"scheme", "Q(norm)", "p", "U(%)", "F"},
+		Units:  map[string]string{"Q(norm)": "fraction of buffer", "p": "fraction", "U(%)": "percent", "F": "index"},
 	}
 	for i, s := range []Scheme{PERT, SackDroptail, SackRED, Vegas} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r := RunDumbbell(DumbbellSpec{
 			Seed:      5000 + int64(i),
 			Bandwidth: bwMbps * 1e6,
@@ -185,12 +222,15 @@ func Table1(scale Scale) *Table {
 		}, s)
 		t.AddRow(string(s), f2(r.NormQueue), sci(r.DropRate), f2(100*r.Utilization), f2(r.Jain))
 	}
-	return t
+	return t, nil
 }
 
 // Fig14 reproduces "Emulating PI at end-hosts": the Fig7 RTT sweep run with
 // PERT/PI against router PI with ECN (plus PERT/RED for context).
-func Fig14(scale Scale) *Table {
+func Fig14(ctx context.Context, scale Scale) (*Table, error) {
+	if err := checkRun(ctx, scale); err != nil {
+		return nil, err
+	}
 	dur, from, until, sw := scale.window()
 	bwMbps, flows := 30.0, 10
 	rtts := []float64{10, 30, 60, 150, 400}
@@ -211,6 +251,5 @@ func Fig14(scale Scale) *Table {
 			},
 		})
 	}
-	t := runSweep("fig14", fmt.Sprintf("Emulating PI at end hosts (%g Mbps, %d flows, target delay 3 ms)", bwMbps, flows), "rtt", points, []Scheme{PERTPI, SackPI, PERT})
-	return t
+	return runSweep(ctx, "fig14", fmt.Sprintf("Emulating PI at end hosts (%g Mbps, %d flows, target delay 3 ms)", bwMbps, flows), "rtt", points, []Scheme{PERTPI, SackPI, PERT})
 }

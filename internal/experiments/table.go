@@ -11,13 +11,68 @@ import (
 type Table struct {
 	ID     string // e.g. "fig6"
 	Title  string
+	XLabel string // sweep variable of the figure's x axis, if any
 	Header []string
 	Rows   [][]string
+	Units  map[string]string // column name -> unit, where not in the name
 	Notes  []string
 }
 
 // AddRow appends a formatted row.
 func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// tableJSON is the stable serialization schema for tables, documented in
+// EXPERIMENTS.md ("JSON output"). Field set and names are a compatibility
+// contract for plotting pipelines; extend it, never rename.
+type tableJSON struct {
+	ID      string            `json:"id"`
+	Title   string            `json:"title"`
+	XLabel  string            `json:"xlabel,omitempty"`
+	Columns []string          `json:"columns"`
+	Rows    [][]string        `json:"rows"`
+	Units   map[string]string `json:"units,omitempty"`
+	Notes   []string          `json:"notes,omitempty"`
+}
+
+// MarshalJSON emits the stable schema: {"id","title","xlabel","columns",
+// "rows","units","notes"}. Columns and rows are always present (empty
+// arrays, never null); xlabel, units and notes are omitted when empty.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	j := tableJSON{
+		ID:      t.ID,
+		Title:   t.Title,
+		XLabel:  t.XLabel,
+		Columns: t.Header,
+		Rows:    t.Rows,
+		Units:   t.Units,
+		Notes:   t.Notes,
+	}
+	if j.Columns == nil {
+		j.Columns = []string{}
+	}
+	if j.Rows == nil {
+		j.Rows = [][]string{}
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON parses the schema emitted by MarshalJSON.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var j tableJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*t = Table{
+		ID:     j.ID,
+		Title:  j.Title,
+		XLabel: j.XLabel,
+		Header: j.Columns,
+		Rows:   j.Rows,
+		Units:  j.Units,
+		Notes:  j.Notes,
+	}
+	return nil
+}
 
 // Fprint renders the table with aligned columns.
 func (t *Table) Fprint(w io.Writer) {

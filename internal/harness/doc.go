@@ -1,0 +1,24 @@
+// Package harness orchestrates experiment runs: it executes registered
+// experiments under a context, streams progress events (run lifecycle,
+// sim-seconds per wallclock second, events processed, ETA) to a pluggable
+// sink, recovers a panicking scenario into a per-run error instead of
+// killing the whole sweep, and serializes every result table together with
+// run metadata (scale, wall time, sim-event throughput, build version) into
+// a stable JSON report.
+//
+// The CLIs (cmd/pertbench, cmd/pertsim) are thin wrappers over this
+// package; programmatic users call Run directly:
+//
+//	rep, err := harness.Run(ctx, experiments.Experiments, experiments.Quick,
+//		harness.Options{Workers: 4, Sink: harness.NewWriterSink(os.Stderr)})
+//	if err != nil { ... }            // cancelled or timed out overall
+//	for _, f := range rep.Failed() { // per-run failures don't abort the sweep
+//		log.Printf("%s: %s", f.ID, f.Error)
+//	}
+//	rep.WriteJSON(os.Stdout)
+//
+// Experiments run sequentially (so per-run throughput deltas are
+// attributable); scenarios inside one experiment fan out over
+// Options.Workers. Results are bit-identical at any worker count because
+// each scenario owns its engine and RNG.
+package harness

@@ -1,0 +1,182 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"pert/internal/experiments"
+	"pert/internal/sim"
+)
+
+// Options configures a sweep. The zero value is usable: all cores, no
+// timeout, no observer.
+type Options struct {
+	// Workers bounds in-experiment scenario parallelism; <1 means the
+	// context's worker count (GOMAXPROCS unless overridden).
+	Workers int
+	// Timeout bounds each individual run; 0 means none. A timed-out run
+	// records an error and the sweep continues.
+	Timeout time.Duration
+	// Sink observes run lifecycle and progress events; nil disables.
+	Sink Sink
+	// ProgressInterval is the Progress event period; 0 disables progress
+	// ticks (lifecycle events are still emitted).
+	ProgressInterval time.Duration
+}
+
+// Run executes the experiments in order at the given scale and returns the
+// aggregated report. Per-run failures — panics, bad specs, per-run
+// timeouts — become RunRecord.Error entries and the sweep continues; only
+// cancellation of ctx stops the sweep early, returning the partial report
+// alongside ctx's error. The report is never nil.
+func Run(ctx context.Context, exps []experiments.Experiment, scale experiments.Scale, opts Options) (*Report, error) {
+	workers := opts.Workers
+	if workers < 1 {
+		workers = experiments.Workers(ctx)
+	}
+	ctx = experiments.WithWorkers(ctx, workers)
+
+	var sink Sink
+	if opts.Sink != nil {
+		sink = &lockedSink{s: opts.Sink}
+	}
+
+	rep := &Report{
+		SchemaVersion: SchemaVersion,
+		Version:       Version(),
+		Scale:         string(scale),
+		Workers:       workers,
+		StartedAt:     time.Now().UTC(),
+	}
+	start := time.Now()
+	ev0, _ := sim.Counters()
+
+	var doneWall time.Duration
+	for i, exp := range exps {
+		if err := ctx.Err(); err != nil {
+			finish(rep, start, ev0)
+			return rep, err
+		}
+		rec := runOne(ctx, exp, scale, i, len(exps), opts, sink, doneWall)
+		doneWall += time.Duration(rec.WallSeconds * float64(time.Second))
+		rep.Runs = append(rep.Runs, rec)
+	}
+	finish(rep, start, ev0)
+	return rep, nil
+}
+
+// finish fills the report's sweep-wide timing fields.
+func finish(rep *Report, start time.Time, ev0 uint64) {
+	ev1, _ := sim.Counters()
+	rep.WallSeconds = time.Since(start).Seconds()
+	rep.SimEvents = ev1 - ev0
+	if rep.WallSeconds > 0 {
+		rep.EventsPerSecond = float64(rep.SimEvents) / rep.WallSeconds
+	}
+}
+
+// runOne executes one experiment with panic recovery, an optional per-run
+// timeout, and a progress ticker sampling the sim event counters.
+func runOne(ctx context.Context, exp experiments.Experiment, scale experiments.Scale,
+	index, total int, opts Options, sink Sink, doneWall time.Duration) RunRecord {
+
+	emit := func(e Event) {
+		if sink != nil {
+			sink.Event(e)
+		}
+	}
+	rec := RunRecord{ID: exp.ID, Title: exp.Title, Scale: string(scale), Tables: []*experiments.Table{}}
+	emit(Event{Kind: RunStarted, ID: exp.ID, Index: index, Total: total})
+
+	runCtx, cancel := ctx, func() {}
+	if opts.Timeout > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, opts.Timeout)
+	}
+	defer cancel()
+
+	ev0, st0 := sim.Counters()
+	start := time.Now()
+
+	var stopProgress chan struct{}
+	if sink != nil && opts.ProgressInterval > 0 {
+		stopProgress = make(chan struct{})
+		go func() {
+			tick := time.NewTicker(opts.ProgressInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopProgress:
+					return
+				case <-tick.C:
+					emit(progressEvent(exp.ID, index, total, start, ev0, st0, doneWall))
+				}
+			}
+		}()
+	}
+
+	tables, err := safeRun(runCtx, exp, scale)
+	wall := time.Since(start)
+	if stopProgress != nil {
+		close(stopProgress)
+	}
+
+	ev1, st1 := sim.Counters()
+	rec.WallSeconds = wall.Seconds()
+	rec.SimEvents = ev1 - ev0
+	rec.SimSeconds = (st1 - st0).Seconds()
+	if rec.WallSeconds > 0 {
+		rec.EventsPerSecond = float64(rec.SimEvents) / rec.WallSeconds
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	} else if tables != nil {
+		rec.Tables = tables
+	}
+	emit(Event{
+		Kind: RunFinished, ID: exp.ID, Index: index, Total: total,
+		Err: err, Wall: wall, SimEvents: rec.SimEvents,
+		EventsPerSec: rec.EventsPerSecond, SimSeconds: rec.SimSeconds,
+		SimPerWall: rec.SimSeconds / wall.Seconds(), Tables: tables,
+	})
+	return rec
+}
+
+// progressEvent samples the process-wide sim counters and estimates the
+// sweep's remaining time from the average wall time of completed runs.
+func progressEvent(id string, index, total int, start time.Time, ev0 uint64, st0 sim.Time, doneWall time.Duration) Event {
+	ev, st := sim.Counters()
+	wall := time.Since(start)
+	e := Event{
+		Kind: Progress, ID: id, Index: index, Total: total,
+		Wall: wall, SimEvents: ev - ev0, SimSeconds: (st - st0).Seconds(),
+	}
+	if ws := wall.Seconds(); ws > 0 {
+		e.EventsPerSec = float64(e.SimEvents) / ws
+		e.SimPerWall = e.SimSeconds / ws
+	}
+	if index > 0 {
+		avg := doneWall / time.Duration(index)
+		remaining := avg * time.Duration(total-index-1)
+		if avg > wall {
+			remaining += avg - wall
+		}
+		e.ETA = remaining
+	}
+	return e
+}
+
+// safeRun invokes the experiment's runner, converting a panic anywhere in
+// the scenario (bad scheme deep inside a topology builder, for example)
+// into an error attributed to this run.
+func safeRun(ctx context.Context, exp experiments.Experiment, scale experiments.Scale) (tables []*experiments.Table, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("harness: %s panicked: %v", exp.ID, r)
+		}
+	}()
+	if exp.Run == nil {
+		return nil, fmt.Errorf("harness: experiment %q has no runner", exp.ID)
+	}
+	return exp.Run(ctx, scale)
+}

@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+	"runtime/debug"
+	"time"
+
+	"pert/internal/experiments"
+)
+
+// SchemaVersion identifies the report JSON layout. Bump only on
+// incompatible changes; additions are allowed within a version.
+const SchemaVersion = 1
+
+// RunRecord is the outcome of one experiment run. Exactly one of Error and
+// a non-trivial Tables slice is meaningful: a failed run keeps its timing
+// metadata but carries no tables.
+type RunRecord struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	Scale string `json:"scale"`
+	// WallSeconds is the run's wallclock duration.
+	WallSeconds float64 `json:"wall_seconds"`
+	// SimEvents counts discrete-event executions attributed to this run.
+	SimEvents uint64 `json:"sim_events"`
+	// EventsPerSecond is SimEvents / WallSeconds.
+	EventsPerSecond float64 `json:"events_per_second"`
+	// SimSeconds is simulated time advanced during this run (summed across
+	// scenarios, so it can exceed WallSeconds * workers).
+	SimSeconds float64 `json:"sim_seconds"`
+	// Error is the failure (panic, cancellation, bad spec), empty on success.
+	Error string `json:"error,omitempty"`
+	// Tables holds the run's result tables; never null, empty on failure.
+	Tables []*experiments.Table `json:"tables"`
+}
+
+// Report aggregates a whole sweep. It serializes to the stable JSON schema
+// documented in EXPERIMENTS.md ("JSON output").
+type Report struct {
+	SchemaVersion int       `json:"schema_version"`
+	Version       string    `json:"version"` // build VCS revision, or "unknown"
+	Scale         string    `json:"scale"`
+	Workers       int       `json:"workers"`
+	StartedAt     time.Time `json:"started_at"`
+	// WallSeconds, SimEvents and EventsPerSecond cover the whole sweep.
+	WallSeconds     float64     `json:"wall_seconds"`
+	SimEvents       uint64      `json:"sim_events"`
+	EventsPerSecond float64     `json:"events_per_second"`
+	Runs            []RunRecord `json:"runs"`
+}
+
+// Failed returns the runs that ended in an error, in sweep order.
+func (r *Report) Failed() []RunRecord {
+	var out []RunRecord
+	for _, run := range r.Runs {
+		if run.Error != "" {
+			out = append(out, run)
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the indented report followed by a newline.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Version reports the build's VCS revision (shortened, "-dirty" suffixed
+// when the tree was modified), the module version for released builds, or
+// "unknown". It never shells out to git.
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			return v
+		}
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+}

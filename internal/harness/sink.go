@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"pert/internal/experiments"
+)
+
+// EventKind discriminates sink events.
+type EventKind string
+
+// The lifecycle a sink observes for every run, in order: one RunStarted,
+// zero or more Progress ticks, one RunFinished.
+const (
+	RunStarted  EventKind = "run_started"
+	RunFinished EventKind = "run_finished"
+	Progress    EventKind = "progress"
+)
+
+// Event is one observation streamed to a Sink. Index/Total locate the run
+// within the sweep; the measurement fields are populated for Progress and
+// RunFinished events.
+type Event struct {
+	Kind  EventKind
+	ID    string // experiment ID, e.g. "fig6"
+	Index int    // 0-based position in the sweep
+	Total int    // number of runs in the sweep
+
+	Err          error                // RunFinished only; nil on success
+	Wall         time.Duration        // elapsed wallclock for this run so far
+	SimEvents    uint64               // sim events attributed to this run so far
+	EventsPerSec float64              // SimEvents / Wall
+	SimSeconds   float64              // simulated seconds advanced by this run
+	SimPerWall   float64              // SimSeconds per wallclock second
+	ETA          time.Duration        // Progress only; estimated sweep time left, 0 if unknown
+	Tables       []*experiments.Table // RunFinished only; nil on failure
+}
+
+// Sink receives events. The harness serializes calls through an internal
+// mutex, so implementations need not be safe for concurrent use.
+type Sink interface {
+	Event(Event)
+}
+
+// lockedSink serializes Event calls: the harness emits from both the run
+// goroutine and the progress ticker.
+type lockedSink struct {
+	mu sync.Mutex
+	s  Sink
+}
+
+func (l *lockedSink) Event(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.s.Event(e)
+}
+
+// WriterSink renders events as human-readable progress lines, one per
+// event — the -progress output of cmd/pertbench.
+type WriterSink struct {
+	w io.Writer
+}
+
+// NewWriterSink returns a sink writing to w (typically os.Stderr).
+func NewWriterSink(w io.Writer) *WriterSink { return &WriterSink{w: w} }
+
+// Event implements Sink.
+func (s *WriterSink) Event(e Event) {
+	pos := fmt.Sprintf("[%d/%d] %s", e.Index+1, e.Total, e.ID)
+	switch e.Kind {
+	case RunStarted:
+		fmt.Fprintf(s.w, "%s: started\n", pos)
+	case Progress:
+		line := fmt.Sprintf("%s: %s, %s events (%s/s), sim %.1fs (%.1fx real time)",
+			pos, e.Wall.Round(time.Second), count(e.SimEvents), count(uint64(e.EventsPerSec)),
+			e.SimSeconds, e.SimPerWall)
+		if e.ETA > 0 {
+			line += fmt.Sprintf(", ETA %s", e.ETA.Round(time.Second))
+		}
+		fmt.Fprintln(s.w, line)
+	case RunFinished:
+		if e.Err != nil {
+			fmt.Fprintf(s.w, "%s: FAILED after %s: %v\n", pos, e.Wall.Round(time.Millisecond), e.Err)
+			return
+		}
+		fmt.Fprintf(s.w, "%s: done in %s (%s events, %s/s)\n",
+			pos, e.Wall.Round(time.Millisecond), count(e.SimEvents), count(uint64(e.EventsPerSec)))
+	}
+}
+
+// count renders large event counts compactly (1234567 -> "1.2M").
+func count(n uint64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.1fG", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	default:
+		return fmt.Sprint(n)
+	}
+}

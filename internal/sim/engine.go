@@ -3,6 +3,7 @@ package sim
 import (
 	"container/heap"
 	"math/rand"
+	"sync/atomic"
 )
 
 // Event is a scheduled callback. Events fire in (time, sequence) order, so
@@ -115,12 +116,31 @@ func (e *Engine) After(d Duration, fn func()) *Event {
 	return e.At(e.now+d, fn)
 }
 
+// Process-wide counters aggregated across every engine. Engines batch their
+// updates once per Run call (not per event), so the per-event cost is zero;
+// the run-orchestration harness samples these for throughput and
+// simulated-time-per-wallclock metrics. They are monotone and never reset —
+// consumers take deltas.
+var (
+	totalEvents  atomic.Uint64
+	totalSimTime atomic.Int64
+)
+
+// Counters reports the cumulative number of events processed and virtual
+// time advanced by all engines in this process since it started. Safe for
+// concurrent use; attribute deltas to a specific run only when no other
+// engine is active.
+func Counters() (events uint64, simTime Time) {
+	return totalEvents.Load(), Time(totalSimTime.Load())
+}
+
 // Run executes events in timestamp order until the queue empties, Stop is
 // called, or virtual time would pass until. It returns the number of events
 // processed by this call. The engine's clock is left at min(until, time of
 // last event); calling Run again with a later horizon resumes the simulation.
 func (e *Engine) Run(until Time) uint64 {
 	e.stopped = false
+	startNow := e.now
 	var n uint64
 	for len(e.pq) > 0 && !e.stopped {
 		next := e.pq[0]
@@ -137,6 +157,8 @@ func (e *Engine) Run(until Time) uint64 {
 		e.now = until
 	}
 	e.Processed += n
+	totalEvents.Add(n)
+	totalSimTime.Add(int64(e.now - startNow))
 	return n
 }
 

@@ -37,6 +37,7 @@ results-paper:
 fuzz:
 	$(GO) test ./internal/predictors -run=NONE -fuzz=FuzzLoadTrace -fuzztime=20s
 	$(GO) test ./internal/experiments -run=NONE -fuzz=FuzzLoadScenario -fuzztime=20s
+	$(GO) test ./internal/netem -run=NONE -fuzz=FuzzReadTrace -fuzztime=20s
 
 clean:
 	$(GO) clean ./...

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	pertbench [-scale quick|paper] [-exp fig6,fig7,...|all] [-format text|json|csv]
-//	          [-json] [-progress] [-parallel N] [-timeout D]
+//	          [-json] [-progress] [-parallel N] [-timeout D] [-stall-window D]
 //
 // Quick scale (default) shrinks bandwidth and duration while preserving the
 // dimensionless shape of each experiment; paper scale runs the publication's
@@ -48,6 +48,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	progress := fs.Bool("progress", false, "stream per-run progress lines to stderr")
 	parallel := fs.Int("parallel", 0, "simulation worker count for sweeps (0 = all cores)")
 	timeout := fs.Duration("timeout", 0, "per-run timeout (0 = none); a timed-out run fails, the sweep continues")
+	stallWindow := fs.Duration("stall-window", 0, "no-progress watchdog window (0 = off); a run whose sim counters stop advancing this long is marked stalled, the sweep continues")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -95,7 +96,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		exps = append(exps, exp)
 	}
 
-	opts := harness.Options{Workers: *parallel, Timeout: *timeout}
+	opts := harness.Options{Workers: *parallel, Timeout: *timeout, StallWindow: *stallWindow}
 	if *progress {
 		opts.Sink = harness.NewWriterSink(stderr)
 		opts.ProgressInterval = time.Second

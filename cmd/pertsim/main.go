@@ -8,6 +8,7 @@
 //	pertsim -scheme PERT -bw 50e6 -rtt 60ms -flows 20 -web 50 -dur 60s
 //	pertsim -config scenario.json -trace pkts.tr -qseries queue.csv
 //	pertsim -scheme Vegas -json     # one-row table in the stable JSON schema
+//	pertsim -loss 0.01 -reorder 0.001 -dup 0.0005   # injected wire faults
 package main
 
 import (
@@ -44,6 +45,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	warm := fs.Duration("warm", 15*time.Second, "measurement window start")
 	seed := fs.Int64("seed", 1, "RNG seed")
 	jitter := fs.Duration("jitter", 0, "uniform per-packet access-link delay jitter bound")
+	loss := fs.Float64("loss", 0, "non-congestive wire-loss probability on the bottleneck, [0,1)")
+	dup := fs.Float64("dup", 0, "packet duplication probability on the bottleneck, [0,1)")
+	reorder := fs.Float64("reorder", 0, "packet reordering probability on the bottleneck, [0,1)")
+	reorderExtra := fs.Duration("reorder-extra", 5*time.Millisecond, "extra holding delay bound for reordered packets")
 	jsonOut := fs.Bool("json", false, "emit the result as a one-row JSON table (schema in EXPERIMENTS.md)")
 	config := fs.String("config", "", "load the scenario from a JSON file (overrides topology/traffic flags)")
 	tracePath := fs.String("trace", "", "write an ns-2-style packet trace of the bottleneck to this file")
@@ -54,6 +59,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if !experiments.Scheme(*scheme).Known() {
 		fmt.Fprintf(stderr, "pertsim: unknown scheme %q\n", *scheme)
 		return 2
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"-loss", *loss}, {"-dup", *dup}, {"-reorder", *reorder}} {
+		if p.v < 0 || p.v >= 1 {
+			fmt.Fprintf(stderr, "pertsim: %s %g outside [0,1)\n", p.name, p.v)
+			return 2
+		}
 	}
 
 	spec := experiments.DumbbellSpec{
@@ -68,6 +82,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MeasureUntil: sim.Time(*dur),
 		StartWindow:  sim.Time(*warm) / 2,
 		AccessJitter: sim.Time(*jitter),
+		LossRate:     *loss,
+		DupRate:      *dup,
+		ReorderRate:  *reorder,
+		ReorderExtra: sim.Time(*reorderExtra),
 	}
 	if *rtts != "" {
 		for _, s := range strings.Split(*rtts, ",") {

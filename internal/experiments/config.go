@@ -26,6 +26,13 @@ type ScenarioConfig struct {
 	StartWindow  string   `json:"start_window"`
 	TargetDelay  string   `json:"target_delay,omitempty"`
 	AccessJitter string   `json:"access_jitter,omitempty"`
+
+	// Fault injection on the forward bottleneck (DumbbellSpec impairments);
+	// probabilities in [0,1), ReorderExtra a duration string.
+	LossRate     float64 `json:"loss_rate,omitempty"`
+	DupRate      float64 `json:"dup_rate,omitempty"`
+	ReorderRate  float64 `json:"reorder_rate,omitempty"`
+	ReorderExtra string  `json:"reorder_extra,omitempty"`
 }
 
 // LoadScenario parses a JSON scenario and returns the spec and scheme.
@@ -68,6 +75,18 @@ func (c ScenarioConfig) Spec() (DumbbellSpec, Scheme, error) {
 	if err != nil || jitter < 0 {
 		return fail(fmt.Errorf("experiments: bad access_jitter %q", c.AccessJitter))
 	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"loss_rate", c.LossRate}, {"dup_rate", c.DupRate}, {"reorder_rate", c.ReorderRate}} {
+		if p.v < 0 || p.v >= 1 {
+			return fail(fmt.Errorf("experiments: %s %g outside [0,1)", p.name, p.v))
+		}
+	}
+	reorderExtra, err := parseDur(c.ReorderExtra, 0)
+	if err != nil || reorderExtra < 0 {
+		return fail(fmt.Errorf("experiments: bad reorder_extra %q", c.ReorderExtra))
+	}
 	spec := DumbbellSpec{
 		Seed:         c.Seed,
 		Bandwidth:    c.BandwidthBps,
@@ -81,6 +100,10 @@ func (c ScenarioConfig) Spec() (DumbbellSpec, Scheme, error) {
 		StartWindow:  startWin,
 		TargetDelay:  target,
 		AccessJitter: jitter,
+		LossRate:     c.LossRate,
+		DupRate:      c.DupRate,
+		ReorderRate:  c.ReorderRate,
+		ReorderExtra: reorderExtra,
 	}
 	if len(c.RTTs) == 0 {
 		spec.RTTs = []sim.Duration{60 * sim.Millisecond}

@@ -74,11 +74,32 @@ func TestLoadScenarioRejectsBadInput(t *testing.T) {
 		"measure_from at end":   `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","measure_from":"10s"}`,
 		"bad target_delay":      `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","target_delay":"-3ms"}`,
 		"unknown scheme":        `{"scheme":"TURBO","bandwidth_bps":1e6,"flows":1,"duration":"10s"}`,
+		"loss_rate >= 1":        `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","loss_rate":1.0}`,
+		"negative dup_rate":     `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","dup_rate":-0.1}`,
+		"reorder_rate >= 1":     `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","reorder_rate":2}`,
+		"bad reorder_extra":     `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","reorder_extra":"-1ms"}`,
 	}
 	for name, in := range cases {
 		if _, _, err := LoadScenario(strings.NewReader(in)); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+}
+
+func TestLoadScenarioFaultFields(t *testing.T) {
+	spec, _, err := LoadScenario(strings.NewReader(`{
+		"bandwidth_bps": 1e6, "flows": 1, "duration": "10s",
+		"loss_rate": 0.01, "dup_rate": 0.002, "reorder_rate": 0.005,
+		"reorder_extra": "3ms"
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.LossRate != 0.01 || spec.DupRate != 0.002 || spec.ReorderRate != 0.005 {
+		t.Fatalf("fault rates = %+v", spec)
+	}
+	if spec.ReorderExtra != ms(3) {
+		t.Fatalf("reorder_extra = %v", spec.ReorderExtra)
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"math/rand"
 
 	"pert/internal/netem"
@@ -38,6 +39,22 @@ type DumbbellSpec struct {
 	// topo.DumbbellConfig.AccessJitter); the ext-jitter experiment uses it
 	// to probe predictor robustness.
 	AccessJitter sim.Duration
+
+	// Fault injection on the forward bottleneck link (internal/netem
+	// impairments). The impairment draws from its own RNG seeded by Seed,
+	// so zero rates leave the run bit-identical to an unimpaired one.
+	LossRate     float64      // non-congestive wire-loss probability
+	DupRate      float64      // duplication probability
+	ReorderRate  float64      // reordering probability
+	ReorderExtra sim.Duration // extra holding delay bound for reordered packets
+
+	// Schedule drives mid-run capacity/delay changes and link flaps on the
+	// forward bottleneck (down links blackhole traffic).
+	Schedule netem.LinkSchedule
+
+	// NoAudit disables the invariant auditor every dumbbell run otherwise
+	// carries (tests that deliberately corrupt state use it).
+	NoAudit bool
 
 	// Instrument, when set, is invoked with the built topology before
 	// traffic starts — the hook for attaching tracers or custom samplers.
@@ -83,7 +100,7 @@ func RunDumbbell(spec DumbbellSpec, scheme Scheme) DumbbellResult {
 		maxRTT:      maxRTT,
 		targetDelay: spec.TargetDelay,
 	}
-	res := runDumbbell(eng, net, spec, scheme.queueFor(net, env), scheme.ccFor(net, env), scheme.ecn(), webCC(scheme, scheme.ccFor(net, env)))
+	res := runDumbbell(eng, net, spec, string(scheme), scheme.queueFor(net, env), scheme.ccFor(net, env), scheme.ecn(), webCC(scheme, scheme.ccFor(net, env)))
 	res.Scheme = scheme
 	return res
 }
@@ -95,11 +112,11 @@ func RunDumbbellWith(spec DumbbellSpec, cc func() tcp.CongestionControl) Dumbbel
 	eng := sim.NewEngine(spec.Seed)
 	net := netem.NewNetwork(eng)
 	qf := func(limit int, _ float64) netem.Discipline { return queue.NewDropTail(limit) }
-	return runDumbbell(eng, net, spec, qf, cc, false, cc)
+	return runDumbbell(eng, net, spec, "custom-cc", qf, cc, false, cc)
 }
 
 // runDumbbell is the shared scenario body.
-func runDumbbell(eng *sim.Engine, net *netem.Network, spec DumbbellSpec,
+func runDumbbell(eng *sim.Engine, net *netem.Network, spec DumbbellSpec, scheme string,
 	qf topo.QueueFactory, ccf func() tcp.CongestionControl, ecn bool,
 	webccf func() tcp.CongestionControl) DumbbellResult {
 
@@ -135,6 +152,32 @@ func runDumbbell(eng *sim.Engine, net *netem.Network, spec DumbbellSpec,
 		AccessJitter: spec.AccessJitter,
 		Queue:        qf,
 	})
+
+	if spec.LossRate > 0 || spec.DupRate > 0 || spec.ReorderRate > 0 {
+		imp := netem.NewImpairment(spec.Seed ^ 0xfa017)
+		imp.Loss, imp.Dup, imp.Reorder = spec.LossRate, spec.DupRate, spec.ReorderRate
+		imp.ReorderMax = spec.ReorderExtra
+		if imp.Reorder > 0 && imp.ReorderMax <= 0 {
+			imp.ReorderMax = 5 * sim.Millisecond
+		}
+		d.Forward.SetImpairment(imp)
+	}
+	spec.Schedule.Apply(d.Forward)
+
+	if !spec.NoAudit {
+		// Every dumbbell run carries the invariant auditor: packet
+		// conservation, link accounting, and bottleneck queue bounds checked
+		// periodically, with the bottleneck's trailing trace kept for the
+		// repro bundle. A violation panics; the run harness converts that
+		// into a per-run error carrying the bundle.
+		scenario := fmt.Sprintf("dumbbell scheme=%s bw=%g flows=%d rev=%d web=%d loss=%g dup=%g reorder=%g changes=%d",
+			scheme, spec.Bandwidth, spec.Flows, spec.ReverseFlows, spec.WebSessions,
+			spec.LossRate, spec.DupRate, spec.ReorderRate, len(spec.Schedule))
+		aud := netem.StartAudit(net, netem.AuditConfig{Seed: spec.Seed, Scenario: scenario})
+		aud.Watch(d.Forward)
+		aud.BoundQueue(d.Forward, d.BufferPkts)
+		aud.BoundQueue(d.Reverse, d.BufferPkts)
+	}
 
 	if spec.Instrument != nil {
 		spec.Instrument(d)

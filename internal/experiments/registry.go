@@ -55,8 +55,10 @@ var Experiments = []Experiment{
 	{ID: "ext-coexist", Title: "Extension: co-existence with loss-based SACK", Scales: allScales, Run: one(ExtCoexist)},
 	{ID: "ext-delaycc", Title: "Extension: delay-based congestion-avoidance lineage", Scales: allScales, Run: one(ExtDelayCC)},
 	{ID: "ext-fct", Title: "Extension: web-object flow completion times", Scales: allScales, Run: one(ExtFCT)},
+	{ID: "ext-flap", Title: "Extension: response to capacity changes and link flaps", Scales: allScales, Run: ExtFlap},
 	{ID: "ext-highspeed", Title: "Extension: PERT over aggressive probing", Scales: allScales, Run: one(ExtHighSpeed)},
 	{ID: "ext-jitter", Title: "Extension: robustness to access-link delay jitter", Scales: allScales, Run: one(ExtJitter)},
+	{ID: "ext-lossy", Title: "Extension: robustness to non-congestive random loss", Scales: allScales, Run: one(ExtLossy)},
 	{ID: "ext-replicated", Title: "Extension: seed sensitivity with confidence intervals", Scales: allScales, Run: one(ExtReplicated)},
 	{ID: "ext-stability", Title: "Extension: certified stability boundaries, PERT vs RED", Scales: allScales, Run: one(ExtStability)},
 	{ID: "ext-threshold", Title: "Extension: detection-margin sweep", Scales: allScales, Run: one(ExtThreshold)},

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -18,6 +19,15 @@ type Options struct {
 	// Timeout bounds each individual run; 0 means none. A timed-out run
 	// records an error and the sweep continues.
 	Timeout time.Duration
+	// StallWindow arms the no-progress watchdog: if the process-wide sim
+	// event counters do not advance for this much wallclock time, the run is
+	// marked StatusStalled and abandoned, and the sweep continues. 0
+	// disables. Runs are sequential, so a flat counter means the current run
+	// is stuck (deadlock, blocked I/O, runaway non-sim loop). Choose a
+	// window longer than any legitimate non-simulating stretch (analytic
+	// phases, table formatting); live engines refresh the counters at least
+	// every 2^16 events, so tens of seconds is a safe floor.
+	StallWindow time.Duration
 	// Sink observes run lifecycle and progress events; nil disables.
 	Sink Sink
 	// ProgressInterval is the Progress event period; 0 disables progress
@@ -89,7 +99,7 @@ func runOne(ctx context.Context, exp experiments.Experiment, scale experiments.S
 	rec := RunRecord{ID: exp.ID, Title: exp.Title, Scale: string(scale), Tables: []*experiments.Table{}}
 	emit(Event{Kind: RunStarted, ID: exp.ID, Index: index, Total: total})
 
-	runCtx, cancel := ctx, func() {}
+	runCtx, cancel := context.WithCancel(ctx)
 	if opts.Timeout > 0 {
 		runCtx, cancel = context.WithTimeout(ctx, opts.Timeout)
 	}
@@ -115,7 +125,7 @@ func runOne(ctx context.Context, exp experiments.Experiment, scale experiments.S
 		}()
 	}
 
-	tables, err := safeRun(runCtx, exp, scale)
+	tables, err, stalled := watchRun(runCtx, cancel, exp, scale, opts.StallWindow)
 	wall := time.Since(start)
 	if stopProgress != nil {
 		close(stopProgress)
@@ -128,6 +138,16 @@ func runOne(ctx context.Context, exp experiments.Experiment, scale experiments.S
 	if rec.WallSeconds > 0 {
 		rec.EventsPerSecond = float64(rec.SimEvents) / rec.WallSeconds
 	}
+	switch {
+	case stalled:
+		rec.Status = StatusStalled
+	case err != nil && (errors.Is(err, context.DeadlineExceeded) || runCtx.Err() == context.DeadlineExceeded):
+		rec.Status = StatusTimeout
+	case err != nil:
+		rec.Status = StatusError
+	default:
+		rec.Status = StatusOK
+	}
 	if err != nil {
 		rec.Error = err.Error()
 	} else if tables != nil {
@@ -135,11 +155,59 @@ func runOne(ctx context.Context, exp experiments.Experiment, scale experiments.S
 	}
 	emit(Event{
 		Kind: RunFinished, ID: exp.ID, Index: index, Total: total,
-		Err: err, Wall: wall, SimEvents: rec.SimEvents,
+		Err: err, Status: rec.Status, Wall: wall, SimEvents: rec.SimEvents,
 		EventsPerSec: rec.EventsPerSecond, SimSeconds: rec.SimSeconds,
 		SimPerWall: rec.SimSeconds / wall.Seconds(), Tables: tables,
 	})
 	return rec
+}
+
+// watchRun executes the experiment in its own goroutine and, when a
+// stall window is set, polls the process-wide sim counters; a window with no
+// advance abandons the run (the goroutine is left behind — runCtx is
+// canceled so a cooperative runner exits at its next checkpoint, but a truly
+// wedged one leaks until process exit, which is the graceful-degradation
+// trade the watchdog makes to keep the sweep alive).
+func watchRun(runCtx context.Context, cancel context.CancelFunc, exp experiments.Experiment,
+	scale experiments.Scale, window time.Duration) (tables []*experiments.Table, err error, stalled bool) {
+
+	type runResult struct {
+		tables []*experiments.Table
+		err    error
+	}
+	done := make(chan runResult, 1) // buffered: an abandoned run must not block sending
+	go func() {
+		t, e := safeRun(runCtx, exp, scale)
+		done <- runResult{t, e}
+	}()
+
+	if window <= 0 {
+		r := <-done
+		return r.tables, r.err, false
+	}
+
+	poll := window / 8
+	if poll < 10*time.Millisecond {
+		poll = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(poll)
+	defer tick.Stop()
+	lastEv, _ := sim.Counters()
+	lastAdvance := time.Now()
+	for {
+		select {
+		case r := <-done:
+			return r.tables, r.err, false
+		case <-tick.C:
+			if ev, _ := sim.Counters(); ev != lastEv {
+				lastEv, lastAdvance = ev, time.Now()
+			} else if time.Since(lastAdvance) >= window {
+				cancel()
+				return nil, fmt.Errorf("harness: %s made no sim progress for %s; run abandoned as stalled",
+					exp.ID, window), true
+			}
+		}
+	}
 }
 
 // progressEvent samples the process-wide sim counters and estimates the

@@ -60,12 +60,15 @@ func TestRunRecoversPanicAndContinues(t *testing.T) {
 	if !strings.Contains(bad.Error, "panicked: deliberate failure") {
 		t.Fatalf("panic not recorded: %+v", bad)
 	}
+	if bad.Status != StatusError {
+		t.Fatalf("panicked run status = %q", bad.Status)
+	}
 	if len(bad.Tables) != 0 || bad.Tables == nil {
 		t.Fatalf("failed run tables: %+v", bad.Tables)
 	}
 	for _, i := range []int{0, 2} {
 		r := rep.Runs[i]
-		if r.Error != "" || len(r.Tables) != 1 {
+		if r.Error != "" || len(r.Tables) != 1 || r.Status != StatusOK {
 			t.Fatalf("run %d: %+v", i, r)
 		}
 		if r.SimEvents == 0 || r.SimSeconds <= 0 || r.WallSeconds <= 0 || r.EventsPerSecond <= 0 {
@@ -137,8 +140,81 @@ func TestRunPerRunTimeout(t *testing.T) {
 	if !strings.Contains(rep.Runs[0].Error, context.DeadlineExceeded.Error()) {
 		t.Fatalf("timeout not recorded: %+v", rep.Runs[0])
 	}
+	if rep.Runs[0].Status != StatusTimeout {
+		t.Fatalf("timed-out run status = %q", rep.Runs[0].Status)
+	}
 	if rep.Runs[1].Error != "" {
 		t.Fatalf("sweep did not continue: %+v", rep.Runs[1])
+	}
+}
+
+func TestRunWatchdogMarksStalledAndContinues(t *testing.T) {
+	// A run that blocks without advancing the sim counters must be marked
+	// stalled by the watchdog — and the sweep must go on to the next run.
+	// The blocker is cooperative (exits on ctx.Done) so the abandoned
+	// goroutine does not outlive the test.
+	stall := experiments.Experiment{
+		ID:    "wedged",
+		Title: "blocks forever",
+		Run: func(ctx context.Context, _ experiments.Scale) ([]*experiments.Table, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	}
+	var buf bytes.Buffer
+	exps := []experiments.Experiment{stall, simExperiment("after")}
+	rep, err := Run(context.Background(), exps, experiments.Quick,
+		Options{StallWindow: 50 * time.Millisecond, Sink: NewWriterSink(&buf)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wedged := rep.Runs[0]
+	if wedged.Status != StatusStalled {
+		t.Fatalf("status = %q, want stalled: %+v", wedged.Status, wedged)
+	}
+	if !strings.Contains(wedged.Error, "no sim progress") || !strings.Contains(wedged.Error, "stalled") {
+		t.Fatalf("stall error: %q", wedged.Error)
+	}
+	if len(wedged.Tables) != 0 || wedged.Tables == nil {
+		t.Fatalf("stalled run tables: %+v", wedged.Tables)
+	}
+	after := rep.Runs[1]
+	if after.Status != StatusOK || len(after.Tables) != 1 {
+		t.Fatalf("sweep did not continue past the stall: %+v", after)
+	}
+	if !strings.Contains(buf.String(), "STALLED after") {
+		t.Fatalf("sink did not render the stall:\n%s", buf.String())
+	}
+}
+
+func TestRunWatchdogToleratesProgressingRun(t *testing.T) {
+	// A healthy simulation that keeps the counters moving must never be
+	// flagged, even with a stall window shorter than its total runtime.
+	busy := experiments.Experiment{
+		ID:    "busy",
+		Title: "keeps simulating",
+		Run: func(ctx context.Context, _ experiments.Scale) ([]*experiments.Table, error) {
+			deadline := time.Now().Add(200 * time.Millisecond)
+			for time.Now().Before(deadline) {
+				eng := sim.NewEngine(1)
+				for i := 1; i <= 100; i++ {
+					eng.At(sim.Time(i), func() {})
+				}
+				eng.Run(sim.Second)
+				time.Sleep(5 * time.Millisecond)
+			}
+			tab := &experiments.Table{ID: "busy", Title: "busy", Header: []string{"ok"}}
+			tab.AddRow("1")
+			return []*experiments.Table{tab}, nil
+		},
+	}
+	rep, err := Run(context.Background(), []experiments.Experiment{busy}, experiments.Quick,
+		Options{StallWindow: 80 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs[0].Status != StatusOK {
+		t.Fatalf("healthy run flagged: %+v", rep.Runs[0])
 	}
 }
 
@@ -174,11 +250,14 @@ func TestReportJSONSchema(t *testing.T) {
 	}
 	runs := decoded["runs"].([]any)
 	run := runs[0].(map[string]any)
-	for _, key := range []string{"id", "title", "scale", "wall_seconds", "sim_events",
-		"events_per_second", "sim_seconds", "tables"} {
+	for _, key := range []string{"id", "title", "scale", "status", "wall_seconds",
+		"sim_events", "events_per_second", "sim_seconds", "tables"} {
 		if _, ok := run[key]; !ok {
 			t.Errorf("run missing %q", key)
 		}
+	}
+	if run["status"] != StatusOK {
+		t.Errorf("status = %v", run["status"])
 	}
 	if _, ok := run["error"]; ok {
 		t.Error("successful run serialized an error field")

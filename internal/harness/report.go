@@ -13,6 +13,15 @@ import (
 // incompatible changes; additions are allowed within a version.
 const SchemaVersion = 1
 
+// Run-health states recorded in RunRecord.Status. Exactly one applies to
+// every finished run; anything other than StatusOK also fills Error.
+const (
+	StatusOK      = "ok"      // tables produced, invariants held
+	StatusError   = "error"   // runner returned an error or panicked (incl. auditor violations)
+	StatusTimeout = "timeout" // per-run Timeout expired
+	StatusStalled = "stalled" // watchdog saw no sim progress within StallWindow
+)
+
 // RunRecord is the outcome of one experiment run. Exactly one of Error and
 // a non-trivial Tables slice is meaningful: a failed run keeps its timing
 // metadata but carries no tables.
@@ -20,6 +29,10 @@ type RunRecord struct {
 	ID    string `json:"id"`
 	Title string `json:"title"`
 	Scale string `json:"scale"`
+	// Status is the run-health verdict: "ok", "error", "timeout" or
+	// "stalled" (an additive schema-version-1 field; absent in old reports
+	// means "ok" when Error is empty, "error" otherwise).
+	Status string `json:"status"`
 	// WallSeconds is the run's wallclock duration.
 	WallSeconds float64 `json:"wall_seconds"`
 	// SimEvents counts discrete-event executions attributed to this run.

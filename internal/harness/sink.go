@@ -30,6 +30,7 @@ type Event struct {
 	Total int    // number of runs in the sweep
 
 	Err          error                // RunFinished only; nil on success
+	Status       string               // RunFinished only; a report Status* value
 	Wall         time.Duration        // elapsed wallclock for this run so far
 	SimEvents    uint64               // sim events attributed to this run so far
 	EventsPerSec float64              // SimEvents / Wall
@@ -82,6 +83,10 @@ func (s *WriterSink) Event(e Event) {
 		}
 		fmt.Fprintln(s.w, line)
 	case RunFinished:
+		if e.Status == StatusStalled {
+			fmt.Fprintf(s.w, "%s: STALLED after %s: %v\n", pos, e.Wall.Round(time.Millisecond), e.Err)
+			return
+		}
 		if e.Err != nil {
 			fmt.Fprintf(s.w, "%s: FAILED after %s: %v\n", pos, e.Wall.Round(time.Millisecond), e.Err)
 			return

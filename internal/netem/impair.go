@@ -1,0 +1,181 @@
+package netem
+
+import (
+	"math/rand"
+
+	"pert/internal/sim"
+)
+
+// Impairment injects deterministic non-congestive faults on one link: random
+// wire loss, packet duplication, and bounded reordering. It owns a dedicated
+// seeded RNG so attaching an impairment never perturbs the simulation's main
+// random stream — a run with every probability at zero is bit-identical to a
+// run with no impairment at all, because the zero paths draw nothing.
+//
+// Faults apply after a packet finishes transmission (it consumed link
+// capacity) and before delivery, modeling corruption on the wire rather than
+// queue overflow: the losses PERT must distinguish from congestion.
+type Impairment struct {
+	// Loss is the probability a transmitted packet is lost on the wire.
+	Loss float64
+	// Dup is the probability a delivered packet is delivered twice (the
+	// copy shares the original's arrival time plus one transmission time).
+	Dup float64
+	// Reorder is the probability a packet is held back by an extra delay
+	// uniform in (0, ReorderMax], letting later packets overtake it.
+	// ReorderMax must be positive when Reorder is.
+	Reorder    float64
+	ReorderMax sim.Duration
+
+	rng *rand.Rand
+}
+
+// ImpairStats counts fault events injected on one link.
+type ImpairStats struct {
+	WireLost   uint64 // transmitted but lost on the wire
+	Duplicated uint64 // extra copies delivered
+	Reordered  uint64 // packets held back past a successor
+	Blackholed uint64 // offered or transmitted while the link was down
+}
+
+// NewImpairment returns an impairment with its own deterministic RNG. The
+// fault probabilities start at zero; set the fields before the run starts.
+func NewImpairment(seed int64) *Impairment {
+	return &Impairment{rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetImpairment attaches imp to the link (nil detaches). Must be called
+// before traffic flows; swapping impairments mid-run would make the fault
+// sequence depend on wall-clock attach order rather than the seed.
+func (l *Link) SetImpairment(imp *Impairment) {
+	if imp != nil && imp.Reorder > 0 && imp.ReorderMax <= 0 {
+		panic("netem: Impairment.Reorder needs a positive ReorderMax")
+	}
+	l.impair = imp
+}
+
+// Impairments returns the link's fault counters.
+func (l *Link) Impairments() ImpairStats { return l.impairStats }
+
+// Up reports whether the link is currently up. Links start up; LinkSchedule
+// or SetUp flap them.
+func (l *Link) Up() bool { return !l.down }
+
+// SetUp changes the link's up/down state. A down link blackholes traffic:
+// packets offered to it are dropped immediately, and packets it finishes
+// transmitting are lost instead of delivered (the queue keeps draining, so a
+// revived link starts fresh rather than replaying a stale backlog). Packets
+// already propagating when the link goes down were on the wire and still
+// arrive.
+func (l *Link) SetUp(up bool) { l.down = !up }
+
+// LinkChange is one step of a LinkSchedule: at time At, apply the non-zero
+// fields. Capacity and Delay of zero mean "unchanged" (links cannot change to
+// zero capacity — take the link down instead). Down and Up flap the link;
+// setting both is rejected.
+type LinkChange struct {
+	At       sim.Time
+	Capacity float64      // bits/s; 0 = unchanged
+	Delay    sim.Duration // propagation; 0 = unchanged
+	Down     bool
+	Up       bool
+}
+
+// LinkSchedule is a time-driven sequence of link changes — the mid-run
+// capacity shifts, delay steps, and link flaps of the ext-flap experiment.
+type LinkSchedule []LinkChange
+
+// Apply schedules every change on the link's engine. Call once, before the
+// run starts.
+func (s LinkSchedule) Apply(l *Link) {
+	for _, c := range s {
+		c := c
+		if c.Capacity < 0 {
+			panic("netem: LinkChange with negative capacity")
+		}
+		if c.Down && c.Up {
+			panic("netem: LinkChange cannot be both Down and Up")
+		}
+		l.eng.At(c.At, func() {
+			if c.Capacity > 0 {
+				l.Capacity = c.Capacity
+			}
+			if c.Delay > 0 {
+				l.Delay = c.Delay
+			}
+			if c.Down {
+				l.SetUp(false)
+			}
+			if c.Up {
+				l.SetUp(true)
+			}
+		})
+	}
+}
+
+// deliver schedules the packet's arrival at l.To after the given propagation
+// delay, applying wire-level impairments. It is the single exit point from a
+// completed transmission; conservation accounting moves the packet from the
+// transmitter into flight (or into the dropped column) here.
+func (l *Link) deliver(p *Packet, delay sim.Duration) {
+	acct := &l.From.net.acct
+	if l.down {
+		// Carrier gone mid-transmission: the bits went nowhere.
+		l.impairStats.Blackholed++
+		acct.Dropped++
+		return
+	}
+	if imp := l.impair; imp != nil {
+		if imp.Loss > 0 && imp.rng.Float64() < imp.Loss {
+			l.impairStats.WireLost++
+			acct.Dropped++
+			return
+		}
+		if imp.Reorder > 0 && imp.rng.Float64() < imp.Reorder {
+			// Hold this packet back without raising the FIFO floor, so
+			// successors may overtake it — bounded by ReorderMax.
+			extra := 1 + imp.rng.Int63n(int64(imp.ReorderMax))
+			l.impairStats.Reordered++
+			acct.InFlight++
+			arrival := l.eng.Now() + delay + sim.Duration(extra)
+			l.eng.At(arrival, func() { l.arrive(p) })
+			l.maybeDup(p, delay)
+			return
+		}
+	}
+	arrival := l.eng.Now() + delay
+	// FIFO: never deliver before an earlier packet on this link.
+	if arrival < l.lastDelivery {
+		arrival = l.lastDelivery
+	}
+	l.lastDelivery = arrival
+	acct.InFlight++
+	l.eng.At(arrival, func() { l.arrive(p) })
+	l.maybeDup(p, delay)
+}
+
+// maybeDup delivers an independent copy of the packet one transmission time
+// later, as if the wire echoed it.
+func (l *Link) maybeDup(p *Packet, delay sim.Duration) {
+	imp := l.impair
+	if imp == nil || imp.Dup <= 0 || imp.rng.Float64() >= imp.Dup {
+		return
+	}
+	l.impairStats.Duplicated++
+	acct := &l.From.net.acct
+	acct.Duplicated++
+	acct.InFlight++
+	cp := *p
+	arrival := l.eng.Now() + delay + l.txTime(p.Size)
+	if arrival < l.lastDelivery {
+		arrival = l.lastDelivery
+	}
+	l.lastDelivery = arrival
+	l.eng.At(arrival, func() { l.arrive(&cp) })
+}
+
+// arrive completes a packet's flight across the link.
+func (l *Link) arrive(p *Packet) {
+	l.From.net.acct.InFlight--
+	l.To.Receive(p)
+}

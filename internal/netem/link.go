@@ -57,24 +57,44 @@ type Link struct {
 
 	eng  *sim.Engine
 	busy bool
+
+	// Fault-injection state (impair.go): wire loss/dup/reorder, and the
+	// up/down flag driven by LinkSchedule.
+	impair      *Impairment
+	impairStats ImpairStats
+	down        bool
 }
 
 // Send offers a packet to the link's queue and starts the transmitter if it
-// is idle.
+// is idle. A down link blackholes the packet instead (see SetUp).
 func (l *Link) Send(p *Packet) {
 	now := l.eng.Now()
 	l.Stats.Arrivals++
-	ce := p.CE
-	if !l.Queue.Enqueue(p, now) {
+	acct := &l.From.net.acct
+	if l.down {
+		l.impairStats.Blackholed++
 		l.Stats.Drops++
+		acct.Dropped++
 		if l.OnDrop != nil {
 			l.OnDrop(p, now)
 		}
 		return
 	}
+	ce := p.CE
+	if !l.Queue.Enqueue(p, now) {
+		l.Stats.Drops++
+		acct.Dropped++
+		if l.OnDrop != nil {
+			l.OnDrop(p, now)
+		}
+		return
+	}
+	// Disciplines mark only at enqueue time (the Discipline contract), so
+	// comparing CE across the call counts every mark.
 	if p.CE && !ce {
 		l.Stats.Marks++
 	}
+	acct.Queued++
 	if l.OnEnqueue != nil {
 		l.OnEnqueue(p, now)
 	}
@@ -91,11 +111,15 @@ func (l *Link) serve() {
 		return
 	}
 	l.busy = true
+	acct := &l.From.net.acct
+	acct.Queued--
+	acct.Transmitting++
 	tx := l.txTime(p.Size)
 	l.eng.After(tx, func() {
 		l.Stats.TxPackets++
 		l.Stats.TxBytes += uint64(p.Size)
 		l.Stats.BusyTime += tx
+		acct.Transmitting--
 		if l.OnDepart != nil {
 			l.OnDepart(p, l.eng.Now())
 		}
@@ -103,13 +127,7 @@ func (l *Link) serve() {
 		if l.JitterMax > 0 {
 			delay += sim.Duration(l.eng.Rand().Int63n(int64(l.JitterMax)))
 		}
-		arrival := l.eng.Now() + delay
-		// FIFO: never deliver before an earlier packet on this link.
-		if arrival < l.lastDelivery {
-			arrival = l.lastDelivery
-		}
-		l.lastDelivery = arrival
-		l.eng.At(arrival, func() { l.To.Receive(p) })
+		l.deliver(p, delay)
 		l.serve()
 	})
 }

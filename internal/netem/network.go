@@ -33,6 +33,7 @@ func (n *Node) DetachFlow(flow int) {
 // is the destination, otherwise forwarding.
 func (n *Node) Receive(p *Packet) {
 	if p.Dst == n.ID {
+		n.net.acct.Delivered++
 		if h, ok := n.demux[p.Flow]; ok {
 			h.Receive(p, n.net.eng.Now())
 		}
@@ -72,6 +73,12 @@ type Network struct {
 	Nodes []*Node
 
 	nextPktID uint64
+
+	// acct is the packet-conservation ledger (audit.go): every packet the
+	// network has seen is in exactly one column at any instant. Maintained
+	// inline by Send/serve/deliver/Receive — plain integer bumps, so the
+	// accounting is always on.
+	acct Conservation
 }
 
 // NewNetwork returns an empty network bound to the engine.
@@ -156,6 +163,7 @@ func (n *Network) ComputeRoutes() {
 // toward its destination. Packets originating at a node still traverse that
 // node's outgoing link queue.
 func (n *Network) SendFrom(src *Node, p *Packet) {
+	n.acct.Injected++
 	if p.Dst == src.ID {
 		src.Receive(p)
 		return

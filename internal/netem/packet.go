@@ -72,6 +72,13 @@ type Handler interface {
 // either accepts the packet (possibly setting CE on ECN-capable packets in
 // place of a drop) and returns true, or rejects it and returns false.
 // Dequeue returns nil when the queue is empty.
+//
+// Marking contract: a discipline may set CE only inside Enqueue, never at
+// Dequeue or between calls. Link.Send counts a mark by comparing CE across
+// the Enqueue call, so a dequeue-time mark would silently go uncounted; the
+// conformance suite (internal/queue) asserts every discipline honors this.
+// All AQMs in this repository (RED, Adaptive RED, PI, REM, AVQ) are
+// enqueue-marking by construction, matching their published forms.
 type Discipline interface {
 	Enqueue(p *Packet, now sim.Time) bool
 	Dequeue(now sim.Time) *Packet

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -32,6 +33,15 @@ type TraceEvent struct {
 	Seq   int64 // data: sequence; ack: cumulative ACK number
 	ID    uint64
 	Flags string // "-" or a subset of "CEWR"
+}
+
+// Format renders the event as the exact line Tracer emits (microsecond time
+// precision, no trailing newline). Format is the inverse of the line parser:
+// re-formatting a parsed trace reproduces the file byte for byte, which the
+// round-trip property test in traceread_roundtrip_test.go pins down.
+func (e TraceEvent) Format() string {
+	return fmt.Sprintf("%c %.6f %d %d %s %d %d %d %d %s",
+		byte(e.Op), e.T.Seconds(), e.From, e.To, e.Kind, e.Size, e.Flow, e.Seq, e.ID, e.Flags)
 }
 
 // ReadTrace parses a trace written by Tracer, returning the events in file
@@ -74,7 +84,10 @@ func parseTraceLine(line string) (TraceEvent, error) {
 		return TraceEvent{}, fmt.Errorf("bad op %q", f[0])
 	}
 	secs, err := strconv.ParseFloat(f[1], 64)
-	if err != nil {
+	// Reject NaN, infinities, negatives, and times whose nanosecond form
+	// overflows sim.Time — conversion of out-of-range floats to int64 is
+	// implementation-defined, so they must never reach sim.Seconds.
+	if err != nil || math.IsNaN(secs) || secs < 0 || secs > float64(math.MaxInt64)/1e9 {
 		return TraceEvent{}, fmt.Errorf("bad time %q", f[1])
 	}
 	ints := make([]int64, 0, 6)

@@ -1,0 +1,40 @@
+package netem
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadTrace hardens the trace parser: arbitrary input must either be
+// rejected with an error or parse into events whose Format output re-parses
+// to an identical rendering (one normalization pass reaches a fixed point).
+// No input may panic.
+func FuzzReadTrace(f *testing.F) {
+	f.Add("+ 0.001000 0 1 tcp 1000 1 0 1 -\n")
+	f.Add("- 1.500000 2 3 ack 40 7 42 9 CE\n")
+	f.Add("d 0.000000 0 1 tcp 1000 1 3 4 CEWR\n")
+	f.Add("")
+	f.Add("\n\n  \n")
+	f.Add("x 0.1 0 1 tcp 1 1 1 1 -\n")
+	f.Add("+ NaN 0 1 tcp 1 1 1 1 -\n")
+	f.Add("+ 1e300 0 1 tcp 1 1 1 1 -\n")
+	f.Add("+ -0.5 0 1 tcp 1 1 1 1 -\n")
+	f.Add("+ 0.1 0 1 udp 1 1 1 1 -\n")
+	f.Add("+ 0.1 0 1 tcp 1 1 1\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		evs, err := ReadTrace(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, ev := range evs {
+			line := ev.Format()
+			again, err := ReadTrace(strings.NewReader(line + "\n"))
+			if err != nil {
+				t.Fatalf("accepted event does not re-parse: %v\nline: %s", err, line)
+			}
+			if len(again) != 1 || again[0].Format() != line {
+				t.Fatalf("format not a fixed point:\nfirst  %s\nsecond %s", line, again[0].Format())
+			}
+		}
+	})
+}

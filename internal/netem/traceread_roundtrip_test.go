@@ -1,0 +1,79 @@
+package netem
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pert/internal/sim"
+)
+
+// TestTraceRoundTripProperty pins the Tracer <-> ReadTrace inverse pair:
+// for any event with microsecond-aligned time (the Tracer's output
+// precision), Format -> ReadTrace reproduces the event, and re-Formatting
+// reproduces the line byte for byte.
+func TestTraceRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ops := []TraceOp{TraceEnqueue, TraceDequeue, TraceDrop}
+	kinds := []string{"tcp", "ack"}
+	flagSets := []string{"-", "C", "E", "W", "R", "CE", "CR", "EW", "CEWR"}
+	for i := 0; i < 2000; i++ {
+		want := TraceEvent{
+			Op:    ops[rng.Intn(len(ops))],
+			T:     sim.Duration(rng.Int63n(1e9)) * sim.Microsecond,
+			From:  NodeID(rng.Intn(1000)),
+			To:    NodeID(rng.Intn(1000)),
+			Kind:  kinds[rng.Intn(2)],
+			Size:  rng.Intn(65536),
+			Flow:  rng.Intn(10000),
+			Seq:   rng.Int63n(1 << 40),
+			ID:    uint64(rng.Int63()),
+			Flags: flagSets[rng.Intn(len(flagSets))],
+		}
+		line := want.Format()
+		evs, err := ReadTrace(strings.NewReader(line + "\n"))
+		if err != nil {
+			t.Fatalf("parse of own format failed: %v\nline: %s", err, line)
+		}
+		if len(evs) != 1 || evs[0] != want {
+			t.Fatalf("round trip:\nwant %+v\ngot  %+v\nline %s", want, evs[0], line)
+		}
+		if got := evs[0].Format(); got != line {
+			t.Fatalf("re-format differs:\nwant %s\ngot  %s", line, got)
+		}
+	}
+}
+
+// TestTraceRoundTripRealRun runs an actual simulation with a Tracer
+// attached, parses the trace, and re-formats it: the reproduction must match
+// the original file byte for byte.
+func TestTraceRoundTripRealRun(t *testing.T) {
+	eng := sim.NewEngine(7)
+	net, a, b, ab := line(eng, 8e6, sim.Millisecond, 3)
+	var buf bytes.Buffer
+	NewTracer(&buf).Attach(ab)
+	b.AttachFlow(1, &sink{})
+	for i := 0; i < 8; i++ {
+		net.SendFrom(a, &Packet{ID: net.NewPacketID(), Flow: 1, Src: a.ID, Dst: b.ID,
+			Size: 1000, Seq: int64(i), CE: i%3 == 0, Retrans: i == 5})
+	}
+	eng.Run(sim.Second)
+
+	evs, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("empty trace")
+	}
+	var re strings.Builder
+	for _, ev := range evs {
+		re.WriteString(ev.Format())
+		re.WriteByte('\n')
+	}
+	if re.String() != buf.String() {
+		t.Fatalf("re-formatted trace differs from Tracer output:\n--- tracer ---\n%s--- reformat ---\n%s",
+			buf.String(), re.String())
+	}
+}

@@ -11,7 +11,10 @@ import (
 // TestDisciplineConformance subjects every queue discipline to the same
 // randomized workload and checks the invariants the Link contract relies on:
 // FIFO delivery of accepted packets, truthful Len/Bytes accounting, a hard
-// Limit that is never exceeded, and nil from an empty Dequeue.
+// Limit that is never exceeded, nil from an empty Dequeue, and the marking
+// contract (CE may be set only inside Enqueue — Link.Send counts marks by
+// comparing CE across the Enqueue call, so a dequeue-time mark would go
+// uncounted).
 func TestDisciplineConformance(t *testing.T) {
 	const limit = 32
 	makers := map[string]func(rng *rand.Rand) netem.Discipline{
@@ -43,6 +46,7 @@ func TestDisciplineConformance(t *testing.T) {
 				rng := rand.New(rand.NewSource(seed))
 				q := mk(rand.New(rand.NewSource(seed + 100)))
 				var model []*netem.Packet
+				ceAtEnqueue := map[uint64]bool{}
 				bytes := 0
 				now := sim.Time(0)
 				nextID := uint64(1)
@@ -53,6 +57,7 @@ func TestDisciplineConformance(t *testing.T) {
 						nextID++
 						if q.Enqueue(p, now) {
 							model = append(model, p)
+							ceAtEnqueue[p.ID] = p.CE
 							bytes += p.Size
 						}
 					} else {
@@ -68,6 +73,10 @@ func TestDisciplineConformance(t *testing.T) {
 							if got != model[0] {
 								t.Fatalf("seed %d: FIFO violated: got %d want %d", seed, got.ID, model[0].ID)
 							}
+							if got.CE != ceAtEnqueue[got.ID] {
+								t.Fatalf("seed %d: CE changed after enqueue on %d (marking contract)", seed, got.ID)
+							}
+							delete(ceAtEnqueue, got.ID)
 							model = model[1:]
 							bytes -= got.Size
 						}

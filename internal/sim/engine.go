@@ -2,6 +2,7 @@ package sim
 
 import (
 	"container/heap"
+	"fmt"
 	"math/rand"
 	"sync/atomic"
 )
@@ -117,14 +118,20 @@ func (e *Engine) After(d Duration, fn func()) *Event {
 }
 
 // Process-wide counters aggregated across every engine. Engines batch their
-// updates once per Run call (not per event), so the per-event cost is zero;
-// the run-orchestration harness samples these for throughput and
-// simulated-time-per-wallclock metrics. They are monotone and never reset —
-// consumers take deltas.
+// updates every counterBatch events and at the end of each Run call, so the
+// per-event cost is one comparison; the run-orchestration harness samples
+// these for throughput metrics and for its no-progress watchdog (a live
+// engine refreshes them at least every counterBatch events, so a flat
+// counter over a wall-clock window really means a stuck run). They are
+// monotone and never reset — consumers take deltas.
 var (
 	totalEvents  atomic.Uint64
 	totalSimTime atomic.Int64
 )
+
+// counterBatch is how many events an engine may process before flushing its
+// delta to the process-wide counters.
+const counterBatch = 1 << 16
 
 // Counters reports the cumulative number of events processed and virtual
 // time advanced by all engines in this process since it started. Safe for
@@ -140,25 +147,36 @@ func Counters() (events uint64, simTime Time) {
 // last event); calling Run again with a later horizon resumes the simulation.
 func (e *Engine) Run(until Time) uint64 {
 	e.stopped = false
-	startNow := e.now
-	var n uint64
+	var n, flushedN uint64
+	flushedNow := e.now
 	for len(e.pq) > 0 && !e.stopped {
 		next := e.pq[0]
 		if next.at > until {
 			break
+		}
+		if next.at < e.now {
+			// At() rejects past scheduling, so a backwards event can only
+			// mean heap corruption; executing it would corrupt causality
+			// silently, which is strictly worse than dying loudly.
+			panic(fmt.Sprintf("sim: event-time monotonicity violated: next event at %v, clock at %v", next.at, e.now))
 		}
 		heap.Pop(&e.pq)
 		e.now = next.at
 		next.dead = true
 		next.fn()
 		n++
+		if n-flushedN >= counterBatch {
+			totalEvents.Add(n - flushedN)
+			totalSimTime.Add(int64(e.now - flushedNow))
+			flushedN, flushedNow = n, e.now
+		}
 	}
 	if e.now < until && !e.stopped {
 		e.now = until
 	}
 	e.Processed += n
-	totalEvents.Add(n)
-	totalSimTime.Add(int64(e.now - startNow))
+	totalEvents.Add(n - flushedN)
+	totalSimTime.Add(int64(e.now - flushedNow))
 	return n
 }
 

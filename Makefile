@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check bench results results-paper fuzz clean
+.PHONY: all build test vet check bench bench-micro bench-smoke results results-paper fuzz clean
 
 all: build check
 
@@ -20,10 +20,22 @@ test:
 check: vet
 	$(GO) test -race -timeout 20m ./...
 
-# Full benchmark run: every paper figure/table at quick scale, ablations,
-# and substrate micro-benchmarks.
+# Perf-regression reference point: one single-worker quick-scale sweep,
+# recorded as a machine-readable report (wall time, events/s, mallocs and
+# allocs/event per experiment). Compare BENCH_quick.json across commits to
+# spot hot-path regressions; add -cpuprofile/-memprofile to find them.
 bench:
+	$(GO) run ./cmd/pertbench -scale quick -json -parallel 1 > BENCH_quick.json
+
+# Go micro-benchmarks: every paper figure/table at quick scale, ablations,
+# and substrate benchmarks (ns/event, allocs/event, saturated-link cost).
+bench-micro:
 	$(GO) test -bench=. -benchmem ./...
+
+# Fast benchmark sanity pass for CI: run each microbenchmark once and the
+# allocation-budget tests that pin the zero-alloc hot paths.
+bench-smoke:
+	$(GO) test -run 'TestScheduleAllocBudget|TestLinkAllocBudget' -bench=. -benchtime=1x -benchmem ./internal/sim/ ./internal/netem/
 
 # Regenerate the committed quick-scale results file.
 results:

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGoldenQuickTables proves the simulator's pooled hot paths do not
+// perturb results: the quick-scale tables of a representative experiment
+// subset must be byte-identical to the committed results_quick.txt golden
+// file. Event and packet pooling, the lazy-deletion heap, and the
+// persistent-timer rewrite all claim to preserve the seeded RNG stream and
+// (time, seq) event ordering exactly — a diff here means one of them
+// changed behavior, and the optimization is a bug regardless of how much
+// faster it is. The full sweep is checked the same way by `make results`.
+func TestGoldenQuickTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden experiment subset is slow; skipped with -short")
+	}
+	golden, err := os.ReadFile(filepath.Join("..", "..", "results_quick.txt"))
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	goldenStr := string(golden)
+
+	// Fast experiments spanning the main simulator surfaces: fig13 (web
+	// traffic), ext-aqm (AQM disciplines at the bottleneck), ext-coexist
+	// (multi-CC sharing), ext-delaycc (delayed ACKs), ext-fct (flow
+	// completion times). The Section 2 figures are deliberately absent:
+	// they share one memoized trace study whose first computation costs
+	// ~30s, which `make results` already covers.
+	for _, id := range []string{"fig13", "ext-aqm", "ext-coexist", "ext-delaycc", "ext-fct"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			// Default worker count: scenario scheduling is parallel but
+			// each run is seeded independently, so tables are identical
+			// for any worker count (the committed golden was produced
+			// with the default).
+			if code := run(context.Background(), []string{"-exp", id}, &out, &errb); code != 0 {
+				t.Fatalf("exit %d: %s", code, errb.String())
+			}
+			s := out.String()
+			// Drop the wall-clock trailer ("[id completed in ...]");
+			// everything before it is deterministic table output.
+			i := strings.LastIndex(s, "[")
+			if i < 0 {
+				t.Fatalf("no completion trailer in output:\n%s", s)
+			}
+			tables := s[:i]
+			if tables == "" {
+				t.Fatal("experiment rendered no tables")
+			}
+			if !strings.Contains(goldenStr, tables) {
+				t.Errorf("%s tables diverged from the results_quick.txt golden file; "+
+					"if this change intentionally alters results, regenerate with `make results`.\ngot:\n%s", id, tables)
+			}
+		})
+	}
+}

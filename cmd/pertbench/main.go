@@ -5,6 +5,7 @@
 //
 //	pertbench [-scale quick|paper] [-exp fig6,fig7,...|all] [-format text|json|csv]
 //	          [-json] [-progress] [-parallel N] [-timeout D] [-stall-window D]
+//	          [-cpuprofile FILE] [-memprofile FILE]
 //
 // Quick scale (default) shrinks bandwidth and duration while preserving the
 // dimensionless shape of each experiment; paper scale runs the publication's
@@ -50,9 +51,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", 0, "per-run timeout (0 = none); a timed-out run fails, the sweep continues")
 	stallWindow := fs.Duration("stall-window", 0, "no-progress watchdog window (0 = off); a run whose sim counters stop advancing this long is marked stalled, the sweep continues")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
+	memprofile := fs.String("memprofile", "", "write an allocation profile of the sweep to this file (go tool pprof)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+
+	stopProfiles, err := harness.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(stderr, "pertbench: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(stderr, "pertbench: %v\n", err)
+		}
+	}()
 
 	if *list {
 		for _, id := range experiments.IDs() {

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"pert/internal/experiments"
+	"pert/internal/harness"
 	"pert/internal/netem"
 	"pert/internal/sim"
 	"pert/internal/topo"
@@ -53,9 +54,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	config := fs.String("config", "", "load the scenario from a JSON file (overrides topology/traffic flags)")
 	tracePath := fs.String("trace", "", "write an ns-2-style packet trace of the bottleneck to this file")
 	qseriesPath := fs.String("qseries", "", "write a queue-length time series (CSV) to this file")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memprofile := fs.String("memprofile", "", "write an allocation profile of the run to this file (go tool pprof)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+
+	stopProfiles, err := harness.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(stderr, "pertsim: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(stderr, "pertsim: %v\n", err)
+		}
+	}()
 	if !experiments.Scheme(*scheme).Known() {
 		fmt.Fprintf(stderr, "pertsim: unknown scheme %q\n", *scheme)
 		return 2

@@ -4,11 +4,21 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"pert/internal/experiments"
 	"pert/internal/sim"
 )
+
+// mallocCount reads the process's cumulative heap-object allocation count.
+// Deltas across a sequential run attribute its allocations (see
+// RunRecord.Mallocs for the caveats).
+func mallocCount() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
 
 // Options configures a sweep. The zero value is usable: all cores, no
 // timeout, no observer.
@@ -61,28 +71,33 @@ func Run(ctx context.Context, exps []experiments.Experiment, scale experiments.S
 	}
 	start := time.Now()
 	ev0, _ := sim.Counters()
+	m0 := mallocCount()
 
 	var doneWall time.Duration
 	for i, exp := range exps {
 		if err := ctx.Err(); err != nil {
-			finish(rep, start, ev0)
+			finish(rep, start, ev0, m0)
 			return rep, err
 		}
 		rec := runOne(ctx, exp, scale, i, len(exps), opts, sink, doneWall)
 		doneWall += time.Duration(rec.WallSeconds * float64(time.Second))
 		rep.Runs = append(rep.Runs, rec)
 	}
-	finish(rep, start, ev0)
+	finish(rep, start, ev0, m0)
 	return rep, nil
 }
 
-// finish fills the report's sweep-wide timing fields.
-func finish(rep *Report, start time.Time, ev0 uint64) {
+// finish fills the report's sweep-wide timing and allocation fields.
+func finish(rep *Report, start time.Time, ev0, m0 uint64) {
 	ev1, _ := sim.Counters()
 	rep.WallSeconds = time.Since(start).Seconds()
 	rep.SimEvents = ev1 - ev0
 	if rep.WallSeconds > 0 {
 		rep.EventsPerSecond = float64(rep.SimEvents) / rep.WallSeconds
+	}
+	rep.Mallocs = mallocCount() - m0
+	if rep.SimEvents > 0 {
+		rep.AllocsPerEvent = float64(rep.Mallocs) / float64(rep.SimEvents)
 	}
 }
 
@@ -106,6 +121,7 @@ func runOne(ctx context.Context, exp experiments.Experiment, scale experiments.S
 	defer cancel()
 
 	ev0, st0 := sim.Counters()
+	m0 := mallocCount()
 	start := time.Now()
 
 	var stopProgress chan struct{}
@@ -137,6 +153,10 @@ func runOne(ctx context.Context, exp experiments.Experiment, scale experiments.S
 	rec.SimSeconds = (st1 - st0).Seconds()
 	if rec.WallSeconds > 0 {
 		rec.EventsPerSecond = float64(rec.SimEvents) / rec.WallSeconds
+	}
+	rec.Mallocs = mallocCount() - m0
+	if rec.SimEvents > 0 {
+		rec.AllocsPerEvent = float64(rec.Mallocs) / float64(rec.SimEvents)
 	}
 	switch {
 	case stalled:

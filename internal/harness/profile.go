@@ -1,0 +1,50 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts a CPU profile at cpuPath and arranges for an
+// allocation profile at memPath; either path may be empty to skip that
+// profile. The returned stop function ends the CPU profile and writes the
+// allocation profile; commands wire the pair straight to their -cpuprofile
+// and -memprofile flags and call stop on the way out. Profiles are the
+// intended companion to BENCH_quick.json: the report says how much time and
+// allocation a sweep cost, the profiles say where.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("starting CPU profile: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // settle the live set so inuse numbers are exact
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				return fmt.Errorf("writing allocation profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

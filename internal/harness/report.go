@@ -42,6 +42,16 @@ type RunRecord struct {
 	// SimSeconds is simulated time advanced during this run (summed across
 	// scenarios, so it can exceed WallSeconds * workers).
 	SimSeconds float64 `json:"sim_seconds"`
+	// Mallocs counts heap objects allocated in the process during this run
+	// (runtime.MemStats delta; additive schema-version-1 field). Runs are
+	// sequential, so the delta is attributable to this run, but within-run
+	// worker goroutines and background GC are included — compare numbers
+	// only across reports produced with the same worker count.
+	Mallocs uint64 `json:"mallocs"`
+	// AllocsPerEvent is Mallocs / SimEvents, the perf-regression harness's
+	// primary allocation metric: the event loop's pooled hot paths keep it
+	// well under one allocation per simulated event.
+	AllocsPerEvent float64 `json:"allocs_per_event"`
 	// Error is the failure (panic, cancellation, bad spec), empty on success.
 	Error string `json:"error,omitempty"`
 	// Tables holds the run's result tables; never null, empty on failure.
@@ -56,10 +66,13 @@ type Report struct {
 	Scale         string    `json:"scale"`
 	Workers       int       `json:"workers"`
 	StartedAt     time.Time `json:"started_at"`
-	// WallSeconds, SimEvents and EventsPerSecond cover the whole sweep.
+	// WallSeconds, SimEvents, EventsPerSecond, Mallocs and AllocsPerEvent
+	// cover the whole sweep (same caveats as the per-run fields).
 	WallSeconds     float64     `json:"wall_seconds"`
 	SimEvents       uint64      `json:"sim_events"`
 	EventsPerSecond float64     `json:"events_per_second"`
+	Mallocs         uint64      `json:"mallocs"`
+	AllocsPerEvent  float64     `json:"allocs_per_event"`
 	Runs            []RunRecord `json:"runs"`
 }
 

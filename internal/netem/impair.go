@@ -98,7 +98,7 @@ func (s LinkSchedule) Apply(l *Link) {
 		}
 		l.eng.At(c.At, func() {
 			if c.Capacity > 0 {
-				l.Capacity = c.Capacity
+				l.SetCapacity(c.Capacity)
 			}
 			if c.Delay > 0 {
 				l.Delay = c.Delay
@@ -123,12 +123,14 @@ func (l *Link) deliver(p *Packet, delay sim.Duration) {
 		// Carrier gone mid-transmission: the bits went nowhere.
 		l.impairStats.Blackholed++
 		acct.Dropped++
+		l.From.net.ReleasePacket(p)
 		return
 	}
 	if imp := l.impair; imp != nil {
 		if imp.Loss > 0 && imp.rng.Float64() < imp.Loss {
 			l.impairStats.WireLost++
 			acct.Dropped++
+			l.From.net.ReleasePacket(p)
 			return
 		}
 		if imp.Reorder > 0 && imp.rng.Float64() < imp.Reorder {
@@ -138,7 +140,7 @@ func (l *Link) deliver(p *Packet, delay sim.Duration) {
 			l.impairStats.Reordered++
 			acct.InFlight++
 			arrival := l.eng.Now() + delay + sim.Duration(extra)
-			l.eng.At(arrival, func() { l.arrive(p) })
+			l.eng.Post(arrival, l.arriveFn, p)
 			l.maybeDup(p, delay)
 			return
 		}
@@ -150,7 +152,7 @@ func (l *Link) deliver(p *Packet, delay sim.Duration) {
 	}
 	l.lastDelivery = arrival
 	acct.InFlight++
-	l.eng.At(arrival, func() { l.arrive(p) })
+	l.eng.Post(arrival, l.arriveFn, p)
 	l.maybeDup(p, delay)
 }
 
@@ -165,13 +167,13 @@ func (l *Link) maybeDup(p *Packet, delay sim.Duration) {
 	acct := &l.From.net.acct
 	acct.Duplicated++
 	acct.InFlight++
-	cp := *p
+	cp := l.From.net.clonePacket(p)
 	arrival := l.eng.Now() + delay + l.txTime(p.Size)
 	if arrival < l.lastDelivery {
 		arrival = l.lastDelivery
 	}
 	l.lastDelivery = arrival
-	l.eng.At(arrival, func() { l.arrive(&cp) })
+	l.eng.Post(arrival, l.arriveFn, cp)
 }
 
 // arrive completes a packet's flight across the link.

@@ -2,6 +2,7 @@ package netem
 
 import (
 	"fmt"
+	"sort"
 
 	"pert/internal/sim"
 )
@@ -31,7 +32,7 @@ func (s LinkStats) DropRate() float64 {
 // a time; propagation overlaps with the next transmission.
 type Link struct {
 	From, To *Node
-	Capacity float64 // bits per second
+	Capacity float64 // bits per second; change mid-run via SetCapacity
 	Delay    sim.Duration
 	Queue    Discipline
 
@@ -58,11 +59,34 @@ type Link struct {
 	eng  *sim.Engine
 	busy bool
 
+	// Transmit-loop state. The link is a single server, so one persistent
+	// timer plus a stashed in-flight packet replaces the per-transmission
+	// closure the old serve loop allocated: a saturated link schedules its
+	// completion and the packet's arrival with zero allocations per packet.
+	txDone     *sim.Timer   // fires completeTx for the in-flight packet
+	inFlight   *Packet      // packet currently occupying the server
+	inFlightTx sim.Duration // its serialization delay
+	arriveFn   func(any)    // bound arrival thunk reused by every delivery
+
+	// capHist records capacity changes (SetCapacity) as breakpoints of the
+	// running integral of capacity over time, so utilization windows that
+	// span a LinkSchedule rate change divide by the true deliverable bits
+	// rather than the instantaneous rate.
+	capHist []capPoint
+
 	// Fault-injection state (impair.go): wire loss/dup/reorder, and the
 	// up/down flag driven by LinkSchedule.
 	impair      *Impairment
 	impairStats ImpairStats
 	down        bool
+}
+
+// capPoint is one breakpoint of the capacity integral: from at onward the
+// link runs at rate bits/s, having accumulated bits of capacity over [0, at].
+type capPoint struct {
+	at   sim.Time
+	bits float64
+	rate float64
 }
 
 // Send offers a packet to the link's queue and starts the transmitter if it
@@ -78,6 +102,7 @@ func (l *Link) Send(p *Packet) {
 		if l.OnDrop != nil {
 			l.OnDrop(p, now)
 		}
+		l.From.net.ReleasePacket(p)
 		return
 	}
 	ce := p.CE
@@ -87,6 +112,7 @@ func (l *Link) Send(p *Packet) {
 		if l.OnDrop != nil {
 			l.OnDrop(p, now)
 		}
+		l.From.net.ReleasePacket(p)
 		return
 	}
 	// Disciplines mark only at enqueue time (the Discipline contract), so
@@ -103,7 +129,8 @@ func (l *Link) Send(p *Packet) {
 	}
 }
 
-// serve dequeues the next packet and schedules its transmission completion.
+// serve dequeues the next packet and schedules its transmission completion
+// on the link's persistent timer.
 func (l *Link) serve() {
 	p := l.Queue.Dequeue(l.eng.Now())
 	if p == nil {
@@ -115,21 +142,29 @@ func (l *Link) serve() {
 	acct.Queued--
 	acct.Transmitting++
 	tx := l.txTime(p.Size)
-	l.eng.After(tx, func() {
-		l.Stats.TxPackets++
-		l.Stats.TxBytes += uint64(p.Size)
-		l.Stats.BusyTime += tx
-		acct.Transmitting--
-		if l.OnDepart != nil {
-			l.OnDepart(p, l.eng.Now())
-		}
-		delay := l.Delay
-		if l.JitterMax > 0 {
-			delay += sim.Duration(l.eng.Rand().Int63n(int64(l.JitterMax)))
-		}
-		l.deliver(p, delay)
-		l.serve()
-	})
+	l.inFlight, l.inFlightTx = p, tx
+	l.txDone.ResetAfter(tx)
+}
+
+// completeTx finishes the in-flight packet's transmission and serves the
+// next one. It is the hoisted body of the per-packet closure the transmit
+// loop used to allocate.
+func (l *Link) completeTx() {
+	p, tx := l.inFlight, l.inFlightTx
+	l.inFlight = nil
+	l.Stats.TxPackets++
+	l.Stats.TxBytes += uint64(p.Size)
+	l.Stats.BusyTime += tx
+	l.From.net.acct.Transmitting--
+	if l.OnDepart != nil {
+		l.OnDepart(p, l.eng.Now())
+	}
+	delay := l.Delay
+	if l.JitterMax > 0 {
+		delay += sim.Duration(l.eng.Rand().Int63n(int64(l.JitterMax)))
+	}
+	l.deliver(p, delay)
+	l.serve()
 }
 
 // txTime returns the serialization delay of size bytes at the link rate.
@@ -137,15 +172,69 @@ func (l *Link) txTime(size int) sim.Duration {
 	return sim.Seconds(float64(size) * 8 / l.Capacity)
 }
 
-// Utilization returns the fraction of the window [from, to] the link spent
-// transmitting, computed from a snapshot of TxBytes taken at the start of the
-// window.
+// SetCapacity changes the link rate at the current simulation time,
+// recording a breakpoint so utilization windows spanning the change stay
+// exact. Mid-run capacity changes must go through here (LinkSchedule does);
+// writing the Capacity field directly would silently skew Utilization over
+// any window containing the change.
+func (l *Link) SetCapacity(c float64) {
+	if c <= 0 {
+		panic("netem: non-positive link capacity")
+	}
+	now := l.eng.Now()
+	if len(l.capHist) == 0 {
+		// Seed the history with the construction-time rate so the
+		// integral before the first change uses the original capacity.
+		l.capHist = append(l.capHist, capPoint{at: 0, bits: 0, rate: l.Capacity})
+	}
+	l.capHist = append(l.capHist, capPoint{at: now, bits: l.capacityBits(now), rate: c})
+	l.Capacity = c
+}
+
+// capacityBits returns the integral of link capacity over [0, t] in bits.
+func (l *Link) capacityBits(t sim.Time) float64 {
+	h := l.capHist
+	if len(h) == 0 {
+		return l.Capacity * t.Seconds()
+	}
+	i := sort.Search(len(h), func(i int) bool { return h[i].at > t }) - 1
+	if i < 0 {
+		i = 0
+	}
+	return h[i].bits + h[i].rate*(t-h[i].at).Seconds()
+}
+
+// UtilizationOver returns the fraction of the window [from, to] the link
+// spent transmitting, given a snapshot of TxBytes taken at the start of the
+// window. The denominator integrates the link rate over the window, so a
+// SetCapacity change (e.g. an ext-flap LinkSchedule halving the rate
+// mid-window) is weighted by how long each rate was in effect.
+func (l *Link) UtilizationOver(txBytesAtStart uint64, from, to sim.Time) float64 {
+	if to <= from {
+		return 0
+	}
+	capBits := l.capacityBits(to) - l.capacityBits(from)
+	if capBits <= 0 {
+		return 0
+	}
+	return float64(l.Stats.TxBytes-txBytesAtStart) * 8 / capBits
+}
+
+// Utilization returns the fraction of the most recent window of the given
+// length the link spent transmitting, computed from a snapshot of TxBytes
+// taken at the start of the window. The window ends at the current
+// simulation time; links without an engine (hand-constructed in tests) are
+// treated as constant-capacity.
 func (l *Link) Utilization(txBytesAtStart uint64, window sim.Duration) float64 {
 	if window <= 0 {
 		return 0
 	}
-	bits := float64(l.Stats.TxBytes-txBytesAtStart) * 8
-	return bits / (l.Capacity * window.Seconds())
+	if l.eng == nil || len(l.capHist) == 0 {
+		bits := float64(l.Stats.TxBytes-txBytesAtStart) * 8
+		return bits / (l.Capacity * window.Seconds())
+	}
+	now := l.eng.Now()
+	return l.UtilizationOver(txBytesAtStart, now-window, now)
 }
 
 func (l *Link) String() string {

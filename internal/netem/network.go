@@ -30,7 +30,11 @@ func (n *Node) DetachFlow(flow int) {
 }
 
 // Receive handles a packet arriving at the node: local delivery if the node
-// is the destination, otherwise forwarding.
+// is the destination, otherwise forwarding. Local delivery is a packet's
+// terminal point: once the handler returns the packet goes back to the
+// network's free list, so handlers (and the observers they call) must copy
+// any fields they keep — the Handler contract has always been synchronous
+// consumption, and the pool now enforces it.
 func (n *Node) Receive(p *Packet) {
 	if p.Dst == n.ID {
 		n.net.acct.Delivered++
@@ -39,6 +43,7 @@ func (n *Node) Receive(p *Packet) {
 		}
 		// Packets for unregistered flows (e.g. ACKs racing a closed
 		// connection) are silently discarded, as a real host would RST.
+		n.net.ReleasePacket(p)
 		return
 	}
 	n.Forward(p)
@@ -74,6 +79,12 @@ type Network struct {
 
 	nextPktID uint64
 
+	// pktFree recycles pool-allocated packets (NewPacket/ReleasePacket).
+	// Endpoints allocate every data segment and ACK from here, so a
+	// steady-state run reuses a small working set of Packet structs
+	// instead of feeding the garbage collector one allocation per packet.
+	pktFree []*Packet
+
 	// acct is the packet-conservation ledger (audit.go): every packet the
 	// network has seen is in exactly one column at any instant. Maintained
 	// inline by Send/serve/deliver/Receive — plain integer bumps, so the
@@ -103,6 +114,8 @@ func (n *Network) AddLink(from, to *Node, capacity float64, delay sim.Duration, 
 		panic("netem: non-positive link capacity")
 	}
 	l := &Link{From: from, To: to, Capacity: capacity, Delay: delay, Queue: q, eng: n.eng}
+	l.txDone = n.eng.NewTimer(l.completeTx)
+	l.arriveFn = func(a any) { l.arrive(a.(*Packet)) }
 	from.out = append(from.out, l)
 	return l
 }
@@ -119,6 +132,67 @@ func (n *Network) AddDuplexLink(a, b *Node, capacity float64, delay sim.Duration
 func (n *Network) NewPacketID() uint64 {
 	n.nextPktID++
 	return n.nextPktID
+}
+
+// NewPacket returns a zeroed packet with a fresh ID, drawn from the
+// network's free list when possible. Pool-allocated packets are recycled at
+// their terminal points (local delivery, queue drop, wire loss), so callers
+// must not retain them past the handler or observer callback that sees them.
+// The free list is LIFO and touched only from the simulation goroutine, so
+// pooling cannot perturb deterministic packet identity: IDs still come from
+// the same counter in the same order.
+func (n *Network) NewPacket() *Packet {
+	var p *Packet
+	if k := len(n.pktFree); k > 0 {
+		p = n.pktFree[k-1]
+		n.pktFree = n.pktFree[:k-1]
+		*p = Packet{}
+	} else {
+		p = &Packet{}
+	}
+	p.ID = n.NewPacketID()
+	p.pool = pktLive
+	return p
+}
+
+// ReleasePacket returns a pool-allocated packet to the free list. Packets
+// constructed directly (tests, external drivers) are ignored, so terminal
+// points may release unconditionally. Releasing the same packet twice
+// panics: a double free would alias two live packets and silently corrupt
+// the run.
+func (n *Network) ReleasePacket(p *Packet) {
+	switch p.pool {
+	case pktForeign:
+		return
+	case pktFree:
+		panic("netem: packet released twice")
+	}
+	p.pool = pktFree
+	n.pktFree = append(n.pktFree, p)
+}
+
+// clonePacket duplicates a packet (wire duplication, impair.go) preserving
+// its ID and all fields. The clone's SACK list is re-aliased onto its own
+// inline backing array when the original used its own. Clones of pooled
+// packets are pooled; clones of foreign packets stay foreign so tests that
+// retain their packets are unaffected.
+func (n *Network) clonePacket(p *Packet) *Packet {
+	var cp *Packet
+	if p.pool == pktLive {
+		if k := len(n.pktFree); k > 0 {
+			cp = n.pktFree[k-1]
+			n.pktFree = n.pktFree[:k-1]
+		} else {
+			cp = &Packet{}
+		}
+	} else {
+		cp = &Packet{}
+	}
+	*cp = *p
+	if k := len(p.Sack); k > 0 && &p.Sack[0] == &p.sackStore[0] {
+		cp.Sack = cp.sackStore[:k]
+	}
+	return cp
 }
 
 // ComputeRoutes fills every node's next-hop table with shortest paths by hop

@@ -17,6 +17,19 @@ type SackBlock struct {
 	Start, End int64
 }
 
+// MaxSackBlocks is the most SACK blocks one ACK advertises (RFC 2018's
+// practical limit with timestamps), and the capacity of every packet's
+// inline SACK storage.
+const MaxSackBlocks = 3
+
+// Pool states for Packet.pool. Foreign packets (constructed directly rather
+// than via Network.NewPacket) are never recycled.
+const (
+	pktForeign uint8 = iota
+	pktLive
+	pktFree
+)
+
 // Packet is a simulated packet. Like ns-2, TCP is modeled at segment
 // granularity: Seq and AckNo count segments, not bytes; Size is the wire size
 // in bytes used for link timing and queue accounting.
@@ -29,9 +42,14 @@ type Packet struct {
 
 	// TCP fields.
 	IsAck bool
-	Seq   int64       // data: segment sequence number
-	AckNo int64       // ack: next expected segment (cumulative)
-	Sack  []SackBlock // ack: up to 3 most recent received blocks
+	Seq   int64 // data: segment sequence number
+	AckNo int64 // ack: next expected segment (cumulative)
+	// Sack lists up to MaxSackBlocks most recent received blocks on an ACK.
+	// Receivers on the hot path call ResetSack and append, which backs the
+	// slice with the packet's inline sackStore array instead of a fresh
+	// heap allocation per ACK; hand-built packets may still assign any
+	// slice directly.
+	Sack []SackBlock
 
 	// ECN (RFC 3168) fields. ECT marks the packet as ECN-capable; CE is set
 	// by an AQM in place of a drop; ECE is the receiver's echo back to the
@@ -61,7 +79,16 @@ type Packet struct {
 	// packet observed, and receivers echo it on ACKs, giving per-sample
 	// ground truth for the Section 2 study. Negative means unset.
 	QueueSample float64
+
+	// sackStore is the inline backing array ResetSack points Sack at.
+	sackStore [MaxSackBlocks]SackBlock
+	// pool tracks free-list membership; see Network.NewPacket.
+	pool uint8
 }
+
+// ResetSack empties the packet's SACK list and points it at the inline
+// backing array, so up to MaxSackBlocks appends allocate nothing.
+func (p *Packet) ResetSack() { p.Sack = p.sackStore[:0] }
 
 // Handler consumes packets addressed to a node's local agents.
 type Handler interface {

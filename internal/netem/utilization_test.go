@@ -1,0 +1,64 @@
+package netem
+
+import (
+	"math"
+	"testing"
+
+	"pert/internal/sim"
+)
+
+// TestUtilizationAcrossCapacityChange is the regression test for the
+// mid-window capacity bug: Utilization used to divide the window's
+// transmitted bits by the *current* Capacity, so an ext-flap-style
+// LinkSchedule change inside the window skewed every utilization sample
+// taken after it. The denominator must integrate capacity over the window.
+func TestUtilizationAcrossCapacityChange(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := NewNetwork(eng)
+	a, b := net.AddNode(), net.AddNode()
+	l := net.AddLink(a, b, 8e6, 0, &tail{limit: 100})
+	net.ComputeRoutes()
+
+	// The ext-flap idiom: double the rate one second in.
+	LinkSchedule{{At: sim.Second, Capacity: 16e6}}.Apply(l)
+	eng.Run(2 * sim.Second)
+
+	// Pretend the link transmitted 1.5 MB over [0, 2s]. Deliverable bits
+	// over the window are 8e6*1 + 16e6*1 = 24e6, so true utilization is
+	// 12e6/24e6 = 0.5. The old formula divided by the final rate alone
+	// (16e6 * 2s = 32e6 bits) and reported 0.375.
+	l.Stats.TxBytes = 1_500_000
+
+	if got := l.UtilizationOver(0, 0, 2*sim.Second); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("UtilizationOver([0,2s]) = %v, want 0.5", got)
+	}
+	if got := l.Utilization(0, 2*sim.Second); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("Utilization(2s window) = %v, want 0.5", got)
+	}
+
+	// A window straddling the change unevenly: [0.5s, 1.5s] holds
+	// 8e6*0.5 + 16e6*0.5 = 12e6 deliverable bits. 750 kB transmitted in
+	// the window is utilization 6e6/12e6 = 0.5.
+	start := l.Stats.TxBytes
+	l.Stats.TxBytes += 750_000
+	from, to := sim.Second/2, sim.Second+sim.Second/2
+	if got := l.UtilizationOver(start, from, to); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("UtilizationOver([0.5s,1.5s]) = %v, want 0.5", got)
+	}
+
+	// Windows entirely on one side of the breakpoint use that side's rate.
+	if got := l.UtilizationOver(start, 0, sim.Second/2); math.Abs(got-750_000*8/4e6) > 1e-9 {
+		t.Errorf("UtilizationOver([0,0.5s]) = %v", got)
+	}
+}
+
+// TestUtilizationWithoutEngine keeps the engine-free fallback working:
+// hand-constructed links (tests, analytic code) have no capacity history
+// and must fall back to the constant-capacity formula.
+func TestUtilizationWithoutEngine(t *testing.T) {
+	l := &Link{Capacity: 8e6}
+	l.Stats.TxBytes = 500_000 // 4e6 bits over a 1s window at 8 Mb/s
+	if got := l.Utilization(0, sim.Second); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("engine-free Utilization = %v, want 0.5", got)
+	}
+}

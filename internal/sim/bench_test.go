@@ -1,0 +1,144 @@
+package sim
+
+import "testing"
+
+// Microbenchmarks for the engine's hot path: schedule one event, run it.
+// Report ns/event and allocs/event; the alloc-budget tests below turn the
+// zero-allocation property into a hard assertion so CI catches regressions
+// without having to compare benchmark numbers.
+
+func BenchmarkDoRun(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := Time(i + 1)
+		e.Do(t, fn)
+		e.Run(t)
+	}
+}
+
+func BenchmarkPostRun(b *testing.B) {
+	e := NewEngine(1)
+	fn := func(any) {}
+	var arg int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := Time(i + 1)
+		e.Post(t, fn, &arg)
+		e.Run(t)
+	}
+}
+
+func BenchmarkAtRun(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := Time(i + 1)
+		e.At(t, fn)
+		e.Run(t)
+	}
+}
+
+func BenchmarkAtCancel(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := Time(i + 1)
+		e.At(t, fn).Cancel()
+		e.Run(t) // discards the dead entry, recycling the Event
+	}
+}
+
+func BenchmarkTimerResetRun(b *testing.B) {
+	e := NewEngine(1)
+	tm := e.NewTimer(func() {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := Time(i + 1)
+		tm.Reset(t)
+		e.Run(t)
+	}
+}
+
+// BenchmarkScheduleBurst measures heap operations at depth: schedule 1024
+// events, then drain them, amortizing per-event cost over a populated heap.
+func BenchmarkScheduleBurst(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	const burst = 1024
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := e.Now()
+		for j := 0; j < burst; j++ {
+			e.Do(base+Time(j+1), fn)
+		}
+		e.Run(base + Time(burst))
+	}
+}
+
+// The alloc-budget assertions: after warmup (heap storage and the Event free
+// list grown), the schedule/fire cycle must not allocate at all. These
+// budgets are the CI fence for the pooling work — a future change that
+// reintroduces a per-event allocation fails the suite, not just a benchmark
+// comparison.
+
+func warmedEngine() *Engine {
+	e := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		e.At(Time(i+1), fn)
+	}
+	e.Run(Time(1024))
+	return e
+}
+
+func assertZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	if allocs := testing.AllocsPerRun(200, f); allocs != 0 {
+		t.Errorf("%s allocates %.1f per op, budget is 0", name, allocs)
+	}
+}
+
+func TestScheduleAllocBudget(t *testing.T) {
+	e := warmedEngine()
+	fn := func() {}
+	pfn := func(any) {}
+	var arg int
+	tm := e.NewTimer(func() {})
+	next := e.Now()
+
+	assertZeroAllocs(t, "Do+Run", func() {
+		next++
+		e.Do(next, fn)
+		e.Run(next)
+	})
+	assertZeroAllocs(t, "At+Run", func() {
+		next++
+		e.At(next, fn)
+		e.Run(next)
+	})
+	assertZeroAllocs(t, "At+Cancel+Run", func() {
+		next++
+		e.At(next, fn).Cancel()
+		e.Run(next)
+	})
+	assertZeroAllocs(t, "Post+Run", func() {
+		next++
+		e.Post(next, pfn, &arg)
+		e.Run(next)
+	})
+	assertZeroAllocs(t, "Timer.Reset+Run", func() {
+		next++
+		tm.Reset(next)
+		e.Run(next)
+	})
+}

@@ -1,81 +1,99 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sync/atomic"
 )
 
-// Event is a scheduled callback. Events fire in (time, sequence) order, so
-// two events scheduled for the same instant fire in scheduling order, which
-// keeps runs fully deterministic.
+// entry is one slot in the engine's pending-event heap. Entries are stored
+// by value so the common schedule/pop cycle allocates nothing: a handle-free
+// callback (Do/Post) lives entirely inside its heap slot, a handle-carrying
+// Event or persistent Timer is referenced by pointer. Exactly one of fn,
+// argFn, ev and tm is set.
+//
+// Cancellation is lazy: a canceled Event or superseded Timer deadline leaves
+// its entry in the heap, and the entry is discarded when it reaches the top.
+// This replaces the old eager heap.Remove (O(log n) pointer swaps plus index
+// bookkeeping per cancel) with a single flag write, at the cost of dead
+// entries occupying heap slots until their timestamp passes.
+type entry struct {
+	at    Time
+	seq   uint64
+	fn    func()    // handle-free one-shot (Do/DoAfter)
+	argFn func(any) // one-shot with argument (Post/PostAfter)
+	arg   any       // argument passed to argFn
+	ev    *Event    // handle-carrying one-shot (At/After)
+	tm    *Timer    // persistent rearmable timer
+}
+
+// before reports heap order: (time, sequence) lexicographic, so two events
+// scheduled for the same instant fire in scheduling order, which keeps runs
+// fully deterministic.
+func (a *entry) before(b *entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// Event is a scheduled callback handle returned by At/After. Events fire in
+// (time, sequence) order.
+//
+// Handle validity: an Event handle is valid until the event fires or is
+// canceled and its heap entry is discarded; after that the engine recycles
+// the struct through a free list and the handle may alias a future event.
+// Code that needs a long-lived rearmable handle must use Timer instead —
+// Cancel/Scheduled on a handle that may already have fired is a bug.
 type Event struct {
 	at     Time
 	seq    uint64
 	fn     func()
-	index  int // heap index; -1 once popped or canceled
 	dead   bool
 	engine *Engine
 }
 
 // Cancel prevents the event from firing. Canceling an already-fired or
-// already-canceled event is a no-op.
+// already-canceled event is a no-op. The callback closure is released
+// immediately (not when the dead heap entry is eventually popped), so a
+// canceled event never keeps its captured state reachable.
 func (e *Event) Cancel() {
 	if e == nil || e.dead {
 		return
 	}
 	e.dead = true
-	if e.index >= 0 {
-		heap.Remove(&e.engine.pq, e.index)
-	}
+	e.fn = nil
+	e.engine.live--
+	e.engine = nil // a stale handle must not pin the engine either
 }
 
 // Scheduled reports whether the event is still pending.
-func (e *Event) Scheduled() bool { return e != nil && !e.dead && e.index >= 0 }
+func (e *Event) Scheduled() bool { return e != nil && !e.dead }
 
 // Time reports when the event is (or was) scheduled to fire.
 func (e *Event) Time() Time { return e.at }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
-}
 
 // Engine is a single-threaded discrete-event simulator. It owns virtual time,
 // the pending-event heap, and the run's random number generator. An Engine is
 // not safe for concurrent use; simulations are deterministic single-goroutine
 // programs by design.
+//
+// The heap is a 4-ary implicit heap of value entries: compared with the old
+// container/heap binary heap of *Event it needs no per-entry index field, no
+// interface dispatch, half the tree depth, and — together with the Event
+// free list and lazy deletion — zero allocations on the schedule/pop cycle.
 type Engine struct {
 	now     Time
-	pq      eventQueue
+	pq      []entry
 	seq     uint64
+	live    int // scheduled events excluding dead/stale heap entries
 	rng     *rand.Rand
 	stopped bool
+
+	// freeEvents recycles fired and canceled Event structs. An Event is
+	// returned to the list when its heap entry is discarded, which is why
+	// stale handles must not be used (see Event).
+	freeEvents []*Event
 
 	// Processed counts events executed so far; useful for benchmarks and
 	// runaway-simulation guards.
@@ -96,16 +114,96 @@ func (e *Engine) Now() Time { return e.now }
 // generators) must draw from this generator so a seed fully determines a run.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// panics: it always indicates a model bug, and silently reordering events
-// would corrupt causality.
-func (e *Engine) At(t Time, fn func()) *Event {
+// push inserts ent, sifting up without intermediate swaps (parents are
+// shifted down and the entry is written once).
+func (e *Engine) push(ent entry) {
+	e.pq = append(e.pq, ent)
+	q := e.pq
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !ent.before(&q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = ent
+}
+
+// pop removes and returns the minimum entry. The vacated tail slot is
+// zeroed so the heap's backing array never retains dead callbacks.
+func (e *Engine) pop() entry {
+	q := e.pq
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = entry{}
+	q = q[:n]
+	e.pq = q
+	// Sift last down from the root, again shifting instead of swapping.
+	i := 0
+	for {
+		c := i*4 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if q[j].before(&q[m]) {
+				m = j
+			}
+		}
+		if !q[m].before(&last) {
+			break
+		}
+		q[i] = q[m]
+		i = m
+	}
+	if n > 0 {
+		q[i] = last
+	}
+	return top
+}
+
+func (e *Engine) allocEvent() *Event {
+	if k := len(e.freeEvents); k > 0 {
+		ev := e.freeEvents[k-1]
+		e.freeEvents = e.freeEvents[:k-1]
+		return ev
+	}
+	return &Event{}
+}
+
+func (e *Engine) recycleEvent(ev *Event) {
+	ev.fn = nil
+	ev.dead = true
+	ev.engine = nil
+	e.freeEvents = append(e.freeEvents, ev)
+}
+
+// checkFuture panics on past scheduling: it always indicates a model bug,
+// and silently reordering events would corrupt causality.
+func (e *Engine) checkFuture(t Time) {
 	if t < e.now {
 		panic("sim: event scheduled in the past")
 	}
+}
+
+// At schedules fn to run at absolute virtual time t and returns a cancelable
+// handle. The handle is only valid until the event fires (see Event); code
+// that never cancels should prefer Do, which skips the handle entirely.
+func (e *Engine) At(t Time, fn func()) *Event {
+	e.checkFuture(t)
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn, engine: e}
-	heap.Push(&e.pq, ev)
+	ev := e.allocEvent()
+	ev.at, ev.seq, ev.fn, ev.dead, ev.engine = t, e.seq, fn, false, e
+	e.live++
+	e.push(entry{at: t, seq: ev.seq, ev: ev})
 	return ev
 }
 
@@ -115,6 +213,43 @@ func (e *Engine) After(d Duration, fn func()) *Event {
 		panic("sim: negative delay")
 	}
 	return e.At(e.now+d, fn)
+}
+
+// Do schedules fn to run at absolute virtual time t with no cancelation
+// handle. The callback is stored inline in the heap slot, so scheduling
+// allocates nothing beyond amortized heap growth.
+func (e *Engine) Do(t Time, fn func()) {
+	e.checkFuture(t)
+	e.seq++
+	e.live++
+	e.push(entry{at: t, seq: e.seq, fn: fn})
+}
+
+// DoAfter schedules fn to run d after the current time, without a handle.
+func (e *Engine) DoAfter(d Duration, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e.Do(e.now+d, fn)
+}
+
+// Post schedules fn(arg) at absolute virtual time t with no handle. Because
+// fn can be a long-lived closure and arg a pointer boxed without allocation,
+// Post lets hot paths (per-packet link deliveries) schedule work with zero
+// allocations where a fresh capturing closure would allocate every call.
+func (e *Engine) Post(t Time, fn func(any), arg any) {
+	e.checkFuture(t)
+	e.seq++
+	e.live++
+	e.push(entry{at: t, seq: e.seq, argFn: fn, arg: arg})
+}
+
+// PostAfter schedules fn(arg) to run d after the current time.
+func (e *Engine) PostAfter(d Duration, fn func(any), arg any) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e.Post(e.now+d, fn, arg)
 }
 
 // Process-wide counters aggregated across every engine. Engines batch their
@@ -143,27 +278,60 @@ func Counters() (events uint64, simTime Time) {
 
 // Run executes events in timestamp order until the queue empties, Stop is
 // called, or virtual time would pass until. It returns the number of events
-// processed by this call. The engine's clock is left at min(until, time of
-// last event); calling Run again with a later horizon resumes the simulation.
+// processed by this call (dead heap entries discarded along the way are not
+// events and are not counted). The engine's clock is left at min(until, time
+// of last event); calling Run again with a later horizon resumes the
+// simulation.
 func (e *Engine) Run(until Time) uint64 {
 	e.stopped = false
 	var n, flushedN uint64
 	flushedNow := e.now
 	for len(e.pq) > 0 && !e.stopped {
-		next := e.pq[0]
-		if next.at > until {
+		if e.pq[0].at > until {
 			break
 		}
-		if next.at < e.now {
+		ent := e.pop()
+
+		// Resolve the entry to a callback, discarding dead/stale entries
+		// without touching the clock (a canceled event must not advance
+		// virtual time, exactly as if it had been eagerly removed).
+		var fn func()
+		switch {
+		case ent.tm != nil:
+			tm := ent.tm
+			if !tm.scheduled || tm.seq != ent.seq {
+				continue // stopped, or superseded by a later Reset
+			}
+			tm.scheduled = false
+			fn = tm.fn
+		case ent.ev != nil:
+			ev := ent.ev
+			if ev.dead {
+				e.recycleEvent(ev)
+				continue
+			}
+			fn = ev.fn
+			ev.dead = true
+			e.recycleEvent(ev)
+		case ent.argFn != nil:
+			fn = nil
+		default:
+			fn = ent.fn
+		}
+
+		if ent.at < e.now {
 			// At() rejects past scheduling, so a backwards event can only
 			// mean heap corruption; executing it would corrupt causality
 			// silently, which is strictly worse than dying loudly.
-			panic(fmt.Sprintf("sim: event-time monotonicity violated: next event at %v, clock at %v", next.at, e.now))
+			panic(fmt.Sprintf("sim: event-time monotonicity violated: next event at %v, clock at %v", ent.at, e.now))
 		}
-		heap.Pop(&e.pq)
-		e.now = next.at
-		next.dead = true
-		next.fn()
+		e.now = ent.at
+		e.live--
+		if fn != nil {
+			fn()
+		} else {
+			ent.argFn(ent.arg)
+		}
 		n++
 		if n-flushedN >= counterBatch {
 			totalEvents.Add(n - flushedN)
@@ -183,8 +351,9 @@ func (e *Engine) Run(until Time) uint64 {
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Pending returns the number of events still scheduled.
-func (e *Engine) Pending() int { return len(e.pq) }
+// Pending returns the number of events still scheduled. Dead heap entries
+// left behind by lazy cancelation are not pending events.
+func (e *Engine) Pending() int { return e.live }
 
 // Every invokes fn(now) at t0 and then every period thereafter, until the
 // returned ticker is stopped or the simulation ends. It is the building block
@@ -194,16 +363,18 @@ func (e *Engine) Every(t0 Time, period Duration, fn func(Time)) *Ticker {
 		panic("sim: non-positive ticker period")
 	}
 	t := &Ticker{engine: e, period: period, fn: fn}
-	t.ev = e.At(t0, t.tick)
+	t.tm = e.NewTimer(t.tick)
+	t.tm.Reset(t0)
 	return t
 }
 
-// Ticker is a repeating event created by Engine.Every.
+// Ticker is a repeating event created by Engine.Every. It rearms a single
+// persistent Timer, so a long-lived sampler allocates only at creation.
 type Ticker struct {
 	engine  *Engine
 	period  Duration
 	fn      func(Time)
-	ev      *Event
+	tm      *Timer
 	stopped bool
 }
 
@@ -213,12 +384,12 @@ func (t *Ticker) tick() {
 	}
 	t.fn(t.engine.Now())
 	if !t.stopped {
-		t.ev = t.engine.After(t.period, t.tick)
+		t.tm.ResetAfter(t.period)
 	}
 }
 
 // Stop halts the ticker; pending fires are canceled.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	t.ev.Cancel()
+	t.tm.Stop()
 }

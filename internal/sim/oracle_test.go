@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// The engine's 4-ary lazy-deletion heap is checked against the standard
+// library's container/heap, the implementation the engine used before the
+// hot-path overhaul, kept here as a test oracle.
+
+// oracleItem mirrors one scheduled callback in the reference heap.
+type oracleItem struct {
+	at   Time
+	seq  uint64
+	id   int
+	dead bool // canceled event / superseded timer deadline
+}
+
+type oracleHeap []*oracleItem
+
+func (h oracleHeap) Len() int { return len(h) }
+func (h oracleHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h oracleHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *oracleHeap) Push(x any)   { *h = append(*h, x.(*oracleItem)) }
+func (h *oracleHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+type evRec struct {
+	ev   *Event
+	item *oracleItem
+	done bool // fired or canceled: the handle is no longer valid
+}
+
+type tmRec struct {
+	tm   *Timer
+	item *oracleItem // currently scheduled deadline, nil when idle
+}
+
+// oracleRun drives one randomized trial. It mirrors the engine's sequence
+// counter by hand: every scheduling operation (At, Do, Post, Timer.Reset)
+// consumes exactly one sequence number, which is the parity contract the
+// lazy-deletion rewrite must preserve for runs to stay deterministic.
+type oracleRun struct {
+	t      *testing.T
+	e      *Engine
+	rng    *rand.Rand
+	oh     oracleHeap
+	seq    uint64
+	nextID int
+	events []*evRec
+	timers []*tmRec
+	fires  int
+}
+
+// expect pops the next live item off the reference heap and asserts the
+// engine fired exactly that item at exactly its scheduled time.
+func (r *oracleRun) expect(got *oracleItem) {
+	r.t.Helper()
+	for r.oh.Len() > 0 {
+		it := heap.Pop(&r.oh).(*oracleItem)
+		if it.dead {
+			continue
+		}
+		if it != got {
+			r.t.Fatalf("fire order diverged: engine fired id %d (at %v, seq %d), oracle expects id %d (at %v, seq %d)",
+				got.id, got.at, got.seq, it.id, it.at, it.seq)
+		}
+		if r.e.Now() != it.at {
+			r.t.Fatalf("id %d fired at clock %v, scheduled for %v", it.id, r.e.Now(), it.at)
+		}
+		r.fires++
+		return
+	}
+	r.t.Fatalf("engine fired id %d but the oracle heap is empty", got.id)
+}
+
+func (r *oracleRun) futureTime() Time {
+	return r.e.Now() + Time(r.rng.Int63n(int64(Second))) + 1
+}
+
+func (r *oracleRun) newItem(at Time) *oracleItem {
+	r.seq++
+	it := &oracleItem{at: at, seq: r.seq, id: r.nextID}
+	r.nextID++
+	heap.Push(&r.oh, it)
+	return it
+}
+
+func (r *oracleRun) liveEvents() []*evRec {
+	var live []*evRec
+	for _, rec := range r.events {
+		if !rec.done {
+			live = append(live, rec)
+		}
+	}
+	return live
+}
+
+// maybeOps issues up to n further random operations; callbacks call this to
+// exercise scheduling and cancelation from inside the event loop.
+func (r *oracleRun) maybeOps(n int) {
+	for i := 0; i < n && r.nextID < 500; i++ {
+		r.randomOp()
+	}
+}
+
+func (r *oracleRun) randomOp() {
+	switch k := r.rng.Intn(10); {
+	case k < 3: // handle-carrying event
+		it := r.newItem(r.futureTime())
+		rec := &evRec{item: it}
+		rec.ev = r.e.At(it.at, func() {
+			rec.done = true
+			r.expect(it)
+			r.maybeOps(r.rng.Intn(3))
+		})
+		r.events = append(r.events, rec)
+	case k < 5: // handle-free closure
+		it := r.newItem(r.futureTime())
+		r.e.Do(it.at, func() {
+			r.expect(it)
+			r.maybeOps(r.rng.Intn(2))
+		})
+	case k < 6: // handle-free with boxed argument
+		it := r.newItem(r.futureTime())
+		r.e.Post(it.at, func(a any) {
+			r.expect(a.(*oracleItem))
+			r.maybeOps(r.rng.Intn(2))
+		}, it)
+	case k < 8: // cancel a pending handle (lazy deletion in the engine)
+		live := r.liveEvents()
+		if len(live) == 0 {
+			return
+		}
+		rec := live[r.rng.Intn(len(live))]
+		rec.ev.Cancel()
+		rec.item.dead = true
+		rec.done = true
+	case k < 9: // move a timer deadline (supersedes any pending one)
+		tr := r.timers[r.rng.Intn(len(r.timers))]
+		at := r.futureTime()
+		if tr.item != nil {
+			tr.item.dead = true
+		}
+		tr.item = r.newItem(at)
+		tr.tm.Reset(at)
+	default: // stop a timer (consumes no sequence number)
+		tr := r.timers[r.rng.Intn(len(r.timers))]
+		if tr.item != nil {
+			tr.item.dead = true
+			tr.item = nil
+		}
+		tr.tm.Stop()
+	}
+}
+
+// TestHeapMatchesContainerHeapOracle drives the engine and the container/heap
+// oracle side by side through randomized schedules, handle cancelations, and
+// timer resets/stops — including operations issued from inside firing
+// callbacks — and asserts every callback fires in exactly the (time, seq)
+// order the oracle predicts. This is the correctness fence around lazy
+// deletion: dead entries may linger in the engine's heap, but the observable
+// fire sequence must be indistinguishable from eager removal.
+func TestHeapMatchesContainerHeapOracle(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		r := &oracleRun{
+			t:   t,
+			e:   NewEngine(seed),
+			rng: rand.New(rand.NewSource(seed * 0x9e3779b97f4a7c)),
+		}
+		for i := 0; i < 4; i++ {
+			tr := &tmRec{}
+			tr.tm = r.e.NewTimer(func() {
+				it := tr.item
+				tr.item = nil
+				if it == nil {
+					t.Fatal("timer fired while oracle thinks it is idle")
+				}
+				r.expect(it)
+				r.maybeOps(r.rng.Intn(3))
+			})
+			r.timers = append(r.timers, tr)
+		}
+		for i := 0; i < 150; i++ {
+			r.randomOp()
+		}
+		r.e.Run(1 << 60) // drain everything
+
+		for r.oh.Len() > 0 {
+			it := heap.Pop(&r.oh).(*oracleItem)
+			if !it.dead {
+				t.Fatalf("seed %d: oracle item id %d at %v never fired", seed, it.id, it.at)
+			}
+		}
+		if n := r.e.Pending(); n != 0 {
+			t.Fatalf("seed %d: %d events still pending after drain", seed, n)
+		}
+		if r.fires == 0 {
+			t.Fatalf("seed %d: trial fired nothing", seed)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestCanceledEventReleasesClosure verifies that Cancel releases the event's
+// callback closure immediately rather than when the dead heap entry is
+// eventually popped: the closure's captured state must become collectable
+// while the entry still sits in the heap. Without the explicit fn = nil in
+// Cancel, a canceled long-deadline event (an RTO armed for seconds of
+// virtual time) would pin everything its callback captured.
+func TestCanceledEventReleasesClosure(t *testing.T) {
+	e := NewEngine(1)
+	type payload struct{ buf [1 << 16]byte }
+	collected := make(chan struct{})
+	p := &payload{}
+	runtime.SetFinalizer(p, func(*payload) { close(collected) })
+	ev := e.At(Second, func() { _ = p.buf[0] })
+	p = nil
+	ev.Cancel()
+	// The dead entry is still in the heap (nothing has run), yet the
+	// payload must be collectable now.
+	for i := 0; i < 500; i++ {
+		runtime.GC()
+		select {
+		case <-collected:
+			return
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	t.Fatal("canceled event still pins its closure's captures")
+}
+
+// TestEventRecycling documents the handle-validity contract: once an event
+// fires (or a canceled one is discarded at the heap top), its struct returns
+// to the engine's free list and the next At may hand the same pointer back.
+// Code holding a handle past its fire time is aliasing someone else's event —
+// persistent needs must use Timer.
+func TestEventRecycling(t *testing.T) {
+	e := NewEngine(1)
+	ev1 := e.At(Millisecond, func() {})
+	e.Run(Millisecond)
+	ev2 := e.At(2*Millisecond, func() {})
+	if ev1 != ev2 {
+		t.Fatal("fired event was not recycled through the free list")
+	}
+
+	// A canceled event is recycled when its dead entry reaches the top.
+	ev2.Cancel()
+	e.Run(2 * Millisecond)
+	ev3 := e.At(3*Millisecond, func() {})
+	if ev3 != ev2 {
+		t.Fatal("canceled event was not recycled after its entry was discarded")
+	}
+	e.Run(3 * Millisecond)
+}
+
+// TestCancelKeepsClockAndPending verifies lazy deletion is invisible to the
+// engine's observable state: canceled events do not advance the clock when
+// their dead entries are discarded, and Pending never counts them.
+func TestCancelKeepsClockAndPending(t *testing.T) {
+	e := NewEngine(1)
+	var fired []int
+	evs := make([]*Event, 0, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		evs = append(evs, e.At(Time(i+1)*Millisecond, func() { fired = append(fired, i) }))
+	}
+	// Cancel the odd ones; Pending must drop immediately even though the
+	// heap still holds their entries.
+	for i := 1; i < 10; i += 2 {
+		evs[i].Cancel()
+	}
+	if got := e.Pending(); got != 5 {
+		t.Fatalf("Pending = %d after cancels, want 5", got)
+	}
+	n := e.Run(20 * Millisecond)
+	if n != 5 {
+		t.Fatalf("Run processed %d events, want 5", n)
+	}
+	if len(fired) != 5 {
+		t.Fatalf("fired = %v", fired)
+	}
+	for _, i := range fired {
+		if i%2 != 0 {
+			t.Fatalf("canceled event %d fired", i)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain", e.Pending())
+	}
+}

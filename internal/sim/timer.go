@@ -1,0 +1,71 @@
+package sim
+
+// Timer is a persistent, rearmable scheduled callback — the handle type for
+// event sources that fire many times over a run (TCP retransmission and
+// delayed-ACK timers, link transmit completions, periodic samplers). Unlike
+// the one-shot Event returned by At, a Timer is allocated once and then
+// rearmed with Reset for the lifetime of its owner: a reset is one flag-and-
+// field update plus one heap push, with no allocation and no eager removal
+// of the superseded deadline.
+//
+// Internally every Reset stamps the timer with a fresh engine sequence
+// number and pushes a new heap entry carrying that stamp; entries whose
+// stamp no longer matches are discarded when popped (lazy deletion). The
+// sequence stamp is drawn from the same counter At uses, so a Reset
+// tie-breaks against same-instant events exactly like the cancel-and-
+// reschedule pattern it replaces — timers cannot perturb deterministic
+// event order.
+type Timer struct {
+	engine    *Engine
+	fn        func()
+	when      Time
+	seq       uint64
+	scheduled bool
+}
+
+// NewTimer returns an unarmed timer that runs fn when it fires. Arm it with
+// Reset or ResetAfter.
+func (e *Engine) NewTimer(fn func()) *Timer {
+	if fn == nil {
+		panic("sim: NewTimer with nil callback")
+	}
+	return &Timer{engine: e, fn: fn}
+}
+
+// Reset (re)arms the timer to fire at absolute virtual time at, replacing
+// any pending deadline. Resetting to the past panics, like At.
+func (t *Timer) Reset(at Time) {
+	e := t.engine
+	e.checkFuture(at)
+	e.seq++
+	t.seq = e.seq
+	t.when = at
+	if !t.scheduled {
+		t.scheduled = true
+		e.live++
+	}
+	e.push(entry{at: at, seq: t.seq, tm: t})
+}
+
+// ResetAfter (re)arms the timer to fire d after the current time.
+func (t *Timer) ResetAfter(d Duration) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	t.Reset(t.engine.now + d)
+}
+
+// Stop disarms the timer. Stopping an unarmed timer is a no-op. The timer
+// remains usable: Reset rearms it.
+func (t *Timer) Stop() {
+	if t.scheduled {
+		t.scheduled = false
+		t.engine.live--
+	}
+}
+
+// Scheduled reports whether the timer is armed.
+func (t *Timer) Scheduled() bool { return t.scheduled }
+
+// When reports the armed deadline; meaningful only while Scheduled.
+func (t *Timer) When() Time { return t.when }

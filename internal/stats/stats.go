@@ -136,12 +136,14 @@ func (m *Meter) Start(now sim.Time) {
 	m.startMarks = m.Link.Stats.Marks
 }
 
-// Utilization returns the link utilization in [0,1] over [start, now].
+// Utilization returns the link utilization in [0,1] over [start, now],
+// integrating the link's capacity history so mid-window capacity changes
+// (LinkSchedule) are weighted by how long each rate was in effect.
 func (m *Meter) Utilization(now sim.Time) float64 {
 	if !m.started || now <= m.startTime {
 		return 0
 	}
-	return m.Link.Utilization(m.startTxBytes, now-m.startTime)
+	return m.Link.UtilizationOver(m.startTxBytes, m.startTime, now)
 }
 
 // DropRate returns the fraction of offered packets dropped over the window.

@@ -115,7 +115,9 @@ type Conn struct {
 
 	sb Scoreboard
 
-	rtxTimer *sim.Event
+	// rtxTimer is a persistent timer rearmed on every ACK; the old
+	// cancel-and-reallocate pattern cost one event allocation per ACK.
+	rtxTimer *sim.Timer
 
 	ecnRecover int64 // ignore ECE until sndUna passes this
 	cwrPending bool
@@ -156,6 +158,7 @@ func NewConn(net *netem.Network, node *netem.Node, dst netem.NodeID, flow int, c
 		cwnd:     cfg.InitialCwnd,
 		ssthresh: cfg.MaxCwnd,
 	}
+	c.rtxTimer = c.eng.NewTimer(c.onRTO)
 	return c
 }
 
@@ -202,9 +205,7 @@ func (c *Conn) Start(at sim.Time) {
 // Close detaches the sender and cancels its timer.
 func (c *Conn) Close() {
 	c.completed = true
-	if c.rtxTimer != nil {
-		c.rtxTimer.Cancel()
-	}
+	c.rtxTimer.Stop()
 	c.node.DetachFlow(c.flow)
 }
 
@@ -268,19 +269,17 @@ func (c *Conn) effCwnd() int64 {
 // sendSeg transmits one segment.
 func (c *Conn) sendSeg(seq int64) {
 	retrans := seq < c.sndMax
-	p := &netem.Packet{
-		ID:          c.net.NewPacketID(),
-		Flow:        c.flow,
-		Src:         c.node.ID,
-		Dst:         c.dst,
-		Size:        c.cfg.Payload + headerSize,
-		Seq:         seq,
-		ECT:         c.cfg.ECN,
-		CWR:         c.cwrPending,
-		SentAt:      c.eng.Now(),
-		Retrans:     retrans,
-		QueueSample: -1, // unset until an instrumented queue stamps it
-	}
+	p := c.net.NewPacket()
+	p.Flow = c.flow
+	p.Src = c.node.ID
+	p.Dst = c.dst
+	p.Size = c.cfg.Payload + headerSize
+	p.Seq = seq
+	p.ECT = c.cfg.ECN
+	p.CWR = c.cwrPending
+	p.SentAt = c.eng.Now()
+	p.Retrans = retrans
+	p.QueueSample = -1 // unset until an instrumented queue stamps it
 	c.cwrPending = false
 	c.Stats.SegsSent++
 	if retrans {
@@ -486,17 +485,16 @@ func (c *Conn) complete(now sim.Time) {
 // Retransmission timer management.
 
 func (c *Conn) armTimerIfNeeded() {
-	if c.rtxTimer == nil || !c.rtxTimer.Scheduled() {
-		c.rtxTimer = c.eng.After(c.rtt.RTO(), c.onRTO)
+	if !c.rtxTimer.Scheduled() {
+		c.rtxTimer.ResetAfter(c.rtt.RTO())
 	}
 }
 
 func (c *Conn) resetTimer() {
-	if c.rtxTimer != nil {
-		c.rtxTimer.Cancel()
-	}
 	if c.sndMax > c.sndUna {
-		c.rtxTimer = c.eng.After(c.rtt.RTO(), c.onRTO)
+		c.rtxTimer.ResetAfter(c.rtt.RTO())
+	} else {
+		c.rtxTimer.Stop()
 	}
 }
 
@@ -519,6 +517,6 @@ func (c *Conn) onRTO() {
 	if c.cfg.OnLoss != nil {
 		c.cfg.OnLoss(c.eng.Now(), LossTimeout)
 	}
-	c.rtxTimer = c.eng.After(c.rtt.RTO(), c.onRTO)
+	c.rtxTimer.ResetAfter(c.rtt.RTO())
 	c.trySend()
 }

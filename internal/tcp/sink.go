@@ -22,12 +22,15 @@ type Sink struct {
 
 	// Delayed-ACK state (RFC 1122 style: ack every second segment or after
 	// DelAckTimeout, immediately on out-of-order data). Disabled by
-	// default, matching ns-2's TCPSink.
+	// default, matching ns-2's TCPSink. The metadata of the most recent
+	// unacked segment is copied rather than the packet retained: data
+	// packets go back to the network's free list as soon as Receive
+	// returns. The timer is persistent and rearmed in place.
 	delAck        bool
 	delAckTimeout sim.Duration
 	pendingAcks   int
-	pendingPkt    *netem.Packet // most recent unacked data segment
-	delAckTimer   *sim.Event
+	pendingEcho   ackEcho // echo metadata of the most recent unacked segment
+	delAckTimer   *sim.Timer
 
 	// Stats.
 	SegsReceived  uint64 // all data segments, including duplicates
@@ -48,10 +51,26 @@ func (s *Sink) EnableDelAck(timeout sim.Duration) {
 	s.delAckTimeout = timeout
 }
 
+// ackEcho is the slice of a data segment's metadata an ACK echoes back to
+// the sender; the delayed-ACK path copies it so the segment itself need not
+// outlive Receive.
+type ackEcho struct {
+	seq         int64
+	sentAt      sim.Time
+	retrans     bool
+	queueSample float64
+	owd         sim.Duration
+}
+
+func echoOf(p *netem.Packet) ackEcho {
+	return ackEcho{seq: p.Seq, sentAt: p.SentAt, retrans: p.Retrans, queueSample: p.QueueSample, owd: p.OWD}
+}
+
 // NewSink creates a receiver for the given flow, attached to node, acking
 // back to peer.
 func NewSink(net *netem.Network, node *netem.Node, flow int, peer netem.NodeID, payloadPerSeg int) *Sink {
 	s := &Sink{node: node, net: net, flow: flow, peer: peer, payloadPerSeg: payloadPerSeg}
+	s.delAckTimer = net.Engine().NewTimer(s.flushAck)
 	node.AttachFlow(flow, s)
 	return s
 }
@@ -112,53 +131,51 @@ func (s *Sink) Receive(p *netem.Packet, now sim.Time) {
 	inOrder := advanced && !hadGap
 	if s.delAck && inOrder {
 		s.pendingAcks++
-		s.pendingPkt = p
+		s.pendingEcho = echoOf(p)
 		if s.pendingAcks < 2 {
-			if s.delAckTimer == nil || !s.delAckTimer.Scheduled() {
-				s.delAckTimer = s.net.Engine().After(s.delAckTimeout, s.flushAck)
+			if !s.delAckTimer.Scheduled() {
+				s.delAckTimer.ResetAfter(s.delAckTimeout)
 			}
 			return
 		}
 	}
-	s.sendAck(p)
+	s.sendAck(echoOf(p))
 }
 
 // flushAck fires the delayed-ACK timer.
 func (s *Sink) flushAck() {
-	if s.pendingAcks == 0 || s.pendingPkt == nil {
+	if s.pendingAcks == 0 {
 		return
 	}
-	s.sendAck(s.pendingPkt)
+	s.sendAck(s.pendingEcho)
 }
 
 // sendAck emits a cumulative ACK echoing the given data segment's metadata.
-func (s *Sink) sendAck(p *netem.Packet) {
+// The ACK is drawn from the network's packet pool and its SACK blocks live
+// in the packet's inline array, so a steady ACK stream allocates nothing.
+func (s *Sink) sendAck(m ackEcho) {
 	s.pendingAcks = 0
-	s.pendingPkt = nil
-	if s.delAckTimer != nil {
-		s.delAckTimer.Cancel()
-	}
-	ack := &netem.Packet{
-		ID:          s.net.NewPacketID(),
-		Flow:        s.flow,
-		Src:         s.node.ID,
-		Dst:         s.peer,
-		Size:        ackSize,
-		IsAck:       true,
-		AckNo:       s.cum,
-		Echo:        p.SentAt,
-		ECE:         s.ecnEcho,
-		Retrans:     p.Retrans,     // propagate so the sender can apply Karn's rule
-		QueueSample: p.QueueSample, // echo instrumentation back to the sender
-		OWD:         p.OWD,         // echo any measured forward one-way delay
-	}
+	s.delAckTimer.Stop()
+	ack := s.net.NewPacket()
+	ack.Flow = s.flow
+	ack.Src = s.node.ID
+	ack.Dst = s.peer
+	ack.Size = ackSize
+	ack.IsAck = true
+	ack.AckNo = s.cum
+	ack.Echo = m.sentAt
+	ack.ECE = s.ecnEcho
+	ack.Retrans = m.retrans         // propagate so the sender can apply Karn's rule
+	ack.QueueSample = m.queueSample // echo instrumentation back to the sender
+	ack.OWD = m.owd                 // echo any measured forward one-way delay
 	// Advertise up to 3 SACK blocks; the block containing the segment that
 	// just arrived goes first, per RFC 2018.
 	blocks := s.ooo.Blocks()
 	if len(blocks) > 0 {
+		ack.ResetSack()
 		first := -1
 		for i, b := range blocks {
-			if p.Seq >= b.Start && p.Seq < b.End {
+			if m.seq >= b.Start && m.seq < b.End {
 				first = i
 				break
 			}
@@ -166,7 +183,7 @@ func (s *Sink) sendAck(p *netem.Packet) {
 		if first >= 0 {
 			ack.Sack = append(ack.Sack, blocks[first])
 		}
-		for i := len(blocks) - 1; i >= 0 && len(ack.Sack) < 3; i-- {
+		for i := len(blocks) - 1; i >= 0 && len(ack.Sack) < netem.MaxSackBlocks; i-- {
 			if i != first {
 				ack.Sack = append(ack.Sack, blocks[i])
 			}

@@ -32,10 +32,13 @@ bench:
 bench-micro:
 	$(GO) test -bench=. -benchmem ./...
 
-# Fast benchmark sanity pass for CI: run each microbenchmark once and the
-# allocation-budget tests that pin the zero-alloc hot paths.
+# Fast benchmark sanity pass for CI: run each microbenchmark once, the
+# allocation-budget tests that pin the zero-alloc hot paths (including the
+# disabled-metrics path), and the metrics-overhead budget (<10% on the
+# benchmark dumbbell with sampling at the default interval).
 bench-smoke:
 	$(GO) test -run 'TestScheduleAllocBudget|TestLinkAllocBudget' -bench=. -benchtime=1x -benchmem ./internal/sim/ ./internal/netem/
+	$(GO) test -run 'TestMetricsOverheadSmoke' -bench 'BenchmarkSimulatedSecond' -benchtime=1x -benchmem .
 
 # Regenerate the committed quick-scale results file.
 results:

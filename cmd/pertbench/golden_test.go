@@ -7,6 +7,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"pert/internal/experiments"
+	"pert/internal/obs"
 )
 
 // TestGoldenQuickTables proves the simulator's pooled hot paths do not
@@ -41,8 +44,37 @@ func TestGoldenQuickTables(t *testing.T) {
 			// each run is seeded independently, so tables are identical
 			// for any worker count (the committed golden was produced
 			// with the default).
-			if code := run(context.Background(), []string{"-exp", id}, &out, &errb); code != 0 {
+			args := []string{"-exp", id}
+			// ext-aqm additionally runs with metrics enabled: the golden
+			// comparison below then doubles as the metamorphic check that
+			// time-series collection does not perturb results, and the
+			// emitted series must exist and parse.
+			var metricsDir string
+			if id == "ext-aqm" {
+				metricsDir = t.TempDir()
+				args = append(args, "-metrics", metricsDir)
+			}
+			if code := run(context.Background(), args, &out, &errb); code != 0 {
 				t.Fatalf("exit %d: %s", code, errb.String())
+			}
+			if metricsDir != "" {
+				paths := experiments.SeriesPaths(metricsDir, id)
+				if len(paths) == 0 {
+					t.Fatalf("metrics run wrote no series under %s", metricsDir)
+				}
+				for _, p := range paths {
+					f, err := os.Open(p)
+					if err != nil {
+						t.Fatalf("%s: %v", p, err)
+					}
+					pts, err := obs.ReadJSONL(f)
+					f.Close()
+					if err != nil {
+						t.Errorf("%s does not parse: %v", p, err)
+					} else if len(pts) == 0 {
+						t.Errorf("%s is empty", p)
+					}
+				}
 			}
 			s := out.String()
 			// Drop the wall-clock trailer ("[id completed in ...]");

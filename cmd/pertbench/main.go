@@ -53,6 +53,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list experiment IDs and exit")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
 	memprofile := fs.String("memprofile", "", "write an allocation profile of the sweep to this file (go tool pprof)")
+	metrics := fs.String("metrics", "", "write per-cell JSONL time series under this directory (DIR/<exp>/<cell>.jsonl); schema in EXPERIMENTS.md")
+	metricsInterval := fs.Duration("metrics-interval", 0, "sampling period in sim time for -metrics (0 = 100ms)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -110,7 +112,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		exps = append(exps, exp)
 	}
 
-	opts := harness.Options{Workers: *parallel, Timeout: *timeout, StallWindow: *stallWindow}
+	opts := harness.Options{
+		Workers: *parallel, Timeout: *timeout, StallWindow: *stallWindow,
+		MetricsDir: *metrics, MetricsInterval: *metricsInterval,
+	}
 	if *progress {
 		opts.Sink = harness.NewWriterSink(stderr)
 		opts.ProgressInterval = time.Second

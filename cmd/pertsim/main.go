@@ -23,6 +23,7 @@ import (
 	"pert/internal/experiments"
 	"pert/internal/harness"
 	"pert/internal/netem"
+	"pert/internal/obs"
 	"pert/internal/sim"
 	"pert/internal/topo"
 )
@@ -54,6 +55,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	config := fs.String("config", "", "load the scenario from a JSON file (overrides topology/traffic flags)")
 	tracePath := fs.String("trace", "", "write an ns-2-style packet trace of the bottleneck to this file")
 	qseriesPath := fs.String("qseries", "", "write a queue-length time series (CSV) to this file")
+	metricsPath := fs.String("metrics", "", "write the run's full time series (queue, per-flow cwnd/srtt, PERT signal) to this file; .csv suffix selects CSV, anything else JSONL (schema in EXPERIMENTS.md)")
+	metricsInterval := fs.Duration("metrics-interval", 0, "sampling period in sim time for -metrics (0 = 100ms)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memprofile := fs.String("memprofile", "", "write an allocation profile of the run to this file (go tool pprof)")
 	if err := fs.Parse(args); err != nil {
@@ -165,9 +168,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	var metricsClose func() error
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "pertsim: %v\n", err)
+			return 1
+		}
+		var sw *obs.SeriesWriter
+		if strings.HasSuffix(*metricsPath, ".csv") {
+			sw = obs.NewCSVWriter(f)
+		} else {
+			sw = obs.NewJSONLWriter(f)
+		}
+		spec.Metrics = &experiments.MetricsSpec{Sink: sw, Interval: sim.Time(*metricsInterval)}
+		metricsClose = func() error {
+			err := sw.Flush()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			return err
+		}
+	}
+
 	res := experiments.RunDumbbell(spec, experiments.Scheme(*scheme))
 	for _, c := range cleanups {
 		c()
+	}
+	if metricsClose != nil {
+		if err := metricsClose(); err != nil {
+			fmt.Fprintf(stderr, "pertsim: %v\n", err)
+			return 1
+		}
 	}
 	if *jsonOut {
 		if err := resultTable(spec, res).FprintJSON(stdout); err != nil {

@@ -32,6 +32,15 @@ type Responder interface {
 	Signal() *Signal
 }
 
+// Prober is implemented by responders that can report their current response
+// probability without consuming an RTT sample. The observability layer uses
+// it to export the PERT probability series; both bundled responders
+// implement it.
+type Prober interface {
+	// P returns the response probability currently in effect.
+	P() float64
+}
+
 // DefaultDecreaseFactor is the paper's early-response multiplicative decrease
 // (35%), derived from the buffer-sizing relationship B > f/(1-f) * BDP with
 // the conservative goal of keeping the queue under half of a one-BDP buffer.
@@ -78,6 +87,11 @@ func NewREDResponderWith(rng *rand.Rand, curve ResponseCurve, weight, decrease f
 
 // Signal implements Responder.
 func (r *REDResponder) Signal() *Signal { return r.sig }
+
+// P implements Prober: the response probability the curve assigns to the
+// current queueing-delay estimate. Pure read; it does not advance the signal
+// or the once-per-RTT limiter.
+func (r *REDResponder) P() float64 { return r.Curve.Prob(r.sig.QueueingDelay()) }
 
 // OnRTT implements Responder.
 func (r *REDResponder) OnRTT(now sim.Time, rtt sim.Duration) Decision {

@@ -59,6 +59,13 @@ type DumbbellSpec struct {
 	// Instrument, when set, is invoked with the built topology before
 	// traffic starts — the hook for attaching tracers or custom samplers.
 	Instrument func(d *topo.Dumbbell)
+
+	// Metrics, when set, enables the observability layer for this run:
+	// periodic sampling of the bottleneck queue, per-flow sender state and
+	// PERT signal into Metrics.Sink, plus a flight recorder the auditor
+	// dumps on invariant violations. Nil disables everything (the sampled
+	// state is read-only, so results are bit-identical either way).
+	Metrics *MetricsSpec
 }
 
 // DumbbellResult is one row of a Section 4 figure: the four panels the paper
@@ -164,16 +171,26 @@ func runDumbbell(eng *sim.Engine, net *netem.Network, spec DumbbellSpec, scheme 
 	}
 	spec.Schedule.Apply(d.Forward)
 
+	scenario := fmt.Sprintf("dumbbell scheme=%s bw=%g flows=%d rev=%d web=%d loss=%g dup=%g reorder=%g changes=%d",
+		scheme, spec.Bandwidth, spec.Flows, spec.ReverseFlows, spec.WebSessions,
+		spec.LossRate, spec.DupRate, spec.ReorderRate, len(spec.Schedule))
+
+	// The observability registry (nil when spec.Metrics is nil) is built
+	// before the auditor so a violation's repro bundle can include the
+	// flight-recorder dump.
+	reg := spec.Metrics.newRegistry(eng, scenario)
+
 	if !spec.NoAudit {
 		// Every dumbbell run carries the invariant auditor: packet
 		// conservation, link accounting, and bottleneck queue bounds checked
 		// periodically, with the bottleneck's trailing trace kept for the
 		// repro bundle. A violation panics; the run harness converts that
 		// into a per-run error carrying the bundle.
-		scenario := fmt.Sprintf("dumbbell scheme=%s bw=%g flows=%d rev=%d web=%d loss=%g dup=%g reorder=%g changes=%d",
-			scheme, spec.Bandwidth, spec.Flows, spec.ReverseFlows, spec.WebSessions,
-			spec.LossRate, spec.DupRate, spec.ReorderRate, len(spec.Schedule))
-		aud := netem.StartAudit(net, netem.AuditConfig{Seed: spec.Seed, Scenario: scenario})
+		cfg := netem.AuditConfig{Seed: spec.Seed, Scenario: scenario}
+		if fl := reg.Flight(); fl != nil {
+			cfg.MetricsDump = fl.Dump
+		}
+		aud := netem.StartAudit(net, cfg)
 		aud.Watch(d.Forward)
 		aud.BoundQueue(d.Forward, d.BufferPkts)
 		aud.BoundQueue(d.Reverse, d.BufferPkts)
@@ -188,6 +205,7 @@ func runDumbbell(eng *sim.Engine, net *netem.Network, spec DumbbellSpec, scheme 
 
 	ids := trafficgen.NewIDs()
 	conn := tcp.Config{ECN: ecn}
+	observeRTT(reg, &conn)
 
 	fwd := trafficgen.FTPFleet(net, ids, d.Left, d.Right, spec.Flows, trafficgen.FTPConfig{
 		CC: ccf, Conn: conn, StartWindow: spec.StartWindow,
@@ -199,6 +217,7 @@ func runDumbbell(eng *sim.Engine, net *netem.Network, spec DumbbellSpec, scheme 
 		trafficgen.WebFleet(net, ids, d.Left, d.Right, spec.WebSessions,
 			trafficgen.WebConfig{Conn: tcp.Config{ECN: ecn}, CC: webccf}, spec.StartWindow)
 	}
+	spec.Metrics.instrumentDumbbell(reg, d, fwd)
 
 	// Warm up, then measure.
 	eng.Run(spec.MeasureFrom)
@@ -233,6 +252,9 @@ func runDumbbell(eng *sim.Engine, net *netem.Network, spec DumbbellSpec, scheme 
 	}
 	qmon.Stop()
 	eng.Run(spec.Duration)
+	// Close flushes the metrics sink; write errors are sticky on the
+	// caller-owned writer, so the caller's own flush/close reports them.
+	_ = reg.Close()
 	return res
 }
 

@@ -47,17 +47,32 @@ func ExtAQM(ctx context.Context, scale Scale) (*Table, error) {
 		{SackAVQ, "router AVQ"},
 		{SackDroptail, "no AQM"},
 	}
+	mcfg, metricsOn := MetricsFrom(ctx)
 	for i, row := range rows {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		r := RunDumbbell(DumbbellSpec{
+		spec := DumbbellSpec{
 			Seed:      9000 + int64(i),
 			Bandwidth: bwMbps * 1e6,
 			RTTs:      []sim.Duration{ms(60)},
 			Flows:     flows, WebSessions: webs,
 			Duration: dur, MeasureFrom: from, MeasureUntil: until, StartWindow: sw,
-		}, row.s)
+		}
+		var closeSeries func() error
+		if metricsOn {
+			ms, closeFn, err := mcfg.open("ext-aqm", string(row.s))
+			if err != nil {
+				return nil, err
+			}
+			spec.Metrics, closeSeries = ms, closeFn
+		}
+		r := RunDumbbell(spec, row.s)
+		if closeSeries != nil {
+			if err := closeSeries(); err != nil {
+				return nil, err
+			}
+		}
 		t.AddRow(string(row.s), row.kind, f2(r.AvgQueue), f2(r.DelayP99*1000),
 			sci(r.DropRate), sci(r.MarkRate), f3(r.Utilization), f3(r.Jain))
 	}

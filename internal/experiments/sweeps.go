@@ -48,11 +48,34 @@ func runSweep(ctx context.Context, id, title, xlabel string, points []sweepPoint
 			cells = append(cells, cell{pt.label, s, pt.spec})
 		}
 	}
+	// When the context carries a metrics config, each cell streams its time
+	// series to <dir>/<id>/<label>_<scheme>.jsonl. Files are opened up front
+	// (forEach workers cannot return errors) and closed after the sweep.
+	var closers []func() error
+	if cfg, ok := MetricsFrom(ctx); ok {
+		for i := range cells {
+			ms, closeFn, err := cfg.open(id, cells[i].label+"_"+string(cells[i].s))
+			if err != nil {
+				for _, c := range closers {
+					_ = c()
+				}
+				return nil, fmt.Errorf("%s: %w", id, err)
+			}
+			cells[i].spec.Metrics = ms
+			closers = append(closers, closeFn)
+		}
+	}
 	results := make([]DumbbellResult, len(cells))
-	if err := forEach(ctx, len(cells), func(i int) {
+	runErr := forEach(ctx, len(cells), func(i int) {
 		results[i] = RunDumbbell(cells[i].spec, cells[i].s)
-	}); err != nil {
-		return nil, fmt.Errorf("%s: %w", id, err)
+	})
+	for _, closeFn := range closers {
+		if err := closeFn(); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	if runErr != nil {
+		return nil, fmt.Errorf("%s: %w", id, runErr)
 	}
 	for i, r := range results {
 		t.AddRow(cells[i].label, string(cells[i].s), f2(r.AvgQueue), f3(r.NormQueue),

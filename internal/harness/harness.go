@@ -8,8 +8,14 @@ import (
 	"time"
 
 	"pert/internal/experiments"
+	"pert/internal/obs"
 	"pert/internal/sim"
 )
+
+// maxStallDumpLines bounds the flight-recorder text appended to a
+// stalled-run error, keeping report entries readable when many recorders are
+// active.
+const maxStallDumpLines = 400
 
 // mallocCount reads the process's cumulative heap-object allocation count.
 // Deltas across a sequential run attribute its allocations (see
@@ -43,6 +49,14 @@ type Options struct {
 	// ProgressInterval is the Progress event period; 0 disables progress
 	// ticks (lifecycle events are still emitted).
 	ProgressInterval time.Duration
+	// MetricsDir, when non-empty, enables time-series collection: every
+	// dumbbell cell run under the sweep streams JSONL series to
+	// MetricsDir/<experiment>/<cell>.jsonl, and each RunRecord lists the
+	// files its experiment produced (SeriesPaths).
+	MetricsDir string
+	// MetricsInterval overrides the sampling period (0 = the experiments
+	// package default, 100 ms of sim time).
+	MetricsInterval time.Duration
 }
 
 // Run executes the experiments in order at the given scale and returns the
@@ -56,6 +70,12 @@ func Run(ctx context.Context, exps []experiments.Experiment, scale experiments.S
 		workers = experiments.Workers(ctx)
 	}
 	ctx = experiments.WithWorkers(ctx, workers)
+	if opts.MetricsDir != "" {
+		ctx = experiments.WithMetrics(ctx, experiments.MetricsConfig{
+			Dir:      opts.MetricsDir,
+			Interval: sim.Duration(opts.MetricsInterval),
+		})
+	}
 
 	var sink Sink
 	if opts.Sink != nil {
@@ -173,6 +193,7 @@ func runOne(ctx context.Context, exp experiments.Experiment, scale experiments.S
 	} else if tables != nil {
 		rec.Tables = tables
 	}
+	rec.SeriesPaths = experiments.SeriesPaths(opts.MetricsDir, exp.ID)
 	emit(Event{
 		Kind: RunFinished, ID: exp.ID, Index: index, Total: total,
 		Err: err, Status: rec.Status, Wall: wall, SimEvents: rec.SimEvents,
@@ -223,8 +244,14 @@ func watchRun(runCtx context.Context, cancel context.CancelFunc, exp experiments
 				lastEv, lastAdvance = ev, time.Now()
 			} else if time.Since(lastAdvance) >= window {
 				cancel()
-				return nil, fmt.Errorf("harness: %s made no sim progress for %s; run abandoned as stalled",
-					exp.ID, window), true
+				msg := fmt.Sprintf("harness: %s made no sim progress for %s; run abandoned as stalled",
+					exp.ID, window)
+				// A metrics-enabled run leaves active flight recorders; their
+				// trailing series window is the stall's repro bundle.
+				if dump := obs.ActiveFlightDumps(maxStallDumpLines); dump != "" {
+					msg += "\n" + dump
+				}
+				return nil, errors.New(msg), true
 			}
 		}
 	}

@@ -54,6 +54,10 @@ type RunRecord struct {
 	AllocsPerEvent float64 `json:"allocs_per_event"`
 	// Error is the failure (panic, cancellation, bad spec), empty on success.
 	Error string `json:"error,omitempty"`
+	// SeriesPaths lists the time-series files this run wrote under
+	// Options.MetricsDir (additive schema-version-1 field; absent when
+	// metrics were disabled or the experiment wrote none).
+	SeriesPaths []string `json:"series_paths,omitempty"`
 	// Tables holds the run's result tables; never null, empty on failure.
 	Tables []*experiments.Table `json:"tables"`
 }

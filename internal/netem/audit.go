@@ -81,6 +81,7 @@ type ViolationError struct {
 	Seed      int64    // the run's RNG seed
 	Scenario  string   // human-readable scenario description
 	Trace     []string // trailing packet-trace lines from the audited links
+	Metrics   []string // flight-recorder dump (AuditConfig.MetricsDump), if any
 }
 
 // Error renders the violation and the full repro bundle.
@@ -91,6 +92,13 @@ func (e *ViolationError) Error() string {
 	if len(e.Trace) > 0 {
 		fmt.Fprintf(&b, "\ntrailing trace (%d events, oldest first):", len(e.Trace))
 		for _, line := range e.Trace {
+			b.WriteString("\n  ")
+			b.WriteString(line)
+		}
+	}
+	if len(e.Metrics) > 0 {
+		b.WriteString("\nflight recorder:")
+		for _, line := range e.Metrics {
 			b.WriteString("\n  ")
 			b.WriteString(line)
 		}
@@ -113,6 +121,11 @@ type AuditConfig struct {
 	// results can no longer be trusted, and the run harness converts panics
 	// into per-run errors with the bundle text.
 	OnViolation func(*ViolationError)
+	// MetricsDump, when set, is invoked at violation time and its lines are
+	// attached to the repro bundle — typically a flight recorder's Dump, so
+	// an abort ships with the trailing time-series window alongside the
+	// packet trace.
+	MetricsDump func() []string
 }
 
 // Auditor periodically verifies Network.Audit plus per-link queue bounds and
@@ -238,6 +251,9 @@ func (a *Auditor) fail(now sim.Time, violation string) {
 		Seed:      a.cfg.Seed,
 		Scenario:  a.cfg.Scenario,
 		Trace:     a.trace(),
+	}
+	if a.cfg.MetricsDump != nil {
+		err.Metrics = a.cfg.MetricsDump()
 	}
 	if a.cfg.OnViolation != nil {
 		a.cfg.OnViolation(err)

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"pert/internal/obs"
 	"pert/internal/sim"
 )
 
@@ -156,5 +157,49 @@ func TestAuditorStopSilences(t *testing.T) {
 	flood(eng, net, a, b, 5)
 	if violations != 0 {
 		t.Fatalf("stopped auditor still fired %d times", violations)
+	}
+}
+
+func TestAuditViolationCarriesFlightDump(t *testing.T) {
+	eng := sim.NewEngine(3)
+	net, a, b, ab := line(eng, 8e6, 5*sim.Millisecond, 60)
+	fl := obs.NewFlight("test scenario", 8)
+	fl.Record(obs.Point{T: 0.1, Series: "queue.len", Value: 3})
+	fl.Record(obs.Point{T: 0.2, Series: "queue.len", Value: 5})
+	var got *ViolationError
+	aud := StartAudit(net, AuditConfig{Seed: 9, Scenario: "with flight",
+		MetricsDump: fl.Dump,
+		OnViolation: func(v *ViolationError) { got = v }})
+	aud.Watch(ab)
+	flood(eng, net, a, b, 10)
+	net.acct.Injected++ // corrupt
+	aud.Check()
+
+	if got == nil {
+		t.Fatal("violation not reported")
+	}
+	if len(got.Metrics) != 3 { // header + 2 points
+		t.Fatalf("flight dump has %d lines, want 3: %v", len(got.Metrics), got.Metrics)
+	}
+	msg := got.Error()
+	for _, want := range []string{"flight recorder:", `flight "test scenario"`,
+		"t=0.100000 queue.len=3", "t=0.200000 queue.len=5"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("bundle text missing %q:\n%s", want, msg)
+		}
+	}
+	// Without MetricsDump the section is absent entirely.
+	eng2 := sim.NewEngine(3)
+	net2, _, _, _ := line(eng2, 8e6, 0, 60)
+	var bare *ViolationError
+	aud2 := StartAudit(net2, AuditConfig{Seed: 9, Scenario: "no flight",
+		OnViolation: func(v *ViolationError) { bare = v }})
+	net2.acct.Injected++
+	aud2.Check()
+	if bare == nil {
+		t.Fatal("second auditor saw no violation")
+	}
+	if strings.Contains(bare.Error(), "flight recorder") {
+		t.Errorf("bundle without MetricsDump mentions the flight recorder")
 	}
 }

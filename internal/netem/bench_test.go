@@ -3,6 +3,7 @@ package netem
 import (
 	"testing"
 
+	"pert/internal/obs"
 	"pert/internal/sim"
 )
 
@@ -168,5 +169,38 @@ func TestInlineSackAliasing(t *testing.T) {
 	cp.Sack[0].Start = 99
 	if p.Sack[0].Start != 10 {
 		t.Fatal("writing the clone's SACK corrupted the original")
+	}
+}
+
+// TestLinkAllocBudgetDisabledMetrics extends the zero-alloc budget to the
+// disabled-metrics path: nil obs instruments wired into every per-packet hook
+// of the saturated link — exactly what instrumented model code costs when no
+// registry is attached — must keep the warmed transmit loop at zero
+// allocations.
+func TestLinkAllocBudgetDisabledMetrics(t *testing.T) {
+	eng, _, l := saturatedLink(1)
+	var pkts *obs.Counter  // nil: metrics disabled
+	var lastLen *obs.Gauge // nil
+	var h *obs.Histogram   // nil
+	prev := l.OnDepart
+	l.OnDepart = func(p *Packet, now sim.Time) {
+		pkts.Inc()
+		pkts.Add(uint64(p.Size))
+		lastLen.Set(float64(l.Queue.Len()))
+		h.Observe(now.Seconds())
+		if prev != nil {
+			prev(p, now)
+		}
+	}
+	l.Instrument(nil, "queue") // nil registry: must be a no-op
+	eng.Run(sim.Second)        // warm pools, heap, and free lists
+	allocs := testing.AllocsPerRun(5, func() {
+		eng.Run(eng.Now() + sim.Second)
+	})
+	if allocs != 0 {
+		t.Errorf("saturated link with disabled metrics allocates %.1f per simulated second, budget is 0", allocs)
+	}
+	if pkts.Value() != 0 || lastLen.Value() != 0 || h.Count() != 0 {
+		t.Errorf("nil instruments accumulated state")
 	}
 }

@@ -1,0 +1,70 @@
+package netem
+
+import (
+	"math"
+
+	"pert/internal/obs"
+	"pert/internal/sim"
+)
+
+// Instrument registers the link's time series on reg, named <prefix>.<field>:
+//
+//	len         instantaneous queue length, packets
+//	bytes       instantaneous queue occupancy, bytes
+//	drops       cumulative drops (queue rejects + blackholing)
+//	marks       cumulative ECN marks
+//	util        link utilization over the preceding sampling interval,
+//	            via UtilizationOver (exact across SetCapacity changes)
+//	avg         discipline's average queue estimate, packets (RED family)
+//	maxp        discipline's live marking ceiling (RED family; the adaptive
+//	            variant reports its adapted value)
+//	prob        discipline's current marking probability (PI)
+//	drop_events cumulative drop events counted by a chained OnDrop hook — a
+//	            per-event counter, unlike the sampled gauges above
+//
+// avg/maxp/prob appear only when the attached Discipline exposes them
+// (structural interfaces, satisfied by the queue package's RED, AdaptiveRED
+// and PI). Gauges are pure reads at sampling ticks; the OnDrop chain is the
+// only per-event cost and exists only on instrumented links.
+func (l *Link) Instrument(reg *obs.Registry, prefix string) {
+	if l == nil || reg == nil {
+		return
+	}
+	reg.GaugeFunc(prefix+".len", func() float64 { return float64(l.Queue.Len()) })
+	reg.GaugeFunc(prefix+".bytes", func() float64 { return float64(l.Queue.Bytes()) })
+	reg.GaugeFunc(prefix+".drops", func() float64 { return float64(l.Stats.Drops) })
+	reg.GaugeFunc(prefix+".marks", func() float64 { return float64(l.Stats.Marks) })
+
+	// Utilization over the window since the previous sample: the closure
+	// keeps a (time, TxBytes) snapshot and advances it every tick.
+	var lastT sim.Time
+	var lastTx uint64
+	reg.GaugeFunc(prefix+".util", func() float64 {
+		now := l.eng.Now()
+		if now <= lastT {
+			return math.NaN() // first tick at t=0: no window yet
+		}
+		u := l.UtilizationOver(lastTx, lastT, now)
+		lastT, lastTx = now, l.Stats.TxBytes
+		return u
+	})
+
+	if q, ok := l.Queue.(interface{ AvgQueue() float64 }); ok {
+		reg.GaugeFunc(prefix+".avg", func() float64 { return q.AvgQueue() })
+	}
+	if q, ok := l.Queue.(interface{ MaxP() float64 }); ok {
+		reg.GaugeFunc(prefix+".maxp", func() float64 { return q.MaxP() })
+	}
+	if q, ok := l.Queue.(interface{ P() float64 }); ok {
+		reg.GaugeFunc(prefix+".prob", func() float64 { return q.P() })
+	}
+
+	drops := reg.NewCounter(prefix + ".drop_events")
+	prev := l.OnDrop
+	l.OnDrop = func(p *Packet, now sim.Time) {
+		drops.Inc()
+		if prev != nil {
+			prev(p, now)
+		}
+	}
+}

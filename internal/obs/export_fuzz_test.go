@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds covers the interesting corners for both readers: writer-shaped
+// valid lines, whitespace, non-finite and overflowing timestamps, and
+// truncation at every structural boundary (mirrors netem's FuzzReadTrace).
+var fuzzSeeds = []string{
+	`{"t":0,"series":"queue.len","v":17}`,
+	`{"t":0.1,"series":"tcp/0.cwnd","v":12.000000000000002}`,
+	`{"t":59.99999999,"series":"a-b_c.D","v":-1e-300}`,
+	"",
+	"\n\n  \n",
+	`{"t":NaN,"series":"a","v":1}`,
+	`{"t":1e300,"series":"a","v":1}`,
+	`{"t":-1,"series":"a","v":1}`,
+	`{"t":1,"series":"a","v":Inf}`,
+	`{"t":1,"series":"a`,
+	`{"t":1,"series":"a","v":`,
+	`{"t":1,"series":"a","v":1`,
+	`{"time":1,"series":"a","v":1}`,
+	"t_s,series,value\n0,queue.len,17",
+	"t_s,series,value\n0.1,tcp/0.cwnd,12.000000000000002\n2,a,3",
+	"t_s,series,value\nNaN,a,1",
+	"t_s,series,value\n1,a",
+	"t_s,series,value\n1,a,2,3",
+	"1,a,2",
+}
+
+// FuzzReadJSONL asserts ReadJSONL never panics, and that anything it accepts
+// is a fixed point of the writer: re-serializing the points and re-parsing
+// yields the same points byte-identically.
+func FuzzReadJSONL(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		pts, err := ReadJSONL(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, p := range pts {
+			if err := checkPoint(p); err != nil {
+				t.Fatalf("accepted invalid point %+v: %v", p, err)
+			}
+		}
+		roundTripFuzz(t, pts, false)
+	})
+}
+
+// FuzzReadCSV is the CSV twin of FuzzReadJSONL.
+func FuzzReadCSV(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		pts, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, p := range pts {
+			if err := checkPoint(p); err != nil {
+				t.Fatalf("accepted invalid point %+v: %v", p, err)
+			}
+		}
+		roundTripFuzz(t, pts, true)
+	})
+}
+
+func roundTripFuzz(t *testing.T, pts []Point, csv bool) {
+	t.Helper()
+	var buf bytes.Buffer
+	var sw *SeriesWriter
+	if csv {
+		sw = NewCSVWriter(&buf)
+	} else {
+		sw = NewJSONLWriter(&buf)
+	}
+	for _, p := range pts {
+		sw.Record(p)
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatalf("re-serializing accepted points failed: %v", err)
+	}
+	var again []Point
+	var err error
+	if csv {
+		again, err = ReadCSV(&buf)
+	} else {
+		again, err = ReadJSONL(&buf)
+	}
+	if err != nil {
+		t.Fatalf("re-parsing our own output failed: %v", err)
+	}
+	if len(again) != len(pts) {
+		t.Fatalf("round trip changed point count: %d -> %d", len(pts), len(again))
+	}
+	for i := range pts {
+		if again[i] != pts[i] {
+			t.Fatalf("round trip changed point %d: %+v -> %+v", i, pts[i], again[i])
+		}
+	}
+}

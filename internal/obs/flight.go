@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Flight is a bounded ring buffer over the most recent sampled points: a
+// flight recorder. It is attached as a registry sink (Registry.EnableFlight)
+// and holds the trailing window of every series, so when an invariant
+// auditor aborts a run or the harness watchdog declares it stalled, the
+// repro bundle can include what the instruments saw just before the failure.
+//
+// Unlike the rest of the package, Flight is synchronized: the simulation
+// goroutine records into it while a wallclock watchdog on another goroutine
+// may Dump it. The mutex is only taken at sampling ticks (default every
+// 100ms of sim time), never on per-event hot paths.
+type Flight struct {
+	name  string
+	mu    sync.Mutex
+	ring  []Point
+	next  int
+	wrap  bool
+	total uint64
+}
+
+// DefaultFlightDepth is the ring size used when EnableFlight is given a
+// non-positive depth: with ~20 series sampled at 100ms it holds roughly the
+// last second of samples, enough to see the dynamics leading into a failure
+// without holding a whole run in memory.
+const DefaultFlightDepth = 256
+
+// NewFlight returns a flight recorder holding the last depth points
+// (DefaultFlightDepth if depth <= 0).
+func NewFlight(name string, depth int) *Flight {
+	if depth <= 0 {
+		depth = DefaultFlightDepth
+	}
+	return &Flight{name: name, ring: make([]Point, depth)}
+}
+
+// Name returns the identifier given at creation (typically the scenario).
+func (f *Flight) Name() string {
+	if f == nil {
+		return ""
+	}
+	return f.name
+}
+
+// Record stores one point, evicting the oldest when full. Safe on nil.
+func (f *Flight) Record(p Point) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.ring[f.next] = p
+	f.next++
+	if f.next == len(f.ring) {
+		f.next = 0
+		f.wrap = true
+	}
+	f.total++
+	f.mu.Unlock()
+}
+
+// Points returns a snapshot of the buffered points, oldest first. Safe for
+// concurrent use and on nil.
+func (f *Flight) Points() []Point {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.wrap {
+		out := make([]Point, f.next)
+		copy(out, f.ring[:f.next])
+		return out
+	}
+	out := make([]Point, 0, len(f.ring))
+	out = append(out, f.ring[f.next:]...)
+	out = append(out, f.ring[:f.next]...)
+	return out
+}
+
+// Dump renders the buffered points as human-readable lines, oldest first,
+// preceded by a header identifying the recorder and how much was dropped.
+// The format per point is "t=<seconds> <series>=<value>". Safe on nil (an
+// empty dump).
+func (f *Flight) Dump() []string {
+	if f == nil {
+		return nil
+	}
+	pts := f.Points()
+	f.mu.Lock()
+	total := f.total
+	f.mu.Unlock()
+	out := make([]string, 0, len(pts)+1)
+	out = append(out, fmt.Sprintf("flight %q: %d of %d points retained", f.name, len(pts), total))
+	for _, p := range pts {
+		out = append(out, "t="+strconv.FormatFloat(p.T, 'f', 6, 64)+
+			" "+p.Series+"="+strconv.FormatFloat(p.Value, 'g', -1, 64))
+	}
+	return out
+}
+
+// Process-wide set of flight recorders attached to running registries. The
+// harness stall watchdog fires on a wallclock timer with no reference to the
+// stuck engine, so discovery has to be global; entries are keyed by pointer
+// and removed at Registry.Close, and parallel sweeps simply contribute one
+// entry per in-flight scenario.
+var (
+	activeMu sync.Mutex
+	active   = make(map[*Flight]struct{})
+)
+
+func (f *Flight) activate() {
+	activeMu.Lock()
+	active[f] = struct{}{}
+	activeMu.Unlock()
+}
+
+func (f *Flight) deactivate() {
+	activeMu.Lock()
+	delete(active, f)
+	activeMu.Unlock()
+}
+
+// ActiveFlights returns the flight recorders of all registries that have
+// been started and not yet closed, in deterministic (name, pointer-set
+// snapshot) order.
+func ActiveFlights() []*Flight {
+	activeMu.Lock()
+	out := make([]*Flight, 0, len(active))
+	for f := range active {
+		out = append(out, f)
+	}
+	activeMu.Unlock()
+	// Map iteration is randomized; sort for stable dumps.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].name < out[j-1].name; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// ActiveFlightDumps concatenates Dump output for every active flight
+// recorder — what the harness watchdog appends to a stalled-run report. The
+// result is capped at maxLines lines (0 = no cap) to keep error text
+// bounded.
+func ActiveFlightDumps(maxLines int) string {
+	var lines []string
+	for _, f := range ActiveFlights() {
+		lines = append(lines, f.Dump()...)
+	}
+	if maxLines > 0 && len(lines) > maxLines {
+		dropped := len(lines) - maxLines
+		lines = append(lines[:maxLines], fmt.Sprintf("... %d more flight-recorder lines elided", dropped))
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRingWrap(t *testing.T) {
+	f := NewFlight("scen", 4)
+	for i := 0; i < 10; i++ {
+		f.Record(Point{T: float64(i), Series: "s", Value: float64(i)})
+	}
+	pts := f.Points()
+	if len(pts) != 4 {
+		t.Fatalf("got %d points, want 4", len(pts))
+	}
+	for i, p := range pts {
+		if want := float64(6 + i); p.T != want {
+			t.Fatalf("point %d: t=%v, want %v (oldest-first window)", i, p.T, want)
+		}
+	}
+	dump := f.Dump()
+	if len(dump) != 5 {
+		t.Fatalf("dump has %d lines, want header + 4", len(dump))
+	}
+	if want := `flight "scen": 4 of 10 points retained`; dump[0] != want {
+		t.Fatalf("header %q, want %q", dump[0], want)
+	}
+	if !strings.HasPrefix(dump[1], "t=6.000000 s=6") {
+		t.Fatalf("first dumped point %q", dump[1])
+	}
+}
+
+func TestFlightPartialFill(t *testing.T) {
+	f := NewFlight("x", 8)
+	f.Record(Point{T: 1, Series: "a", Value: 2})
+	if pts := f.Points(); len(pts) != 1 || pts[0].T != 1 {
+		t.Fatalf("partial fill: %+v", pts)
+	}
+	if NewFlight("y", 0) == nil || len(NewFlight("y", 0).ring) != DefaultFlightDepth {
+		t.Fatalf("depth<=0 did not default")
+	}
+	var nilF *Flight
+	nilF.Record(Point{})
+	if nilF.Points() != nil || nilF.Dump() != nil || nilF.Name() != "" {
+		t.Fatalf("nil flight not inert")
+	}
+}
+
+func TestActiveFlightSet(t *testing.T) {
+	// The active set is process-global; other tests must not be running
+	// registries concurrently (go test runs tests in a package serially).
+	base := len(ActiveFlights())
+	a := NewFlight("b-scenario", 4)
+	b := NewFlight("a-scenario", 4)
+	a.activate()
+	b.activate()
+	defer a.deactivate()
+	defer b.deactivate()
+	fls := ActiveFlights()
+	if len(fls) != base+2 {
+		t.Fatalf("active count %d, want %d", len(fls), base+2)
+	}
+	// Sorted by name for stable dumps.
+	for i := 1; i < len(fls); i++ {
+		if fls[i-1].Name() > fls[i].Name() {
+			t.Fatalf("active flights not name-sorted: %q > %q", fls[i-1].Name(), fls[i].Name())
+		}
+	}
+	a.Record(Point{T: 1, Series: "s", Value: 1})
+	dump := ActiveFlightDumps(0)
+	if !strings.Contains(dump, `flight "b-scenario"`) || !strings.Contains(dump, `flight "a-scenario"`) {
+		t.Fatalf("dump missing recorders:\n%s", dump)
+	}
+	// The cap elides trailing lines and says how many.
+	capped := ActiveFlightDumps(1)
+	if lines := strings.Split(capped, "\n"); len(lines) != 2 ||
+		!strings.Contains(lines[1], "more flight-recorder lines elided") {
+		t.Fatalf("cap not applied:\n%s", capped)
+	}
+	a.deactivate()
+	b.deactivate()
+	if len(ActiveFlights()) != base {
+		t.Fatalf("deactivate leaked entries")
+	}
+}
+
+// TestFlightConcurrentDump drives Record from one goroutine and Dump/Points
+// from another; under -race this proves the watchdog can dump a live
+// recorder.
+func TestFlightConcurrentDump(t *testing.T) {
+	f := NewFlight("race", 16)
+	stop := make(chan struct{})
+	var recorder sync.WaitGroup
+	recorder.Add(1)
+	go func() {
+		defer recorder.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				f.Record(Point{T: float64(i), Series: "s", Value: float64(i)})
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		if got := f.Dump(); len(got) == 0 {
+			t.Fatalf("empty dump from live recorder")
+		}
+		f.Points()
+	}
+	close(stop)
+	recorder.Wait()
+}

@@ -1,0 +1,290 @@
+// Package obs is the simulator's observability layer: typed instruments
+// (counters, gauges, log-linear histograms) collected in an engine-local
+// Registry, periodic time-series sampling driven by the sim engine's own
+// timer, streaming JSONL/CSV export, and a bounded ring-buffer flight
+// recorder that invariant auditors and watchdogs dump into repro bundles.
+//
+// The layer is built around two rules:
+//
+//  1. Zero overhead when disabled. Every instrument method is a no-op on a
+//     nil receiver, and a nil *Registry hands out nil instruments, so model
+//     code can bump counters unconditionally: the disabled path is one
+//     nil-check, no allocation, no branch on shared state (the sim and netem
+//     allocation-budget tests pin this down).
+//
+//  2. Observation never perturbs results. Samplers only read model state;
+//     they never touch an engine RNG, and the sampling ticker consumes engine
+//     sequence numbers without reordering model events relative to each
+//     other (heap order is (time, seq) with seq monotone). A run with
+//     metrics enabled is bit-identical to the same run without — the
+//     metamorphic test in internal/experiments asserts exactly that.
+//
+// Registries are engine-local: one Registry per sim.Engine, touched only
+// from that engine's goroutine. Parallel sweeps (experiments.WithWorkers)
+// run one registry per scenario with no shared mutable state; the only
+// synchronized structure is the Flight recorder's ring, which a wallclock
+// watchdog may dump concurrently with the simulation.
+package obs
+
+import (
+	"fmt"
+	"math"
+
+	"pert/internal/sim"
+)
+
+// Point is one time-series sample: the value of one named series at one
+// instant of simulated time. T is in seconds (not sim.Time) so exported
+// series are directly plottable and survive text round-trips exactly (the
+// shortest float64 representation is used throughout).
+type Point struct {
+	T      float64 // simulated time, seconds
+	Series string  // instrument name, e.g. "queue.len" or "tcp/0.cwnd"
+	Value  float64
+}
+
+// Sink receives sampled points. Sinks are called from the simulation
+// goroutine in deterministic order; implementations that are also read from
+// other goroutines (the Flight recorder) synchronize internally.
+type Sink interface {
+	Record(Point)
+}
+
+// Flusher is implemented by sinks with buffered output; Registry.Close
+// flushes them.
+type Flusher interface {
+	Flush() error
+}
+
+// Registry owns one engine's instruments and sinks. Create with NewRegistry,
+// register instruments, attach sinks, then Start the periodic sampler. All
+// methods are safe on a nil *Registry (they return nil instruments or do
+// nothing), so callers can thread an optional registry through without
+// guarding every call site.
+type Registry struct {
+	eng    *sim.Engine
+	names  map[string]struct{}
+	insts  []instrument
+	hists  []*Histogram
+	sinks  []Sink
+	flight *Flight
+	ticker *sim.Ticker
+	closed bool
+}
+
+// instrument is one sampleable series: a name plus a read function returning
+// the current value and whether it should be emitted this tick.
+type instrument struct {
+	name string
+	read func() float64
+}
+
+// NewRegistry returns an empty registry bound to the engine.
+func NewRegistry(eng *sim.Engine) *Registry {
+	if eng == nil {
+		panic("obs: NewRegistry with nil engine")
+	}
+	return &Registry{eng: eng, names: make(map[string]struct{})}
+}
+
+// register validates and claims a series name.
+func (r *Registry) register(name string) {
+	if err := CheckName(name); err != nil {
+		panic("obs: " + err.Error())
+	}
+	if _, dup := r.names[name]; dup {
+		panic(fmt.Sprintf("obs: duplicate instrument %q", name))
+	}
+	r.names[name] = struct{}{}
+}
+
+// CheckName validates a series name: non-empty ASCII from the set
+// [a-zA-Z0-9._/-]. The character set keeps every name safe in both export
+// formats (no commas, quotes, or whitespace) and in file paths derived from
+// it.
+func CheckName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty series name")
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '/', c == '-':
+		default:
+			return fmt.Errorf("series name %q contains %q (allowed: [a-zA-Z0-9._/-])", name, c)
+		}
+	}
+	return nil
+}
+
+// NewCounter registers and returns a monotone counter sampled on every tick.
+// Returns nil on a nil registry; a nil *Counter ignores Add/Inc.
+func (r *Registry) NewCounter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.register(name)
+	c := &Counter{}
+	r.insts = append(r.insts, instrument{name: name, read: func() float64 { return float64(c.v) }})
+	return c
+}
+
+// NewGauge registers and returns a set-style gauge sampled on every tick.
+// Returns nil on a nil registry; a nil *Gauge ignores Set.
+func (r *Registry) NewGauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.register(name)
+	g := &Gauge{}
+	r.insts = append(r.insts, instrument{name: name, read: func() float64 { return g.v }})
+	return g
+}
+
+// GaugeFunc registers a pull-style gauge: fn is invoked at every sampling
+// tick on the simulation goroutine and must only read model state. A
+// non-finite return value (NaN/Inf) suppresses the point for that tick —
+// the idiom for "not ready yet" (e.g. a PERT responder before its first
+// ACK). No-op on a nil registry.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	if fn == nil {
+		panic("obs: GaugeFunc with nil function")
+	}
+	r.register(name)
+	r.insts = append(r.insts, instrument{name: name, read: fn})
+}
+
+// NewHistogram registers and returns a log-linear histogram. Histograms are
+// not sampled per tick; Close emits one summary point per statistic
+// (<name>.count, <name>.p50, <name>.p95, <name>.p99) at the final sample
+// time. Returns nil on a nil registry; a nil *Histogram ignores Observe.
+func (r *Registry) NewHistogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.register(name)
+	// Claim the summary names too, so a gauge cannot collide with them.
+	for _, suffix := range []string{".count", ".p50", ".p95", ".p99"} {
+		r.register(name + suffix)
+	}
+	h := &Histogram{name: name}
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// AddSink attaches a sink receiving every sampled point. No-op on a nil
+// registry.
+func (r *Registry) AddSink(s Sink) {
+	if r == nil || s == nil {
+		return
+	}
+	r.sinks = append(r.sinks, s)
+}
+
+// EnableFlight attaches a bounded ring-buffer flight recorder (also added as
+// a sink) and registers it in the process-wide active set so wallclock
+// watchdogs can dump it. Close deactivates it. Returns nil on a nil
+// registry.
+func (r *Registry) EnableFlight(name string, depth int) *Flight {
+	if r == nil {
+		return nil
+	}
+	if r.flight != nil {
+		panic("obs: EnableFlight called twice")
+	}
+	f := NewFlight(name, depth)
+	r.flight = f
+	r.AddSink(f)
+	f.activate()
+	return f
+}
+
+// Flight returns the registry's flight recorder, or nil.
+func (r *Registry) Flight() *Flight {
+	if r == nil {
+		return nil
+	}
+	return r.flight
+}
+
+// Start begins periodic sampling: every instrument is read and emitted to
+// every sink at t0 and every interval thereafter, on the engine's event
+// loop. No-op on a nil registry.
+func (r *Registry) Start(t0 sim.Time, interval sim.Duration) {
+	if r == nil {
+		return
+	}
+	if r.ticker != nil {
+		panic("obs: Start called twice")
+	}
+	if interval <= 0 {
+		panic("obs: non-positive sampling interval")
+	}
+	r.ticker = r.eng.Every(t0, interval, r.Sample)
+}
+
+// Sample reads every instrument once at the given time and emits the points.
+// The periodic ticker calls this; tests may call it directly.
+func (r *Registry) Sample(now sim.Time) {
+	if r == nil || r.closed {
+		return
+	}
+	t := now.Seconds()
+	for _, in := range r.insts {
+		v := in.read()
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue // "not ready" / meaningless this tick
+		}
+		p := Point{T: t, Series: in.name, Value: v}
+		for _, s := range r.sinks {
+			s.Record(p)
+		}
+	}
+}
+
+// Close stops the sampler, emits one summary point set per histogram at the
+// current simulated time, flushes buffered sinks, and deactivates the flight
+// recorder. It returns the first flush error; write errors are also sticky
+// on the writers themselves, so callers that flush their own files still
+// observe them. Closing a nil or already-closed registry is a no-op.
+func (r *Registry) Close() error {
+	if r == nil || r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.ticker != nil {
+		r.ticker.Stop()
+	}
+	t := r.eng.Now().Seconds()
+	for _, h := range r.hists {
+		if h.Count() == 0 {
+			continue
+		}
+		for _, pt := range []Point{
+			{T: t, Series: h.name + ".count", Value: float64(h.Count())},
+			{T: t, Series: h.name + ".p50", Value: h.Quantile(0.50)},
+			{T: t, Series: h.name + ".p95", Value: h.Quantile(0.95)},
+			{T: t, Series: h.name + ".p99", Value: h.Quantile(0.99)},
+		} {
+			for _, s := range r.sinks {
+				s.Record(pt)
+			}
+		}
+	}
+	var first error
+	for _, s := range r.sinks {
+		if fl, ok := s.(Flusher); ok {
+			if err := fl.Flush(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	if r.flight != nil {
+		r.flight.deactivate()
+	}
+	return first
+}

@@ -93,6 +93,11 @@ func (r *RED) Config() REDConfig { return r.cfg }
 // AvgQueue returns the current average queue estimate in packets.
 func (r *RED) AvgQueue() float64 { return r.avg }
 
+// MaxP returns the marking probability currently in effect at MaxTh. For
+// plain RED it is the configured constant; AdaptiveRED shadows this with the
+// live adapted value. Exposed for instrumentation.
+func (r *RED) MaxP() float64 { return r.cfg.MaxP }
+
 // updateAvg advances the average queue estimate for an arrival at time now.
 func (r *RED) updateAvg(now sim.Time) {
 	if r.idle {

@@ -1,0 +1,67 @@
+package tcp
+
+import (
+	"math"
+
+	"pert/internal/obs"
+)
+
+// InstrumentConn registers the per-flow time series the paper's figures are
+// built from on reg, all named <prefix>.<field>:
+//
+//	cwnd      congestion window, segments
+//	ssthresh  slow-start threshold, segments (suppressed while unset/huge)
+//	srtt      smoothed RTT estimate, seconds (suppressed before first sample)
+//	state     0 = open, 1 = loss recovery
+//	retrans   cumulative retransmitted segments
+//	pert.qdelay / pert.prob  (PERT senders only) perceived queueing delay in
+//	          seconds and response-curve probability, via PERT.Probe
+//
+// Everything is registered as pull-style gauges reading live connection
+// state at sampling ticks, so an uninstrumented connection carries zero
+// observability cost.
+func InstrumentConn(reg *obs.Registry, c *Conn, prefix string) {
+	if reg == nil || c == nil {
+		return
+	}
+	reg.GaugeFunc(prefix+".cwnd", func() float64 { return c.Cwnd() })
+	reg.GaugeFunc(prefix+".ssthresh", func() float64 {
+		// The initial "unbounded" threshold is noise on a plot; suppress it
+		// until the first window reduction sets a real value.
+		if v := c.Ssthresh(); v < c.cfg.MaxCwnd {
+			return v
+		}
+		return math.NaN()
+	})
+	reg.GaugeFunc(prefix+".srtt", func() float64 {
+		est := c.RTT()
+		if est == nil || est.SRTT == 0 {
+			return math.NaN()
+		}
+		return est.SRTT.Seconds()
+	})
+	reg.GaugeFunc(prefix+".state", func() float64 {
+		if c.InRecovery() {
+			return 1
+		}
+		return 0
+	})
+	reg.GaugeFunc(prefix+".retrans", func() float64 { return float64(c.Stats.Retransmits) })
+
+	if pert, ok := c.cc.(*PERT); ok {
+		reg.GaugeFunc(prefix+".pert.qdelay", func() float64 {
+			qd, _, ok := pert.Probe()
+			if !ok {
+				return math.NaN()
+			}
+			return qd
+		})
+		reg.GaugeFunc(prefix+".pert.prob", func() float64 {
+			_, p, ok := pert.Probe()
+			if !ok {
+				return math.NaN()
+			}
+			return p
+		})
+	}
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check bench bench-micro bench-smoke results results-paper fuzz clean
+.PHONY: all build test vet check validate-scenarios bench bench-micro bench-smoke results results-paper fuzz clean
 
 all: build check
 
@@ -15,10 +15,17 @@ vet:
 test:
 	$(GO) test ./...
 
-# Full gate: vet plus the test suite under the race detector (exercises the
-# harness and the parallel sweep workers).
-check: vet
+# Full gate: vet, every committed example scenario validated against the
+# loader, then the test suite under the race detector (exercises the harness
+# and the parallel sweep workers).
+check: vet validate-scenarios
 	$(GO) test -race -timeout 20m ./...
+
+# Validate every example scenario JSON against the live loader.
+validate-scenarios:
+	@for f in examples/scenarios/*.json; do \
+		$(GO) run ./cmd/pertsim -config $$f -validate || exit 1; \
+	done
 
 # Perf-regression reference point: one single-worker quick-scale sweep,
 # recorded as a machine-readable report (wall time, events/s, mallocs and
@@ -52,6 +59,7 @@ results-paper:
 fuzz:
 	$(GO) test ./internal/predictors -run=NONE -fuzz=FuzzLoadTrace -fuzztime=20s
 	$(GO) test ./internal/experiments -run=NONE -fuzz=FuzzLoadScenario -fuzztime=20s
+	$(GO) test ./internal/scenario -run=NONE -fuzz=FuzzLoadSpec -fuzztime=20s
 	$(GO) test ./internal/netem -run=NONE -fuzz=FuzzReadTrace -fuzztime=20s
 
 clean:

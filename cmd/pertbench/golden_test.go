@@ -33,10 +33,11 @@ func TestGoldenQuickTables(t *testing.T) {
 	// Fast experiments spanning the main simulator surfaces: fig13 (web
 	// traffic), ext-aqm (AQM disciplines at the bottleneck), ext-coexist
 	// (multi-CC sharing), ext-delaycc (delayed ACKs), ext-fct (flow
-	// completion times). The Section 2 figures are deliberately absent:
-	// they share one memoized trace study whose first computation costs
-	// ~30s, which `make results` already covers.
-	for _, id := range []string{"fig13", "ext-aqm", "ext-coexist", "ext-delaycc", "ext-fct"} {
+	// completion times), fig11 (the parking lot, pinning a table produced
+	// entirely through the scenario compiler). The Section 2 figures are
+	// deliberately absent: they share one memoized trace study whose first
+	// computation costs ~30s, which `make results` already covers.
+	for _, id := range []string{"fig13", "ext-aqm", "ext-coexist", "ext-delaycc", "ext-fct", "fig11"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			var out, errb bytes.Buffer

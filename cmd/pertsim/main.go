@@ -7,8 +7,14 @@
 //
 //	pertsim -scheme PERT -bw 50e6 -rtt 60ms -flows 20 -web 50 -dur 60s
 //	pertsim -config scenario.json -trace pkts.tr -qseries queue.csv
+//	pertsim -config mixed.json              # schema v2: any topology/groups
+//	pertsim -config mixed.json -validate    # check a scenario without running
 //	pertsim -scheme Vegas -json     # one-row table in the stable JSON schema
 //	pertsim -loss 0.01 -reorder 0.001 -dup 0.0005   # injected wire faults
+//
+// A -config file may use either the legacy flat dumbbell schema or scenario
+// schema v2 (a "topology"/"groups" object — see EXPERIMENTS.md); v2 files
+// run through the scenario compiler and may mix schemes and templates.
 package main
 
 import (
@@ -20,10 +26,13 @@ import (
 	"strings"
 	"time"
 
+	"bytes"
+
 	"pert/internal/experiments"
 	"pert/internal/harness"
 	"pert/internal/netem"
 	"pert/internal/obs"
+	"pert/internal/scenario"
 	"pert/internal/sim"
 	"pert/internal/topo"
 )
@@ -35,7 +44,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pertsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	scheme := fs.String("scheme", "PERT", "PERT | Sack/Droptail | Sack/RED-ECN | Vegas | PERT-PI | Sack/PI-ECN | PERT-REM | Sack/REM-ECN | Sack/AVQ-ECN")
+	scheme := fs.String("scheme", "PERT", strings.Join(scenario.Names(), " | "))
 	bw := fs.Float64("bw", 50e6, "bottleneck bandwidth, bits/s")
 	rtt := fs.Duration("rtt", 60*time.Millisecond, "end-to-end propagation RTT (comma list via -rtts overrides)")
 	rtts := fs.String("rtts", "", "comma-separated RTT list for heterogeneous flows, e.g. 12ms,24ms,36ms")
@@ -52,7 +61,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	reorder := fs.Float64("reorder", 0, "packet reordering probability on the bottleneck, [0,1)")
 	reorderExtra := fs.Duration("reorder-extra", 5*time.Millisecond, "extra holding delay bound for reordered packets")
 	jsonOut := fs.Bool("json", false, "emit the result as a one-row JSON table (schema in EXPERIMENTS.md)")
-	config := fs.String("config", "", "load the scenario from a JSON file (overrides topology/traffic flags)")
+	config := fs.String("config", "", "load the scenario from a JSON file (overrides topology/traffic flags); legacy flat schema or scenario schema v2")
+	validate := fs.Bool("validate", false, "with -config: parse and validate the scenario, print its summary, and exit without running")
 	tracePath := fs.String("trace", "", "write an ns-2-style packet trace of the bottleneck to this file")
 	qseriesPath := fs.String("qseries", "", "write a queue-length time series (CSV) to this file")
 	metricsPath := fs.String("metrics", "", "write the run's full time series (queue, per-flow cwnd/srtt, PERT signal) to this file; .csv suffix selects CSV, anything else JSONL (schema in EXPERIMENTS.md)")
@@ -74,7 +84,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}()
 	if !experiments.Scheme(*scheme).Known() {
-		fmt.Fprintf(stderr, "pertsim: unknown scheme %q\n", *scheme)
+		fmt.Fprintf(stderr, "pertsim: unknown scheme %q (known: %s)\n", *scheme, strings.Join(scenario.Names(), ", "))
+		return 2
+	}
+	if *validate && *config == "" {
+		fmt.Fprintln(stderr, "pertsim: -validate requires -config")
 		return 2
 	}
 	for _, p := range []struct {
@@ -118,16 +132,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *config != "" {
-		f, err := os.Open(*config)
+		raw, err := os.ReadFile(*config)
 		if err != nil {
 			fmt.Fprintf(stderr, "pertsim: %v\n", err)
 			return 1
 		}
-		loaded, sch, err := experiments.LoadScenario(f)
-		f.Close()
+		if scenario.IsV2(raw) {
+			return runV2(raw, *validate, *jsonOut, stdout, stderr)
+		}
+		loaded, sch, err := experiments.LoadScenario(bytes.NewReader(raw))
 		if err != nil {
 			fmt.Fprintf(stderr, "pertsim: %v\n", err)
 			return 1
+		}
+		if *validate {
+			fmt.Fprintf(stdout, "pertsim: %s is a valid legacy dumbbell scenario (scheme %s, %d+%d flows, %d web)\n",
+				*config, sch, loaded.Flows, loaded.ReverseFlows, loaded.WebSessions)
+			return 0
 		}
 		spec = loaded
 		*scheme = string(sch)
@@ -217,6 +238,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "mark rate      %.3g\n", res.MarkRate)
 	fmt.Fprintf(stdout, "utilization    %.3f\n", res.Utilization)
 	fmt.Fprintf(stdout, "jain fairness  %.3f\n", res.Jain)
+	return 0
+}
+
+// runV2 handles a schema-v2 config: validate (and stop, if asked), run it
+// through the scenario compiler, and render the standard panels.
+func runV2(raw []byte, validateOnly, jsonOut bool, stdout, stderr io.Writer) int {
+	spec, err := scenario.Load(bytes.NewReader(raw))
+	if err != nil {
+		fmt.Fprintf(stderr, "pertsim: %v\n", err)
+		return 1
+	}
+	if validateOnly {
+		name := spec.Name
+		if name == "" {
+			name = "(unnamed)"
+		}
+		fmt.Fprintf(stdout, "pertsim: %s is a valid v2 scenario (%s, %d groups, %d link rules)\n",
+			name, spec.Topology.Template, len(spec.Groups), len(spec.Links))
+		return 0
+	}
+	t, err := experiments.RunScenario(spec)
+	if err != nil {
+		fmt.Fprintf(stderr, "pertsim: %v\n", err)
+		return 1
+	}
+	if jsonOut {
+		if err := t.FprintJSON(stdout); err != nil {
+			fmt.Fprintf(stderr, "pertsim: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	t.Fprint(stdout)
 	return 0
 }
 

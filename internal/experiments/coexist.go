@@ -5,11 +5,10 @@ import (
 	"fmt"
 
 	"pert/internal/netem"
-	"pert/internal/queue"
+	"pert/internal/scenario"
 	"pert/internal/sim"
 	"pert/internal/stats"
 	"pert/internal/tcp"
-	"pert/internal/topo"
 	"pert/internal/trafficgen"
 )
 
@@ -61,26 +60,41 @@ type coexistResult struct {
 	util                 float64
 }
 
+// runCoexist runs one mixed PERT/SACK population over a DropTail dumbbell —
+// the same two-group scenario shape examples/scenarios/mixed_dumbbell.json
+// expresses in JSON. PERT hosts occupy the low host indices, SACK the rest.
 func runCoexist(seed int64, bw float64, nPert, nSack int, dur, from, until, sw sim.Duration) coexistResult {
 	eng := sim.NewEngine(seed)
 	net := netem.NewNetwork(eng)
-	d := topo.NewDumbbell(net, topo.DumbbellConfig{
-		Bandwidth: bw,
-		Delay:     20 * sim.Millisecond,
-		Hosts:     nPert + nSack,
-		RTTs:      []sim.Duration{60 * sim.Millisecond},
-		Queue: func(limit int, _ float64) netem.Discipline {
-			return queue.NewDropTail(limit)
+	inst := scenario.MustCompile(eng, net, scenario.Spec{
+		Name: "ext-coexist",
+		Seed: seed,
+		Topology: scenario.TopologySpec{
+			Template:  scenario.DumbbellTemplate,
+			Bandwidth: bw,
+			Delay:     20 * sim.Millisecond,
+			Hosts:     nPert + nSack,
+			RTTs:      []sim.Duration{60 * sim.Millisecond},
+			AQM:       string(SackDroptail), // plain DropTail bottleneck
 		},
+		Groups: []scenario.FlowGroupSpec{
+			{
+				Label: "pert", Scheme: string(PERT), Count: nPert,
+				From: fmt.Sprintf("left[0:%d]", max(nPert, 1)), To: fmt.Sprintf("right[0:%d]", max(nPert, 1)),
+				StartWindow: sw,
+			},
+			{
+				Label: "sack", Scheme: string(SackDroptail), Count: nSack,
+				From: fmt.Sprintf("left[%d:%d]", nPert, nPert+nSack), To: fmt.Sprintf("right[%d:%d]", nPert, nPert+nSack),
+				StartWindow: sw,
+			},
+		},
+		Duration: dur, MeasureFrom: from, MeasureUntil: until,
 	})
-	ids := trafficgen.NewIDs()
-	pertFlows := trafficgen.FTPFleet(net, ids, d.Left[:max(nPert, 1)], d.Right[:max(nPert, 1)], nPert,
-		trafficgen.FTPConfig{CC: func() tcp.CongestionControl { return tcp.NewPERTRed() }, StartWindow: sw})
-	var sackFlows []*tcp.Flow
-	if nSack > 0 {
-		sackFlows = trafficgen.FTPFleet(net, ids, d.Left[nPert:], d.Right[nPert:], nSack,
-			trafficgen.FTPConfig{CC: func() tcp.CongestionControl { return tcp.Reno{} }, StartWindow: sw})
-	}
+	inst.Spawn()
+	d := inst.Dumbbell()
+	pertFlows := inst.Groups[0].Flows
+	sackFlows := inst.Groups[1].Flows
 
 	eng.Run(from)
 	meter := stats.NewMeter(d.Forward)

@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"pert/internal/scenario"
 	"pert/internal/sim"
 )
 
@@ -23,6 +24,7 @@ type ScenarioConfig struct {
 	BufferPkts   int      `json:"buffer_pkts"`
 	Duration     string   `json:"duration"`
 	MeasureFrom  string   `json:"measure_from"`
+	MeasureUntil string   `json:"measure_until,omitempty"` // default duration
 	StartWindow  string   `json:"start_window"`
 	TargetDelay  string   `json:"target_delay,omitempty"`
 	AccessJitter string   `json:"access_jitter,omitempty"`
@@ -33,6 +35,10 @@ type ScenarioConfig struct {
 	DupRate      float64 `json:"dup_rate,omitempty"`
 	ReorderRate  float64 `json:"reorder_rate,omitempty"`
 	ReorderExtra string  `json:"reorder_extra,omitempty"`
+
+	// Schedule drives mid-run capacity/delay changes and up/down flaps on
+	// the forward bottleneck; change times must lie within the duration.
+	Schedule []scenario.ChangeConfig `json:"schedule,omitempty"`
 }
 
 // LoadScenario parses a JSON scenario and returns the spec and scheme.
@@ -63,6 +69,10 @@ func (c ScenarioConfig) Spec() (DumbbellSpec, Scheme, error) {
 	if err != nil || from < 0 || from >= dur {
 		return fail(fmt.Errorf("experiments: bad measure_from %q", c.MeasureFrom))
 	}
+	until, err := parseDur(c.MeasureUntil, dur)
+	if err != nil || until <= from || until > dur {
+		return fail(fmt.Errorf("experiments: bad measure_until %q (window [%v, ?] must end inside the %v run)", c.MeasureUntil, from, dur))
+	}
 	startWin, err := parseDur(c.StartWindow, from/2)
 	if err != nil || startWin < 0 {
 		return fail(fmt.Errorf("experiments: bad start_window %q", c.StartWindow))
@@ -87,6 +97,10 @@ func (c ScenarioConfig) Spec() (DumbbellSpec, Scheme, error) {
 	if err != nil || reorderExtra < 0 {
 		return fail(fmt.Errorf("experiments: bad reorder_extra %q", c.ReorderExtra))
 	}
+	schedule, err := scenario.ParseSchedule(c.Schedule, dur)
+	if err != nil {
+		return fail(fmt.Errorf("experiments: %w", err))
+	}
 	spec := DumbbellSpec{
 		Seed:         c.Seed,
 		Bandwidth:    c.BandwidthBps,
@@ -96,7 +110,7 @@ func (c ScenarioConfig) Spec() (DumbbellSpec, Scheme, error) {
 		BufferPkts:   c.BufferPkts,
 		Duration:     dur,
 		MeasureFrom:  from,
-		MeasureUntil: dur,
+		MeasureUntil: until,
 		StartWindow:  startWin,
 		TargetDelay:  target,
 		AccessJitter: jitter,
@@ -104,6 +118,7 @@ func (c ScenarioConfig) Spec() (DumbbellSpec, Scheme, error) {
 		DupRate:      c.DupRate,
 		ReorderRate:  c.ReorderRate,
 		ReorderExtra: reorderExtra,
+		Schedule:     schedule,
 	}
 	if len(c.RTTs) == 0 {
 		spec.RTTs = []sim.Duration{60 * sim.Millisecond}
@@ -120,7 +135,7 @@ func (c ScenarioConfig) Spec() (DumbbellSpec, Scheme, error) {
 		scheme = PERT
 	}
 	if !scheme.Known() {
-		return fail(fmt.Errorf("experiments: unknown scheme %q", c.Scheme))
+		return fail(fmt.Errorf("experiments: unknown scheme %q (known: %v)", c.Scheme, scenario.Names()))
 	}
 	return spec, scheme, nil
 }

@@ -61,23 +61,29 @@ func TestLoadScenarioDefaults(t *testing.T) {
 
 func TestLoadScenarioRejectsBadInput(t *testing.T) {
 	cases := map[string]string{
-		"garbage":               `nope`,
-		"unknown field":         `{"bandwidth_bps":1e6,"flows":1,"duration":"1s","bogus":1}`,
-		"no bandwidth":          `{"flows":1,"duration":"10s"}`,
-		"no traffic":            `{"bandwidth_bps":1e6,"duration":"10s"}`,
-		"no duration":           `{"bandwidth_bps":1e6,"flows":1}`,
-		"bad rtt":               `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","rtts":["abc"]}`,
-		"bad jitter":            `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","access_jitter":"xyz"}`,
-		"negative duration":     `{"bandwidth_bps":1e6,"flows":1,"duration":"-5s"}`,
-		"negative jitter":       `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","access_jitter":"-2ms"}`,
-		"negative start window": `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","start_window":"-1s"}`,
-		"measure_from at end":   `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","measure_from":"10s"}`,
-		"bad target_delay":      `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","target_delay":"-3ms"}`,
-		"unknown scheme":        `{"scheme":"TURBO","bandwidth_bps":1e6,"flows":1,"duration":"10s"}`,
-		"loss_rate >= 1":        `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","loss_rate":1.0}`,
-		"negative dup_rate":     `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","dup_rate":-0.1}`,
-		"reorder_rate >= 1":     `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","reorder_rate":2}`,
-		"bad reorder_extra":     `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","reorder_extra":"-1ms"}`,
+		"garbage":                       `nope`,
+		"unknown field":                 `{"bandwidth_bps":1e6,"flows":1,"duration":"1s","bogus":1}`,
+		"no bandwidth":                  `{"flows":1,"duration":"10s"}`,
+		"no traffic":                    `{"bandwidth_bps":1e6,"duration":"10s"}`,
+		"no duration":                   `{"bandwidth_bps":1e6,"flows":1}`,
+		"bad rtt":                       `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","rtts":["abc"]}`,
+		"bad jitter":                    `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","access_jitter":"xyz"}`,
+		"negative duration":             `{"bandwidth_bps":1e6,"flows":1,"duration":"-5s"}`,
+		"negative jitter":               `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","access_jitter":"-2ms"}`,
+		"negative start window":         `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","start_window":"-1s"}`,
+		"measure_from at end":           `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","measure_from":"10s"}`,
+		"bad target_delay":              `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","target_delay":"-3ms"}`,
+		"unknown scheme":                `{"scheme":"TURBO","bandwidth_bps":1e6,"flows":1,"duration":"10s"}`,
+		"loss_rate >= 1":                `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","loss_rate":1.0}`,
+		"negative dup_rate":             `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","dup_rate":-0.1}`,
+		"reorder_rate >= 1":             `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","reorder_rate":2}`,
+		"bad reorder_extra":             `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","reorder_extra":"-1ms"}`,
+		"measure_until beyond duration": `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","measure_until":"12s"}`,
+		"measure_until before from":     `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","measure_from":"5s","measure_until":"4s"}`,
+		"schedule beyond duration":      `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","schedule":[{"at":"11s","capacity_bps":5e5}]}`,
+		"schedule negative capacity":    `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","schedule":[{"at":"5s","capacity_bps":-1}]}`,
+		"schedule down and up":          `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","schedule":[{"at":"5s","down":true,"up":true}]}`,
+		"schedule bad time":             `{"bandwidth_bps":1e6,"flows":1,"duration":"10s","schedule":[{"at":"wat"}]}`,
 	}
 	for name, in := range cases {
 		if _, _, err := LoadScenario(strings.NewReader(in)); err == nil {
@@ -100,6 +106,33 @@ func TestLoadScenarioFaultFields(t *testing.T) {
 	}
 	if spec.ReorderExtra != ms(3) {
 		t.Fatalf("reorder_extra = %v", spec.ReorderExtra)
+	}
+}
+
+func TestLoadScenarioMeasureUntilAndSchedule(t *testing.T) {
+	spec, _, err := LoadScenario(strings.NewReader(`{
+		"bandwidth_bps": 1e6, "flows": 1, "duration": "20s",
+		"measure_from": "5s", "measure_until": "15s",
+		"schedule": [
+			{"at": "8s", "capacity_bps": 5e5, "delay": "10ms"},
+			{"at": "12s", "down": true},
+			{"at": "14s", "up": true}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.MeasureUntil != seconds(15) {
+		t.Fatalf("measure_until = %v", spec.MeasureUntil)
+	}
+	if len(spec.Schedule) != 3 {
+		t.Fatalf("schedule = %+v", spec.Schedule)
+	}
+	if spec.Schedule[0].Capacity != 5e5 || spec.Schedule[0].Delay != ms(10) {
+		t.Fatalf("change 0 = %+v", spec.Schedule[0])
+	}
+	if !spec.Schedule[1].Down || !spec.Schedule[2].Up {
+		t.Fatalf("flaps = %+v", spec.Schedule[1:])
 	}
 }
 

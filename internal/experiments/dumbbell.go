@@ -6,6 +6,7 @@ import (
 
 	"pert/internal/netem"
 	"pert/internal/queue"
+	"pert/internal/scenario"
 	"pert/internal/sim"
 	"pert/internal/stats"
 	"pert/internal/tcp"
@@ -122,7 +123,58 @@ func RunDumbbellWith(spec DumbbellSpec, cc func() tcp.CongestionControl) Dumbbel
 	return runDumbbell(eng, net, spec, "custom-cc", qf, cc, false, cc)
 }
 
-// runDumbbell is the shared scenario body.
+// scenarioSpec translates the legacy flat DumbbellSpec into a declarative
+// scenario.Spec. Buffer size and host count are resolved here (not left to
+// the compiler's derivation rules) because the historical formulas differ:
+// the buffer floor is twice the *forward* flow count and hosts count web
+// sessions, both of which the committed tables depend on.
+func (spec DumbbellSpec) scenarioSpec(qf topo.QueueFactory) scenario.Spec {
+	hosts := spec.Flows + spec.ReverseFlows + spec.WebSessions
+	if hosts < 1 {
+		hosts = 1
+	}
+	// Hosts are shared round-robin; cap the node count so huge sweeps
+	// (1000 web sessions) do not build 2000+ nodes needlessly.
+	if hosts > 256 {
+		hosts = 256
+	}
+	return scenario.Spec{
+		Seed: spec.Seed,
+		Topology: scenario.TopologySpec{
+			Template:     scenario.DumbbellTemplate,
+			Bandwidth:    spec.Bandwidth,
+			Delay:        spec.RTTs[0] / 3,
+			Hosts:        hosts,
+			RTTs:         spec.RTTs,
+			BufferPkts:   spec.BufferPkts,
+			AccessJitter: spec.AccessJitter,
+			Queue:        qf,
+		},
+		Links: []scenario.LinkRule{{
+			Link:         "forward",
+			LossRate:     spec.LossRate,
+			DupRate:      spec.DupRate,
+			ReorderRate:  spec.ReorderRate,
+			ReorderExtra: spec.ReorderExtra,
+			Schedule:     spec.Schedule,
+		}},
+		Groups: []scenario.FlowGroupSpec{
+			{Label: "fwd", Count: spec.Flows, From: "left", To: "right", StartWindow: spec.StartWindow},
+			{Label: "rev", Count: spec.ReverseFlows, From: "right", To: "left", StartWindow: spec.StartWindow},
+			{Label: "web", Count: spec.WebSessions, From: "left", To: "right", Traffic: scenario.Web, StartWindow: spec.StartWindow},
+		},
+		Duration:     spec.Duration,
+		MeasureFrom:  spec.MeasureFrom,
+		MeasureUntil: spec.MeasureUntil,
+		TargetDelay:  spec.TargetDelay,
+	}
+}
+
+// runDumbbell is the shared scenario body, expressed on the scenario
+// compiler. Construction order is a bit-identity contract with the committed
+// tables: compile (topology, impairments, schedule), then observers in the
+// historical order (metrics registry, auditor, Instrument hook, delay
+// monitor), then traffic.
 func runDumbbell(eng *sim.Engine, net *netem.Network, spec DumbbellSpec, scheme string,
 	qf topo.QueueFactory, ccf func() tcp.CongestionControl, ecn bool,
 	webccf func() tcp.CongestionControl) DumbbellResult {
@@ -141,44 +193,17 @@ func runDumbbell(eng *sim.Engine, net *netem.Network, spec DumbbellSpec, scheme 
 		}
 	}
 
-	hosts := spec.Flows + spec.ReverseFlows + spec.WebSessions
-	if hosts < 1 {
-		hosts = 1
-	}
-	// Hosts are shared round-robin; cap the node count so huge sweeps
-	// (1000 web sessions) do not build 2000+ nodes needlessly.
-	if hosts > 256 {
-		hosts = 256
-	}
-	d := topo.NewDumbbell(net, topo.DumbbellConfig{
-		Bandwidth:    spec.Bandwidth,
-		Delay:        spec.RTTs[0] / 3,
-		Hosts:        hosts,
-		RTTs:         spec.RTTs,
-		BufferPkts:   spec.BufferPkts,
-		AccessJitter: spec.AccessJitter,
-		Queue:        qf,
-	})
+	inst := scenario.MustCompile(eng, net, spec.scenarioSpec(qf))
+	d := inst.Dumbbell()
 
-	if spec.LossRate > 0 || spec.DupRate > 0 || spec.ReorderRate > 0 {
-		imp := netem.NewImpairment(spec.Seed ^ 0xfa017)
-		imp.Loss, imp.Dup, imp.Reorder = spec.LossRate, spec.DupRate, spec.ReorderRate
-		imp.ReorderMax = spec.ReorderExtra
-		if imp.Reorder > 0 && imp.ReorderMax <= 0 {
-			imp.ReorderMax = 5 * sim.Millisecond
-		}
-		d.Forward.SetImpairment(imp)
-	}
-	spec.Schedule.Apply(d.Forward)
-
-	scenario := fmt.Sprintf("dumbbell scheme=%s bw=%g flows=%d rev=%d web=%d loss=%g dup=%g reorder=%g changes=%d",
+	scenarioLine := fmt.Sprintf("dumbbell scheme=%s bw=%g flows=%d rev=%d web=%d loss=%g dup=%g reorder=%g changes=%d",
 		scheme, spec.Bandwidth, spec.Flows, spec.ReverseFlows, spec.WebSessions,
 		spec.LossRate, spec.DupRate, spec.ReorderRate, len(spec.Schedule))
 
 	// The observability registry (nil when spec.Metrics is nil) is built
 	// before the auditor so a violation's repro bundle can include the
 	// flight-recorder dump.
-	reg := spec.Metrics.newRegistry(eng, scenario)
+	reg := spec.Metrics.newRegistry(eng, scenarioLine)
 
 	if !spec.NoAudit {
 		// Every dumbbell run carries the invariant auditor: packet
@@ -186,7 +211,7 @@ func runDumbbell(eng *sim.Engine, net *netem.Network, spec DumbbellSpec, scheme 
 		// periodically, with the bottleneck's trailing trace kept for the
 		// repro bundle. A violation panics; the run harness converts that
 		// into a per-run error carrying the bundle.
-		cfg := netem.AuditConfig{Seed: spec.Seed, Scenario: scenario}
+		cfg := netem.AuditConfig{Seed: spec.Seed, Scenario: scenarioLine}
 		if fl := reg.Flight(); fl != nil {
 			cfg.MetricsDump = fl.Dump
 		}
@@ -203,20 +228,16 @@ func runDumbbell(eng *sim.Engine, net *netem.Network, spec DumbbellSpec, scheme 
 	// simulation's random stream (results stay identical with or without).
 	delayMon := stats.MonitorDelay(d.Forward, spec.MeasureFrom, rand.New(rand.NewSource(spec.Seed^0x5eed)))
 
-	ids := trafficgen.NewIDs()
+	// One shared connection config for both long-flow directions: the RTT
+	// observer must chain onto a single histogram, as the hand-wired
+	// scenario did.
 	conn := tcp.Config{ECN: ecn}
 	observeRTT(reg, &conn)
-
-	fwd := trafficgen.FTPFleet(net, ids, d.Left, d.Right, spec.Flows, trafficgen.FTPConfig{
-		CC: ccf, Conn: conn, StartWindow: spec.StartWindow,
-	})
-	trafficgen.FTPFleet(net, ids, d.Right, d.Left, spec.ReverseFlows, trafficgen.FTPConfig{
-		CC: ccf, Conn: conn, StartWindow: spec.StartWindow,
-	})
-	if spec.WebSessions > 0 {
-		trafficgen.WebFleet(net, ids, d.Left, d.Right, spec.WebSessions,
-			trafficgen.WebConfig{Conn: tcp.Config{ECN: ecn}, CC: webccf}, spec.StartWindow)
-	}
+	inst.Groups[0].CC, inst.Groups[0].Conn = ccf, conn
+	inst.Groups[1].CC, inst.Groups[1].Conn = ccf, conn
+	inst.Groups[2].CC, inst.Groups[2].Conn = webccf, tcp.Config{ECN: ecn}
+	inst.Spawn()
+	fwd := inst.Groups[0].Flows
 	spec.Metrics.instrumentDumbbell(reg, d, fwd)
 
 	// Warm up, then measure.
@@ -256,16 +277,4 @@ func runDumbbell(eng *sim.Engine, net *netem.Network, spec DumbbellSpec, scheme 
 	// caller-owned writer, so the caller's own flush/close reports them.
 	_ = reg.Close()
 	return res
-}
-
-// webCC picks the controller for web transfers: the paper's background web
-// traffic is standard TCP except in all-PERT scenarios, where every end host
-// runs PERT.
-func webCC(s Scheme, ccf func() tcp.CongestionControl) func() tcp.CongestionControl {
-	switch s {
-	case PERT, PERTPI, PERTREM, Vegas:
-		return ccf
-	default:
-		return func() tcp.CongestionControl { return tcp.Reno{} }
-	}
 }

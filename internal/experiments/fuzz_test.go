@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"pert/internal/sim"
 )
 
 // FuzzLoadScenario hardens the JSON scenario parser: no panics, and accepted
@@ -14,6 +16,9 @@ func FuzzLoadScenario(f *testing.F) {
 	f.Add(`not json`)
 	f.Add(`{"bandwidth_bps":-1,"flows":1,"duration":"10s"}`)
 	f.Add(`{"bandwidth_bps":1e6,"flows":1,"duration":"-5s"}`)
+	f.Add(`{"bandwidth_bps":1e6,"flows":1,"duration":"10s","measure_until":"8s"}`)
+	f.Add(`{"bandwidth_bps":1e6,"flows":1,"duration":"10s","schedule":[{"at":"5s","capacity_bps":5e5}]}`)
+	f.Add(`{"bandwidth_bps":1e6,"flows":1,"duration":"10s","schedule":[{"at":"15s"}]}`)
 
 	f.Fuzz(func(t *testing.T, data string) {
 		spec, scheme, err := LoadScenario(strings.NewReader(data))
@@ -23,8 +28,17 @@ func FuzzLoadScenario(f *testing.F) {
 		if spec.Bandwidth <= 0 {
 			t.Fatal("accepted non-positive bandwidth")
 		}
-		if spec.Duration <= 0 || spec.MeasureFrom < 0 || spec.MeasureUntil != spec.Duration {
+		if spec.Duration <= 0 || spec.MeasureFrom < 0 ||
+			spec.MeasureUntil <= spec.MeasureFrom || spec.MeasureUntil > spec.Duration {
 			t.Fatalf("inconsistent window: %+v", spec)
+		}
+		for _, ch := range spec.Schedule {
+			if ch.At < 0 || sim.Duration(ch.At) > spec.Duration {
+				t.Fatalf("accepted schedule change outside the run: %+v", ch)
+			}
+			if ch.Down && ch.Up {
+				t.Fatalf("accepted contradictory flap: %+v", ch)
+			}
 		}
 		if len(spec.RTTs) == 0 {
 			t.Fatal("accepted scenario without RTTs")

@@ -5,10 +5,10 @@ import (
 	"fmt"
 
 	"pert/internal/netem"
+	"pert/internal/scenario"
 	"pert/internal/sim"
 	"pert/internal/stats"
 	"pert/internal/tcp"
-	"pert/internal/topo"
 	"pert/internal/trafficgen"
 )
 
@@ -32,33 +32,55 @@ func Fig11(ctx context.Context, scale Scale) (*Table, error) {
 		Header: []string{"scheme", "link", "avg_queue_pkts", "drop_rate", "utilization", "jain_hop_flows"},
 	}
 
+	const routers = 6
 	for si, scheme := range AllSection4Schemes {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		eng := sim.NewEngine(7000 + int64(si))
 		net := netem.NewNetwork(eng)
-		env := schemeEnv{capacityPPS: coreBW / (8 * 1040), nFlows: perHop, maxRTT: ms(60)}
-		p := topo.NewParkingLot(net, topo.ParkingLotConfig{
-			Routers:   6,
-			CloudSize: cloud,
-			CoreBW:    coreBW,
-			Queue:     scheme.queueFor(net, env),
-		})
 
-		ids := trafficgen.NewIDs()
-		ccf := scheme.ccFor(net, env)
-		conn := tcp.Config{ECN: scheme.ecn()}
-
-		// Hop-by-hop traffic: cloud i -> cloud i+1.
-		hopFlows := make([][]*tcp.Flow, len(p.Forward))
-		for hop := 0; hop+1 < len(p.Clouds); hop++ {
-			hopFlows[hop] = trafficgen.FTPFleet(net, ids, p.Clouds[hop], p.Clouds[hop+1], perHop,
-				trafficgen.FTPConfig{CC: ccf, Conn: conn, StartWindow: sw})
+		// Hop-by-hop groups cloud i -> cloud i+1, then through traffic
+		// crossing every core link — attach order fixes the start-time draws.
+		var groups []scenario.FlowGroupSpec
+		for hop := 1; hop < routers; hop++ {
+			groups = append(groups, scenario.FlowGroupSpec{
+				Label:  fmt.Sprintf("R%d-R%d", hop, hop+1),
+				Scheme: string(scheme), Count: perHop,
+				From: fmt.Sprintf("cloud%d", hop), To: fmt.Sprintf("cloud%d", hop+1),
+				StartWindow: sw,
+			})
 		}
-		// Through traffic: cloud 1 -> cloud 6 crossing every core link.
-		through := trafficgen.FTPFleet(net, ids, p.Clouds[0], p.Clouds[len(p.Clouds)-1], perHop,
-			trafficgen.FTPConfig{CC: ccf, Conn: conn, StartWindow: sw})
+		groups = append(groups, scenario.FlowGroupSpec{
+			Label:  "through",
+			Scheme: string(scheme), Count: perHop,
+			From: "cloud1", To: fmt.Sprintf("cloud%d", routers),
+			StartWindow: sw,
+		})
+		inst := scenario.MustCompile(eng, net, scenario.Spec{
+			Name: "fig11",
+			Seed: 7000 + int64(si),
+			Topology: scenario.TopologySpec{
+				Template:  scenario.ParkingLotTemplate,
+				Routers:   routers,
+				CloudSize: cloud,
+				CoreBW:    coreBW,
+				AQM:       string(scheme),
+			},
+			Groups:   groups,
+			Duration: dur, MeasureFrom: from, MeasureUntil: until,
+			// The historical environment: PI design rules sized for one hop's
+			// flow population at the paper's 60 ms RTT bound, not the derived
+			// all-groups total.
+			Env: &scenario.Env{CapacityPPS: coreBW / (8 * 1040), NFlows: perHop, MaxRTT: ms(60)},
+		})
+		inst.Spawn()
+		p := inst.ParkingLot()
+		hopFlows := make([][]*tcp.Flow, len(p.Forward))
+		for i := range hopFlows {
+			hopFlows[i] = inst.Groups[i].Flows
+		}
+		through := inst.Groups[len(inst.Groups)-1].Flows
 
 		eng.Run(from)
 		meters := make([]*stats.Meter, len(p.Forward))
@@ -84,7 +106,6 @@ func Fig11(ctx context.Context, scale Scale) (*Table, error) {
 		}
 		t.AddRow(string(scheme), "through", "-", "-", "-",
 			f3(stats.Jain(trafficgen.Goodputs(through, throughSnap))))
-		_ = dur
 	}
 	t.Notes = append(t.Notes, "through = fairness among cloud1->cloud6 flows crossing all core links")
 	return t, nil

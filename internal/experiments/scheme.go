@@ -7,18 +7,17 @@
 package experiments
 
 import (
-	"fmt"
-
-	"pert/internal/core"
 	"pert/internal/netem"
-	"pert/internal/queue"
+	"pert/internal/scenario"
 	"pert/internal/sim"
 	"pert/internal/tcp"
 	"pert/internal/topo"
 )
 
 // Scheme is one end-to-end congestion-control + queue-management combination
-// from the paper's comparison set.
+// from the paper's comparison set. The definitions live in the scenario
+// package's scheme registry (internal/scenario); this type is the
+// experiment-side handle for them.
 type Scheme string
 
 // The paper's comparison set (Section 4) plus the Section 6 PI pair, and —
@@ -37,26 +36,39 @@ const (
 )
 
 // AllSection4Schemes is the comparison set used in Figures 6-9, 11, 12 and
-// Table 1.
-var AllSection4Schemes = []Scheme{PERT, SackDroptail, SackRED, Vegas}
+// Table 1, in the registry's presentation order.
+var AllSection4Schemes = toSchemes(scenario.Section4Names())
 
-// AllSchemes is every scheme this package can run.
-var AllSchemes = []Scheme{PERT, SackDroptail, SackRED, Vegas, PERTPI, SackPI, PERTREM, SackREM, SackAVQ}
+// AllSchemes is every registered scheme, in presentation order. Schemes
+// registered by other packages (scenario.Register) appear here too.
+var AllSchemes = toSchemes(scenario.Names())
 
-// Known reports whether s names a runnable scheme; callers should check it
-// before handing s to scenario builders, which panic on unknown schemes.
-func (s Scheme) Known() bool {
-	for _, k := range AllSchemes {
-		if s == k {
-			return true
-		}
+// toSchemes converts registry names to experiment-side handles.
+func toSchemes(names []string) []Scheme {
+	out := make([]Scheme, len(names))
+	for i, n := range names {
+		out[i] = Scheme(n)
 	}
-	return false
+	return out
+}
+
+// Known reports whether s names a registered scheme; callers should check it
+// (or use scenario.Lookup for an error) before handing s to scenario
+// builders, which panic on unknown schemes.
+func (s Scheme) Known() bool {
+	return scenario.Known(string(s))
+}
+
+// def resolves the registered definition; unknown schemes panic, so callers
+// on error paths must gate on Known first.
+func (s Scheme) def() scenario.SchemeDef {
+	return scenario.MustLookup(string(s))
 }
 
 // schemeEnv captures what a scheme needs from the scenario to build its
 // pieces: link capacity in packets/second, a flow-count bound, and an RTT
-// bound (for PI design rules).
+// bound (for PI design rules). It mirrors scenario.Env for the experiment
+// bodies that still assemble environments by hand.
 type schemeEnv struct {
 	capacityPPS float64
 	nFlows      int
@@ -64,90 +76,37 @@ type schemeEnv struct {
 	targetDelay sim.Duration // PI reference; default 3 ms per Section 6.1
 }
 
-func (e schemeEnv) target() sim.Duration {
-	if e.targetDelay == 0 {
-		return 3 * sim.Millisecond
+// env converts to the registry's environment type.
+func (e schemeEnv) env() scenario.Env {
+	return scenario.Env{
+		CapacityPPS: e.capacityPPS,
+		NFlows:      e.nFlows,
+		MaxRTT:      e.maxRTT,
+		TargetDelay: e.targetDelay,
 	}
-	return e.targetDelay
 }
 
 // queueFor returns the bottleneck queue factory for the scheme.
 func (s Scheme) queueFor(net *netem.Network, env schemeEnv) topo.QueueFactory {
-	switch s {
-	case PERT, SackDroptail, Vegas, PERTPI, PERTREM:
-		return func(limit int, _ float64) netem.Discipline {
-			return queue.NewDropTail(limit)
-		}
-	case SackREM:
-		return func(limit int, pps float64) netem.Discipline {
-			return queue.NewREM(limit, pps, true, net.Engine().Rand())
-		}
-	case SackAVQ:
-		return func(limit int, pps float64) netem.Discipline {
-			return queue.NewAVQ(limit, pps, true, net.Engine().Rand())
-		}
-	case SackRED:
-		return func(limit int, pps float64) netem.Discipline {
-			return queue.NewAdaptiveRED(queue.AdaptiveREDConfig{
-				Limit:       limit,
-				CapacityPPS: pps,
-				ECN:         true,
-			}, net.Engine().Rand())
-		}
-	case SackPI:
-		return func(limit int, pps float64) netem.Discipline {
-			n := env.nFlows
-			if n < 1 {
-				n = 1
-			}
-			rmax := 2 * env.maxRTT
-			gains := queue.DesignPI(pps, n, rmax, 170)
-			qref := env.target().Seconds() * pps
-			return queue.NewPI(limit, qref, gains, true, net.Engine().Rand())
-		}
-	default:
-		panic(fmt.Sprintf("experiments: unknown scheme %q", s))
-	}
+	return s.def().Queue(net, env.env())
 }
 
 // ccFor returns a congestion-controller factory for the scheme.
 func (s Scheme) ccFor(net *netem.Network, env schemeEnv) func() tcp.CongestionControl {
-	switch s {
-	case PERT:
-		return func() tcp.CongestionControl { return tcp.NewPERTRed() }
-	case PERTREM:
-		return func() tcp.CongestionControl {
-			return tcp.NewPERTLazy(func(c *tcp.Conn) core.Responder {
-				return core.NewREMResponder(c.Engine().Rand(), 0, 0, env.target())
-			})
-		}
-	case SackDroptail, SackRED, SackPI, SackREM, SackAVQ:
-		return func() tcp.CongestionControl { return tcp.Reno{} }
-	case Vegas:
-		return func() tcp.CongestionControl { return tcp.NewVegas() }
-	case PERTPI:
-		return func() tcp.CongestionControl {
-			n := env.nFlows
-			if n < 1 {
-				n = 1
-			}
-			params := core.DesignPERTPI(env.capacityPPS, n, 2*env.maxRTT)
-			// Mean per-flow sampling interval: N packets share C pkt/s.
-			delta := sim.Seconds(float64(n) / env.capacityPPS)
-			r := core.NewPIResponder(net.Engine().Rand(), params, delta, env.target())
-			return tcp.NewPERTWith(r)
-		}
-	default:
-		panic(fmt.Sprintf("experiments: unknown scheme %q", s))
-	}
+	return s.def().CC(net, env.env())
 }
 
 // ecn reports whether endpoints negotiate ECN under this scheme.
 func (s Scheme) ecn() bool {
-	switch s {
-	case SackRED, SackPI, SackREM, SackAVQ:
-		return true
-	default:
-		return false
+	return s.def().ECN
+}
+
+// webCC picks the controller for web transfers: the paper's background web
+// traffic is standard TCP except under schemes every end host runs (the
+// all-PERT and all-Vegas scenarios), per the registry's ProactiveWeb flag.
+func webCC(s Scheme, ccf func() tcp.CongestionControl) func() tcp.CongestionControl {
+	if s.def().ProactiveWeb {
+		return ccf
 	}
+	return func() tcp.CongestionControl { return tcp.Reno{} }
 }

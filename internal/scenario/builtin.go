@@ -1,0 +1,120 @@
+package scenario
+
+import (
+	"pert/internal/core"
+	"pert/internal/netem"
+	"pert/internal/queue"
+	"pert/internal/sim"
+	"pert/internal/tcp"
+	"pert/internal/topo"
+)
+
+// The paper's comparison set (Section 4) plus the Section 6 PI pair, and —
+// beyond the paper — the remaining AQMs from its citation list (REM [2],
+// AVQ [19]) as router baselines and REM as an end-host emulation. The
+// registration order is the presentation order of the committed tables.
+func init() {
+	droptail := func(net *netem.Network, env Env) topo.QueueFactory {
+		return func(limit int, _ float64) netem.Discipline {
+			return queue.NewDropTail(limit)
+		}
+	}
+	reno := func(net *netem.Network, env Env) func() tcp.CongestionControl {
+		return func() tcp.CongestionControl { return tcp.Reno{} }
+	}
+
+	Register(SchemeDef{
+		Name: "PERT", Section4: true, ProactiveWeb: true,
+		CC: func(net *netem.Network, env Env) func() tcp.CongestionControl {
+			return func() tcp.CongestionControl { return tcp.NewPERTRed() }
+		},
+		Queue: droptail,
+	})
+	Register(SchemeDef{
+		Name: "Sack/Droptail", Section4: true,
+		CC:    reno,
+		Queue: droptail,
+	})
+	Register(SchemeDef{
+		Name: "Sack/RED-ECN", Section4: true, ECN: true,
+		CC: reno,
+		Queue: func(net *netem.Network, env Env) topo.QueueFactory {
+			return func(limit int, pps float64) netem.Discipline {
+				return queue.NewAdaptiveRED(queue.AdaptiveREDConfig{
+					Limit:       limit,
+					CapacityPPS: pps,
+					ECN:         true,
+				}, net.Engine().Rand())
+			}
+		},
+	})
+	Register(SchemeDef{
+		Name: "Vegas", Section4: true, ProactiveWeb: true,
+		CC: func(net *netem.Network, env Env) func() tcp.CongestionControl {
+			return func() tcp.CongestionControl { return tcp.NewVegas() }
+		},
+		Queue: droptail,
+	})
+	Register(SchemeDef{
+		Name: "PERT-PI", ProactiveWeb: true,
+		CC: func(net *netem.Network, env Env) func() tcp.CongestionControl {
+			return func() tcp.CongestionControl {
+				n := env.NFlows
+				if n < 1 {
+					n = 1
+				}
+				params := core.DesignPERTPI(env.CapacityPPS, n, 2*env.MaxRTT)
+				// Mean per-flow sampling interval: N packets share C pkt/s.
+				delta := sim.Seconds(float64(n) / env.CapacityPPS)
+				r := core.NewPIResponder(net.Engine().Rand(), params, delta, env.Target())
+				return tcp.NewPERTWith(r)
+			}
+		},
+		Queue: droptail,
+	})
+	Register(SchemeDef{
+		Name: "Sack/PI-ECN", ECN: true,
+		CC: reno,
+		Queue: func(net *netem.Network, env Env) topo.QueueFactory {
+			return func(limit int, pps float64) netem.Discipline {
+				n := env.NFlows
+				if n < 1 {
+					n = 1
+				}
+				rmax := 2 * env.MaxRTT
+				gains := queue.DesignPI(pps, n, rmax, 170)
+				qref := env.Target().Seconds() * pps
+				return queue.NewPI(limit, qref, gains, true, net.Engine().Rand())
+			}
+		},
+	})
+	Register(SchemeDef{
+		Name: "PERT-REM", ProactiveWeb: true,
+		CC: func(net *netem.Network, env Env) func() tcp.CongestionControl {
+			return func() tcp.CongestionControl {
+				return tcp.NewPERTLazy(func(c *tcp.Conn) core.Responder {
+					return core.NewREMResponder(c.Engine().Rand(), 0, 0, env.Target())
+				})
+			}
+		},
+		Queue: droptail,
+	})
+	Register(SchemeDef{
+		Name: "Sack/REM-ECN", ECN: true,
+		CC: reno,
+		Queue: func(net *netem.Network, env Env) topo.QueueFactory {
+			return func(limit int, pps float64) netem.Discipline {
+				return queue.NewREM(limit, pps, true, net.Engine().Rand())
+			}
+		},
+	})
+	Register(SchemeDef{
+		Name: "Sack/AVQ-ECN", ECN: true,
+		CC: reno,
+		Queue: func(net *netem.Network, env Env) topo.QueueFactory {
+			return func(limit int, pps float64) netem.Discipline {
+				return queue.NewAVQ(limit, pps, true, net.Engine().Rand())
+			}
+		},
+	})
+}

@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"pert/internal/netem"
+	"pert/internal/sim"
+	"pert/internal/tcp"
+	"pert/internal/topo"
+)
+
+// The builtin registration order is the paper's presentation order; CLI usage
+// strings and table layouts depend on it, so pin it.
+func TestNamesRegistrationOrder(t *testing.T) {
+	want := []string{
+		"PERT", "Sack/Droptail", "Sack/RED-ECN", "Vegas",
+		"PERT-PI", "Sack/PI-ECN", "PERT-REM", "Sack/REM-ECN", "Sack/AVQ-ECN",
+	}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSection4Names(t *testing.T) {
+	for _, n := range Section4Names() {
+		if !MustLookup(n).Section4 {
+			t.Fatalf("%s listed but not marked Section4", n)
+		}
+	}
+	if len(Section4Names()) == 0 {
+		t.Fatal("empty Section 4 set")
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("TURBO"); err == nil {
+		t.Fatal("unknown scheme accepted")
+	} else if !strings.Contains(err.Error(), "PERT") {
+		t.Fatalf("error should list known schemes: %v", err)
+	}
+	if Known("TURBO") {
+		t.Fatal("Known(TURBO)")
+	}
+	if !Known("PERT") {
+		t.Fatal("!Known(PERT)")
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	s := SortedNames()
+	for i := 1; i < len(s); i++ {
+		if s[i-1] >= s[i] {
+			t.Fatalf("not sorted: %v", s)
+		}
+	}
+}
+
+// Register's sanity checks all fire before the registry mutates, so probing
+// them against the live registry is safe.
+func TestRegisterRejects(t *testing.T) {
+	cc := func(*netem.Network, Env) func() tcp.CongestionControl { return nil }
+	qf := func(*netem.Network, Env) topo.QueueFactory { return nil }
+	cases := map[string]SchemeDef{
+		"empty name": {},
+		"missing CC": {Name: "X", Queue: qf},
+		"missing qf": {Name: "X", CC: cc},
+		"duplicate":  {Name: "PERT", CC: cc, Queue: qf},
+	}
+	for name, def := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Register did not panic", name)
+				}
+			}()
+			Register(def)
+		}()
+	}
+	if len(Names()) != len(registry) {
+		t.Fatal("failed registration mutated the registry")
+	}
+}
+
+func TestEnvTargetDefault(t *testing.T) {
+	if (Env{}).Target() != 3*sim.Millisecond {
+		t.Fatalf("default target = %v", (Env{}).Target())
+	}
+	if (Env{TargetDelay: 7 * sim.Millisecond}).Target() != 7*sim.Millisecond {
+		t.Fatal("explicit target ignored")
+	}
+}

@@ -1,0 +1,296 @@
+package scenario
+
+import (
+	"fmt"
+
+	"pert/internal/netem"
+	"pert/internal/sim"
+	"pert/internal/topo"
+)
+
+// TrafficKind selects a flow group's generator.
+type TrafficKind string
+
+// FTP is a fleet of unbounded long-term transfers (the paper's long flows);
+// Web is a fleet of think/fetch web sessions per Feldmann et al. [11].
+const (
+	FTP TrafficKind = "ftp"
+	Web TrafficKind = "web"
+)
+
+// Template names a built-in topology shape.
+type Template string
+
+// DumbbellTemplate is the single-bottleneck Section 4 workhorse;
+// ParkingLotTemplate is the Figure 10 multi-bottleneck router chain.
+const (
+	DumbbellTemplate   Template = "dumbbell"
+	ParkingLotTemplate Template = "parkinglot"
+)
+
+// TopologySpec describes the node/link graph by template. Fields not used by
+// the selected template are ignored; zero values take the template defaults
+// documented on internal/topo's config structs.
+type TopologySpec struct {
+	Template Template
+
+	// Dumbbell parameters.
+	Bandwidth    float64        // bottleneck rate, bits/s
+	Delay        sim.Duration   // bottleneck one-way delay; 0 = RTTs[0]/3
+	Hosts        int            // host pairs; 0 = derived from the flow groups
+	RTTs         []sim.Duration // end-to-end RTTs, round-robin; 0 = [60ms]
+	AccessJitter sim.Duration   // per-packet access-link delay noise bound
+
+	// Parking-lot parameters.
+	Routers   int          // core routers; 0 = the paper's 6
+	CloudSize int          // hosts per cloud; 0 = the paper's 20
+	CoreBW    float64      // core link rate; 0 = the paper's 150 Mbps
+	CoreDelay sim.Duration // core one-way delay; 0 = the paper's 5 ms
+
+	// Shared parameters.
+	BufferPkts int // core queue size; 0 = the template's BDP rule
+	PktSize    int // wire packet size for BDP accounting; 0 = 1040
+
+	// AQM names the registered scheme whose Queue factory builds the core
+	// queues (both directions). Empty = the first flow group's scheme.
+	AQM string
+	// Queue overrides AQM with an explicit factory (Go callers only; the
+	// JSON loader always goes through AQM).
+	Queue topo.QueueFactory
+}
+
+// FlowGroupSpec is one homogeneous traffic population: Count flows of one
+// scheme between two endpoint sets. Groups attach in spec order, which fixes
+// the RNG draw order of their start times.
+type FlowGroupSpec struct {
+	Label  string // optional display name; default "<scheme>:<from>-><to>"
+	Scheme string // registered scheme; "" = the caller sets Group.CC directly
+	Count  int
+
+	// From and To are endpoint selectors: "left" / "right" on a dumbbell,
+	// "cloud1".."cloudN" on a parking lot, each with an optional half-open
+	// host range suffix "[lo:hi]" (e.g. "left[0:4]"). Flows round-robin
+	// over the selected hosts.
+	From, To string
+
+	Traffic     TrafficKind  // "" = FTP
+	StartWindow sim.Duration // starts uniform in [StartAt, StartAt+StartWindow)
+	StartAt     sim.Time
+}
+
+// kind returns the group's traffic kind with the FTP default applied.
+func (g FlowGroupSpec) kind() TrafficKind {
+	if g.Traffic == "" {
+		return FTP
+	}
+	return g.Traffic
+}
+
+// label returns the group's display name.
+func (g FlowGroupSpec) label() string {
+	if g.Label != "" {
+		return g.Label
+	}
+	scheme := g.Scheme
+	if scheme == "" {
+		scheme = "custom"
+	}
+	return fmt.Sprintf("%s:%s->%s", scheme, g.From, g.To)
+}
+
+// LinkRule attaches impairments and a change schedule to one named link.
+// Fault probabilities draw from a dedicated RNG seeded from the scenario
+// seed, so all-zero rules leave the run bit-identical to having no rule.
+type LinkRule struct {
+	Link string // link selector: "forward"/"reverse" or "core1".."coreN"/"rcore1"..
+
+	LossRate     float64      // non-congestive wire-loss probability, [0,1)
+	DupRate      float64      // duplication probability, [0,1)
+	ReorderRate  float64      // reordering probability, [0,1)
+	ReorderExtra sim.Duration // holding-delay bound; 0 with ReorderRate>0 = 5ms
+
+	// Schedule drives mid-run capacity/delay changes and up/down flaps.
+	Schedule netem.LinkSchedule
+}
+
+// Spec is a complete declarative scenario: topology, per-link rules, traffic
+// populations, and the measurement window.
+type Spec struct {
+	Name string // optional; used in titles and audit bundles
+	Seed int64
+
+	Topology TopologySpec
+	Links    []LinkRule
+	Groups   []FlowGroupSpec
+
+	Duration     sim.Duration // total simulated time
+	MeasureFrom  sim.Duration // start of the measurement window
+	MeasureUntil sim.Duration // end of the window; 0 = Duration
+	TargetDelay  sim.Duration // PI/REM delay reference (default 3 ms)
+
+	// Env overrides the derived scheme environment (capacity, flow count,
+	// RTT bound). Experiments that historically hand-picked these values
+	// set it to stay bit-identical; leave nil to derive from the spec.
+	Env *Env
+}
+
+// measureUntil returns the effective window end.
+func (s Spec) measureUntil() sim.Duration {
+	if s.MeasureUntil == 0 {
+		return s.Duration
+	}
+	return s.MeasureUntil
+}
+
+// Validate checks the spec without building anything: unknown schemes, bad
+// selectors, inconsistent windows, and schedule entries outside the run are
+// all load-time errors rather than mid-run panics.
+func (s Spec) Validate() error {
+	if s.Duration <= 0 {
+		return fmt.Errorf("scenario: duration must be positive")
+	}
+	until := s.measureUntil()
+	if s.MeasureFrom < 0 || s.MeasureFrom >= until {
+		return fmt.Errorf("scenario: measure window [%v, %v) is empty or negative", s.MeasureFrom, until)
+	}
+	if until > s.Duration {
+		return fmt.Errorf("scenario: measure_until %v exceeds duration %v", until, s.Duration)
+	}
+	if s.TargetDelay < 0 {
+		return fmt.Errorf("scenario: negative target_delay")
+	}
+	if err := s.Topology.validate(); err != nil {
+		return err
+	}
+	if s.Topology.Queue == nil {
+		if aqm := s.queueScheme(); aqm == "" {
+			return fmt.Errorf("scenario: no queue discipline: set topology.aqm or give the first group a scheme")
+		} else if !Known(aqm) {
+			return fmt.Errorf("scenario: unknown aqm scheme %q", aqm)
+		}
+	}
+	traffic := 0
+	for i, g := range s.Groups {
+		if g.Count < 0 {
+			return fmt.Errorf("scenario: group %d has negative count", i)
+		}
+		traffic += g.Count
+		if g.Scheme != "" && !Known(g.Scheme) {
+			return fmt.Errorf("scenario: group %d: unknown scheme %q", i, g.Scheme)
+		}
+		switch g.kind() {
+		case FTP, Web:
+		default:
+			return fmt.Errorf("scenario: group %d: unknown traffic kind %q", i, g.Traffic)
+		}
+		if g.StartWindow < 0 {
+			return fmt.Errorf("scenario: group %d has negative start_window", i)
+		}
+		if g.StartAt < 0 || sim.Duration(g.StartAt) > s.Duration {
+			return fmt.Errorf("scenario: group %d starts at %v, outside the %v run", i, g.StartAt, s.Duration)
+		}
+		if g.kind() == Web && g.StartAt != 0 {
+			return fmt.Errorf("scenario: group %d: web groups cannot set start_at (sessions start inside the start window)", i)
+		}
+		for _, sel := range []string{g.From, g.To} {
+			if err := s.Topology.checkNodeSelector(sel); err != nil {
+				return fmt.Errorf("scenario: group %d: %w", i, err)
+			}
+		}
+	}
+	if traffic == 0 {
+		return fmt.Errorf("scenario: no traffic: every group has count 0")
+	}
+	for i, r := range s.Links {
+		if err := s.Topology.checkLinkSelector(r.Link); err != nil {
+			return fmt.Errorf("scenario: link rule %d: %w", i, err)
+		}
+		for _, p := range []struct {
+			name string
+			v    float64
+		}{{"loss_rate", r.LossRate}, {"dup_rate", r.DupRate}, {"reorder_rate", r.ReorderRate}} {
+			if p.v < 0 || p.v >= 1 {
+				return fmt.Errorf("scenario: link rule %d: %s %g outside [0,1)", i, p.name, p.v)
+			}
+		}
+		if r.ReorderExtra < 0 {
+			return fmt.Errorf("scenario: link rule %d: negative reorder_extra", i)
+		}
+		for j, c := range r.Schedule {
+			if c.At < 0 || sim.Duration(c.At) > s.Duration {
+				return fmt.Errorf("scenario: link rule %d: schedule change %d at %v is outside the %v run", i, j, c.At, s.Duration)
+			}
+			if c.Capacity < 0 {
+				return fmt.Errorf("scenario: link rule %d: schedule change %d has negative capacity", i, j)
+			}
+			if c.Delay < 0 {
+				return fmt.Errorf("scenario: link rule %d: schedule change %d has negative delay", i, j)
+			}
+			if c.Down && c.Up {
+				return fmt.Errorf("scenario: link rule %d: schedule change %d is both down and up", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// queueScheme resolves the scheme name whose Queue factory builds the core
+// queues: the explicit AQM, falling back to the first group with a scheme.
+func (s Spec) queueScheme() string {
+	if s.Topology.AQM != "" {
+		return s.Topology.AQM
+	}
+	for _, g := range s.Groups {
+		if g.Scheme != "" {
+			return g.Scheme
+		}
+	}
+	return ""
+}
+
+// deriveEnv computes the scheme environment from the spec: total long-flow
+// count, core capacity, and the largest configured RTT.
+func (s Spec) deriveEnv() Env {
+	env := Env{TargetDelay: s.TargetDelay}
+	for _, g := range s.Groups {
+		if g.kind() == FTP {
+			env.NFlows += g.Count
+		}
+	}
+	pkt := s.Topology.PktSize
+	if pkt == 0 {
+		pkt = 1040
+	}
+	switch s.Topology.Template {
+	case ParkingLotTemplate:
+		bw := s.Topology.CoreBW
+		if bw == 0 {
+			bw = 150e6
+		}
+		env.CapacityPPS = bw / (8 * float64(pkt))
+		// The parking lot's buffer rule assumes a 60 ms end-to-end RTT;
+		// the PI design bound uses the same figure.
+		env.MaxRTT = 60 * sim.Millisecond
+	default:
+		env.CapacityPPS = s.Topology.Bandwidth / (8 * float64(pkt))
+		rtts := s.Topology.RTTs
+		if len(rtts) == 0 {
+			rtts = []sim.Duration{60 * sim.Millisecond}
+		}
+		env.MaxRTT = rtts[0]
+		for _, r := range rtts {
+			if r > env.MaxRTT {
+				env.MaxRTT = r
+			}
+		}
+	}
+	return env
+}
+
+// env returns the effective environment: the override if set, else derived.
+func (s Spec) env() Env {
+	if s.Env != nil {
+		return *s.Env
+	}
+	return s.deriveEnv()
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check validate-scenarios bench bench-micro bench-smoke results results-paper fuzz clean
+.PHONY: all build test vet check validate-scenarios bench bench-micro bench-smoke cache-smoke results results-paper fuzz clean
 
 all: build check
 
@@ -46,6 +46,23 @@ bench-micro:
 bench-smoke:
 	$(GO) test -run 'TestScheduleAllocBudget|TestLinkAllocBudget' -bench=. -benchtime=1x -benchmem ./internal/sim/ ./internal/netem/
 	$(GO) test -run 'TestMetricsOverheadSmoke' -bench 'BenchmarkSimulatedSecond' -benchtime=1x -benchmem .
+
+# Cache smoke: the same tiny sweep twice into one cache directory. The warm
+# run must replay every cell (top-level sim_events stays 0, both runs marked
+# cached) and — once timing and cache-bookkeeping lines are filtered — emit a
+# byte-identical report. Guards the resume/replay contract end to end.
+cache-smoke:
+	@dir=$$(mktemp -d); \
+	trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/pertbench -scale quick -exp fig5,fig13 -json -cache-dir "$$dir/cache" > "$$dir/cold.json" || exit 1; \
+	$(GO) run ./cmd/pertbench -scale quick -exp fig5,fig13 -json -cache-dir "$$dir/cache" > "$$dir/warm.json" || exit 1; \
+	grep -q '^  "sim_events": 0,' "$$dir/warm.json" || { echo "cache-smoke: warm run still simulated events"; exit 1; }; \
+	test "$$(grep -c '"cached": true' "$$dir/warm.json")" -eq 2 || { echo "cache-smoke: expected 2 cached runs"; exit 1; }; \
+	volatile='"started_at"|"wall_seconds"|"sim_events"|"events_per_second"|"mallocs"|"allocs_per_event"|"cache_hits"|"cache_misses"|"cached"'; \
+	grep -Ev "$$volatile" "$$dir/cold.json" > "$$dir/cold.flat"; \
+	grep -Ev "$$volatile" "$$dir/warm.json" > "$$dir/warm.flat"; \
+	diff -u "$$dir/cold.flat" "$$dir/warm.flat" || { echo "cache-smoke: warm report differs from cold"; exit 1; }; \
+	echo "cache-smoke: OK (2/2 cells replayed, zero simulations)"
 
 # Regenerate the committed quick-scale results file.
 results:

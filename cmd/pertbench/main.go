@@ -5,7 +5,7 @@
 //
 //	pertbench [-scale quick|paper] [-exp fig6,fig7,...|all] [-format text|json|csv]
 //	          [-json] [-progress] [-parallel N] [-timeout D] [-stall-window D]
-//	          [-cpuprofile FILE] [-memprofile FILE]
+//	          [-cache-dir DIR] [-cache MODE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Quick scale (default) shrinks bandwidth and duration while preserving the
 // dimensionless shape of each experiment; paper scale runs the publication's
@@ -16,6 +16,12 @@
 // error entries for runs that failed — a failing experiment does not stop
 // the others. -progress streams per-run progress lines to stderr. Ctrl-C
 // cancels the sweep between scenarios.
+//
+// -cache-dir points the sweep at a content-addressed result cache: cells
+// already committed there replay without simulating (marked "cached" in the
+// report), and a sweep killed mid-run resumes exactly where it stopped when
+// rerun with the same flags. Multiple pertbench processes may share one
+// cache directory and will split the sweep between them.
 package main
 
 import (
@@ -25,12 +31,12 @@ import (
 	"io"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
 	"pert/internal/experiments"
 	"pert/internal/harness"
+	"pert/internal/harness/cliconfig"
 )
 
 func main() {
@@ -42,24 +48,19 @@ func main() {
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pertbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	scaleFlag := fs.String("scale", "quick", "experiment scale: quick or paper")
-	expFlag := fs.String("exp", "all", "comma-separated experiment IDs (fig2..fig14, table1, ext-*) or 'all'")
+	shared := cliconfig.New(fs)
+	shared.ScaleFlag()
+	shared.ExpFlag()
+	shared.MetricsDirFlag()
 	format := fs.String("format", "text", "output format: text, json, or csv")
 	jsonReport := fs.Bool("json", false, "emit a single JSON report for the whole sweep (overrides -format)")
 	progress := fs.Bool("progress", false, "stream per-run progress lines to stderr")
-	parallel := fs.Int("parallel", 0, "simulation worker count for sweeps (0 = all cores)")
-	timeout := fs.Duration("timeout", 0, "per-run timeout (0 = none); a timed-out run fails, the sweep continues")
-	stallWindow := fs.Duration("stall-window", 0, "no-progress watchdog window (0 = off); a run whose sim counters stop advancing this long is marked stalled, the sweep continues")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
-	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
-	memprofile := fs.String("memprofile", "", "write an allocation profile of the sweep to this file (go tool pprof)")
-	metrics := fs.String("metrics", "", "write per-cell JSONL time series under this directory (DIR/<exp>/<cell>.jsonl); schema in EXPERIMENTS.md")
-	metricsInterval := fs.Duration("metrics-interval", 0, "sampling period in sim time for -metrics (0 = 100ms)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	stopProfiles, err := harness.StartProfiles(*cpuprofile, *memprofile)
+	stopProfiles, err := shared.StartProfiles()
 	if err != nil {
 		fmt.Fprintf(stderr, "pertbench: %v\n", err)
 		return 1
@@ -77,50 +78,32 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	scale := experiments.Scale(*scaleFlag)
-	if !scale.Valid() {
-		fmt.Fprintf(stderr, "pertbench: unknown scale %q (want quick or paper)\n", *scaleFlag)
-		return 2
-	}
 	switch *format {
 	case "text", "json", "csv":
 	default:
 		fmt.Fprintf(stderr, "pertbench: unknown format %q\n", *format)
 		return 2
 	}
-
-	var ids []string
-	if *expFlag == "all" {
-		ids = experiments.IDs()
-	} else {
-		ids = strings.Split(*expFlag, ",")
+	spec, err := shared.Spec()
+	if err != nil {
+		fmt.Fprintf(stderr, "pertbench: %v\n", err)
+		return 2
 	}
-	var exps []experiments.Experiment
-	for _, id := range ids {
-		id = strings.TrimSpace(id)
-		exp, ok := experiments.ByID(id)
-		if !ok {
-			if *jsonReport {
-				// In report mode an unknown ID becomes an error entry so
-				// the rest of the sweep still runs and is recorded.
-				exps = append(exps, failingExperiment(id))
-				continue
+	if !*jsonReport {
+		// Outside report mode an unknown ID is a usage error; in report mode
+		// the harness records it as an error entry and the sweep continues.
+		for _, id := range spec.Experiments {
+			if _, ok := experiments.ByID(id); !ok {
+				fmt.Fprintf(stderr, "pertbench: unknown experiment %q (use -list)\n", id)
+				return 2
 			}
-			fmt.Fprintf(stderr, "pertbench: unknown experiment %q (use -list)\n", id)
-			return 2
 		}
-		exps = append(exps, exp)
-	}
-
-	opts := harness.Options{
-		Workers: *parallel, Timeout: *timeout, StallWindow: *stallWindow,
-		MetricsDir: *metrics, MetricsInterval: *metricsInterval,
 	}
 	if *progress {
-		opts.Sink = harness.NewWriterSink(stderr)
-		opts.ProgressInterval = time.Second
+		spec.Sink = harness.NewWriterSink(stderr)
+		spec.ProgressInterval = time.Second
 	}
-	rep, runErr := harness.Run(ctx, exps, scale, opts)
+	rep, runErr := harness.Run(ctx, spec)
 
 	if *jsonReport {
 		if err := rep.WriteJSON(stdout); err != nil {
@@ -161,6 +144,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		if *format == "text" {
+			if rec.Cached {
+				fmt.Fprintf(stdout, "[%s replayed from cache]\n\n", rec.ID)
+				continue
+			}
 			wall := time.Duration(rec.WallSeconds * float64(time.Second))
 			fmt.Fprintf(stdout, "[%s completed in %v]\n\n", rec.ID, wall.Round(time.Millisecond))
 		}
@@ -170,16 +157,4 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return code
-}
-
-// failingExperiment is a placeholder whose run always errors — how report
-// mode records experiment IDs that don't exist.
-func failingExperiment(id string) experiments.Experiment {
-	return experiments.Experiment{
-		ID:    id,
-		Title: "unknown experiment",
-		Run: func(context.Context, experiments.Scale) ([]*experiments.Table, error) {
-			return nil, fmt.Errorf("unknown experiment %q (use -list)", id)
-		},
-	}
 }

@@ -172,3 +172,62 @@ func TestErrors(t *testing.T) {
 		t.Fatalf("bad flag exit = %d", code)
 	}
 }
+
+// TestCacheWarmSweep runs a tiny sweep twice into one cache directory: the
+// second run must replay every cell without simulating and report the same
+// tables.
+func TestCacheWarmSweep(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-json", "-exp", "fig5", "-cache-dir", dir}
+
+	var out1, errb bytes.Buffer
+	if code := run(context.Background(), args, &out1, &errb); code != 0 {
+		t.Fatalf("cold exit %d: %s", code, errb.String())
+	}
+	var out2 bytes.Buffer
+	errb.Reset()
+	if code := run(context.Background(), args, &out2, &errb); code != 0 {
+		t.Fatalf("warm exit %d: %s", code, errb.String())
+	}
+
+	type report struct {
+		SimEvents   uint64 `json:"sim_events"`
+		CacheHits   int    `json:"cache_hits"`
+		CacheMisses int    `json:"cache_misses"`
+		CacheDir    string `json:"cache_dir"`
+		Runs        []struct {
+			Cached   bool   `json:"cached"`
+			CacheKey string `json:"cache_key"`
+			Tables   []struct {
+				Rows [][]string `json:"rows"`
+			} `json:"tables"`
+		} `json:"runs"`
+	}
+	var cold, warm report
+	if err := json.Unmarshal(out1.Bytes(), &cold); err != nil {
+		t.Fatalf("cold report: %v", err)
+	}
+	if err := json.Unmarshal(out2.Bytes(), &warm); err != nil {
+		t.Fatalf("warm report: %v", err)
+	}
+	if cold.CacheMisses != 1 || cold.Runs[0].Cached {
+		t.Fatalf("cold run: %+v", cold)
+	}
+	if warm.CacheHits != 1 || warm.SimEvents != 0 || !warm.Runs[0].Cached {
+		t.Fatalf("warm run: %+v", warm)
+	}
+	if warm.Runs[0].CacheKey != cold.Runs[0].CacheKey || warm.CacheDir != dir {
+		t.Fatalf("cache metadata: cold %+v warm %+v", cold, warm)
+	}
+	if len(warm.Runs[0].Tables) != 1 ||
+		warm.Runs[0].Tables[0].Rows[0][0] != cold.Runs[0].Tables[0].Rows[0][0] {
+		t.Fatal("warm tables differ from cold tables")
+	}
+}
+
+func TestCacheBadModeExits2(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-cache-dir", t.TempDir(), "-cache", "sometimes", "-exp", "fig5"}, &out, &errb); code != 2 {
+		t.Fatalf("bad cache mode exit = %d", code)
+	}
+}

@@ -9,27 +9,34 @@
 //	pertsim -config scenario.json -trace pkts.tr -qseries queue.csv
 //	pertsim -config mixed.json              # schema v2: any topology/groups
 //	pertsim -config mixed.json -validate    # check a scenario without running
+//	pertsim -config mixed.json -cache-dir results/cache   # replay if committed
 //	pertsim -scheme Vegas -json     # one-row table in the stable JSON schema
 //	pertsim -loss 0.01 -reorder 0.001 -dup 0.0005   # injected wire faults
 //
 // A -config file may use either the legacy flat dumbbell schema or scenario
 // schema v2 (a "topology"/"groups" object — see EXPERIMENTS.md); v2 files
-// run through the scenario compiler and may mix schemes and templates.
+// run through the scenario compiler and may mix schemes and templates. V2
+// runs execute under the harness, so they honor -timeout, -stall-window,
+// and the content-addressed result cache (-cache-dir): a committed run
+// replays instantly, byte-identical tables included.
 package main
 
 import (
 	"bufio"
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
-
-	"bytes"
 
 	"pert/internal/experiments"
 	"pert/internal/harness"
+	"pert/internal/harness/cliconfig"
 	"pert/internal/netem"
 	"pert/internal/obs"
 	"pert/internal/scenario"
@@ -38,12 +45,16 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pertsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	shared := cliconfig.New(fs)
+	shared.SeedFlag(1)
 	scheme := fs.String("scheme", "PERT", strings.Join(scenario.Names(), " | "))
 	bw := fs.Float64("bw", 50e6, "bottleneck bandwidth, bits/s")
 	rtt := fs.Duration("rtt", 60*time.Millisecond, "end-to-end propagation RTT (comma list via -rtts overrides)")
@@ -54,7 +65,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 	buffer := fs.Int("buffer", 0, "bottleneck buffer in packets (0 = BDP with 2*flows floor)")
 	dur := fs.Duration("dur", 60*time.Second, "simulated duration")
 	warm := fs.Duration("warm", 15*time.Second, "measurement window start")
-	seed := fs.Int64("seed", 1, "RNG seed")
 	jitter := fs.Duration("jitter", 0, "uniform per-packet access-link delay jitter bound")
 	loss := fs.Float64("loss", 0, "non-congestive wire-loss probability on the bottleneck, [0,1)")
 	dup := fs.Float64("dup", 0, "packet duplication probability on the bottleneck, [0,1)")
@@ -66,14 +76,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tracePath := fs.String("trace", "", "write an ns-2-style packet trace of the bottleneck to this file")
 	qseriesPath := fs.String("qseries", "", "write a queue-length time series (CSV) to this file")
 	metricsPath := fs.String("metrics", "", "write the run's full time series (queue, per-flow cwnd/srtt, PERT signal) to this file; .csv suffix selects CSV, anything else JSONL (schema in EXPERIMENTS.md)")
-	metricsInterval := fs.Duration("metrics-interval", 0, "sampling period in sim time for -metrics (0 = 100ms)")
-	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
-	memprofile := fs.String("memprofile", "", "write an allocation profile of the run to this file (go tool pprof)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	stopProfiles, err := harness.StartProfiles(*cpuprofile, *memprofile)
+	stopProfiles, err := shared.StartProfiles()
 	if err != nil {
 		fmt.Fprintf(stderr, "pertsim: %v\n", err)
 		return 1
@@ -102,7 +109,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	spec := experiments.DumbbellSpec{
-		Seed:         *seed,
+		Seed:         shared.Seed(),
 		Bandwidth:    *bw,
 		Flows:        *flows,
 		ReverseFlows: *revFlows,
@@ -138,7 +145,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		if scenario.IsV2(raw) {
-			return runV2(raw, *validate, *jsonOut, stdout, stderr)
+			return runV2(ctx, raw, shared, *validate, *jsonOut, stdout, stderr)
 		}
 		loaded, sch, err := experiments.LoadScenario(bytes.NewReader(raw))
 		if err != nil {
@@ -152,6 +159,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		spec = loaded
 		*scheme = string(sch)
+	}
+	if shared.CacheRequested() {
+		// Ad-hoc flag runs carry Go-only instrumentation hooks and are not
+		// content-addressable; only schema-v2 configs run through the cache.
+		fmt.Fprintln(stderr, "pertsim: -cache-dir requires a schema-v2 -config (see EXPERIMENTS.md)")
+		return 2
 	}
 
 	var cleanups []func()
@@ -202,7 +215,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		} else {
 			sw = obs.NewJSONLWriter(f)
 		}
-		spec.Metrics = &experiments.MetricsSpec{Sink: sw, Interval: sim.Time(*metricsInterval)}
+		spec.Metrics = &experiments.MetricsSpec{Sink: sw, Interval: sim.Duration(shared.MetricsInterval())}
 		metricsClose = func() error {
 			err := sw.Flush()
 			if cerr := f.Close(); err == nil {
@@ -241,28 +254,52 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// runV2 handles a schema-v2 config: validate (and stop, if asked), run it
-// through the scenario compiler, and render the standard panels.
-func runV2(raw []byte, validateOnly, jsonOut bool, stdout, stderr io.Writer) int {
-	spec, err := scenario.Load(bytes.NewReader(raw))
+// runV2 handles a schema-v2 config: validate (and stop, if asked), then run
+// it as a one-cell harness sweep — which is what routes single pertsim runs
+// through the content-addressed result cache and the watchdogs — and render
+// the standard panels from the report.
+func runV2(ctx context.Context, raw []byte, shared *cliconfig.Builder,
+	validateOnly, jsonOut bool, stdout, stderr io.Writer) int {
+
+	sp, err := scenario.Load(bytes.NewReader(raw))
 	if err != nil {
 		fmt.Fprintf(stderr, "pertsim: %v\n", err)
 		return 1
 	}
 	if validateOnly {
-		name := spec.Name
+		name := sp.Name
 		if name == "" {
 			name = "(unnamed)"
 		}
 		fmt.Fprintf(stdout, "pertsim: %s is a valid v2 scenario (%s, %d groups, %d link rules)\n",
-			name, spec.Topology.Template, len(spec.Groups), len(spec.Links))
+			name, sp.Topology.Template, len(sp.Groups), len(sp.Links))
 		return 0
 	}
-	t, err := experiments.RunScenario(spec)
+	spec, err := shared.Spec()
+	if err != nil {
+		fmt.Fprintf(stderr, "pertsim: %v\n", err)
+		return 2
+	}
+	spec.Scenario = &sp
+	rep, err := harness.Run(ctx, spec)
 	if err != nil {
 		fmt.Fprintf(stderr, "pertsim: %v\n", err)
 		return 1
 	}
+	if len(rep.Runs) == 0 {
+		fmt.Fprintln(stderr, "pertsim: no run produced")
+		return 1
+	}
+	rec := rep.Runs[len(rep.Runs)-1]
+	if rec.Error != "" {
+		fmt.Fprintf(stderr, "pertsim: %s\n", rec.Error)
+		return 1
+	}
+	if len(rec.Tables) == 0 {
+		fmt.Fprintln(stderr, "pertsim: run produced no table")
+		return 1
+	}
+	t := rec.Tables[0]
 	if jsonOut {
 		if err := t.FprintJSON(stdout); err != nil {
 			fmt.Fprintf(stderr, "pertsim: %v\n", err)
@@ -271,6 +308,9 @@ func runV2(raw []byte, validateOnly, jsonOut bool, stdout, stderr io.Writer) int
 		return 0
 	}
 	t.Fprint(stdout)
+	if rec.Cached && len(rec.CacheKey) >= 12 {
+		fmt.Fprintf(stderr, "pertsim: replayed from cache (%s)\n", rec.CacheKey[:12])
+	}
 	return 0
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -11,7 +12,7 @@ import (
 
 func TestBasicRun(t *testing.T) {
 	var out, errb bytes.Buffer
-	code := run([]string{"-scheme", "PERT", "-bw", "10e6", "-flows", "3",
+	code := run(context.Background(), []string{"-scheme", "PERT", "-bw", "10e6", "-flows", "3",
 		"-dur", "12s", "-warm", "4s"}, &out, &errb)
 	if code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
@@ -29,7 +30,7 @@ func TestTraceAndQSeriesFiles(t *testing.T) {
 	tr := filepath.Join(dir, "p.tr")
 	qs := filepath.Join(dir, "q.csv")
 	var out, errb bytes.Buffer
-	code := run([]string{"-flows", "2", "-bw", "5e6", "-dur", "6s", "-warm", "2s",
+	code := run(context.Background(), []string{"-flows", "2", "-bw", "5e6", "-dur", "6s", "-warm", "2s",
 		"-trace", tr, "-qseries", qs}, &out, &errb)
 	if code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
@@ -49,7 +50,7 @@ func TestConfigFile(t *testing.T) {
 	cfg := filepath.Join(dir, "sc.json")
 	os.WriteFile(cfg, []byte(`{"scheme":"Vegas","bandwidth_bps":5e6,"flows":2,"duration":"8s","measure_from":"2s"}`), 0o644)
 	var out, errb bytes.Buffer
-	if code := run([]string{"-config", cfg}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"-config", cfg}, &out, &errb); code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
 	if !strings.Contains(out.String(), "scheme         Vegas") {
@@ -59,7 +60,7 @@ func TestConfigFile(t *testing.T) {
 
 func TestHeterogeneousRTTs(t *testing.T) {
 	var out, errb bytes.Buffer
-	code := run([]string{"-rtts", "20ms,40ms", "-flows", "2", "-bw", "5e6",
+	code := run(context.Background(), []string{"-rtts", "20ms,40ms", "-flows", "2", "-bw", "5e6",
 		"-dur", "8s", "-warm", "2s"}, &out, &errb)
 	if code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
@@ -68,7 +69,7 @@ func TestHeterogeneousRTTs(t *testing.T) {
 
 func TestJSONOutput(t *testing.T) {
 	var out, errb bytes.Buffer
-	code := run([]string{"-scheme", "PERT", "-bw", "10e6", "-flows", "3",
+	code := run(context.Background(), []string{"-scheme", "PERT", "-bw", "10e6", "-flows", "3",
 		"-dur", "12s", "-warm", "4s", "-seed", "9", "-json"}, &out, &errb)
 	if code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
@@ -98,16 +99,16 @@ func TestJSONOutput(t *testing.T) {
 
 func TestErrorPaths(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-rtts", "garbage"}, &out, &errb); code != 2 {
+	if code := run(context.Background(), []string{"-rtts", "garbage"}, &out, &errb); code != 2 {
 		t.Fatalf("bad rtts exit = %d", code)
 	}
-	if code := run([]string{"-scheme", "TURBO"}, &out, &errb); code != 2 {
+	if code := run(context.Background(), []string{"-scheme", "TURBO"}, &out, &errb); code != 2 {
 		t.Fatalf("unknown scheme exit = %d", code)
 	}
-	if code := run([]string{"-config", "/nonexistent/x.json"}, &out, &errb); code != 1 {
+	if code := run(context.Background(), []string{"-config", "/nonexistent/x.json"}, &out, &errb); code != 1 {
 		t.Fatalf("missing config exit = %d", code)
 	}
-	if code := run([]string{"-wat"}, &out, &errb); code != 2 {
+	if code := run(context.Background(), []string{"-wat"}, &out, &errb); code != 2 {
 		t.Fatalf("bad flag exit = %d", code)
 	}
 }
@@ -117,4 +118,44 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// TestV2ConfigCache: a schema-v2 run with -cache-dir replays on the second
+// invocation with identical table output.
+func TestV2ConfigCache(t *testing.T) {
+	dir := t.TempDir()
+	cfg := filepath.Join(dir, "v2.json")
+	os.WriteFile(cfg, []byte(`{
+		"name": "cache-test", "seed": 3,
+		"duration": "8s", "measure_from": "2s",
+		"topology": {"template": "dumbbell", "bandwidth_bps": 5e6},
+		"groups": [{"scheme": "PERT", "count": 2, "from": "left", "to": "right"}]
+	}`), 0o644)
+	cache := filepath.Join(dir, "cache")
+	args := []string{"-config", cfg, "-json", "-cache-dir", cache}
+
+	var out1, out2, errb bytes.Buffer
+	if code := run(context.Background(), args, &out1, &errb); code != 0 {
+		t.Fatalf("cold exit %d: %s", code, errb.String())
+	}
+	errb.Reset()
+	if code := run(context.Background(), args, &out2, &errb); code != 0 {
+		t.Fatalf("warm exit %d: %s", code, errb.String())
+	}
+	if out1.String() != out2.String() {
+		t.Fatalf("replayed table differs:\n%s\nvs\n%s", out1.String(), out2.String())
+	}
+	if !strings.Contains(out1.String(), `"id"`) {
+		t.Fatalf("not a table: %s", out1.String())
+	}
+}
+
+func TestCacheRequiresV2Config(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-flows", "2", "-dur", "6s", "-cache-dir", t.TempDir()}, &out, &errb); code != 2 {
+		t.Fatalf("cache without v2 config exit = %d: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "schema-v2") {
+		t.Fatalf("error message: %s", errb.String())
+	}
 }

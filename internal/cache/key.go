@@ -1,0 +1,27 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Key returns the content address of v: the hex SHA-256 of its JSON
+// encoding. Hashing the *parsed* identity object (not raw input bytes) is
+// what makes keys canonical: JSON field order, whitespace, duration
+// spellings ("60s" vs "1m") and elided defaults all normalize away before
+// the digest, so semantically identical specs share a cell.
+//
+// Callers own canonicalization of the value itself: maps (whose Go JSON
+// encoding is key-sorted, hence deterministic) are fine, but any field that
+// does not affect results — worker counts, sinks, timeouts — must be left
+// out of the identity object, and defaults must be applied before hashing.
+func Key(v any) (string, error) {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("cache: keying: %w", err)
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
+}

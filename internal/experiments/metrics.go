@@ -181,15 +181,25 @@ func (cfg MetricsConfig) open(expID, cell string) (*MetricsSpec, func() error, e
 }
 
 // SeriesPaths lists the series files an experiment wrote under the metrics
-// root, sorted, or nil when the experiment produced none. The harness
+// root, name-sorted, or nil when the experiment produced none. A missing or
+// unreadable directory is "no series", never an error: metrics may be
+// disabled, the experiment may not support them, or (for cached cells) the
+// series may have been pruned since the record was committed. The harness
 // records these in each RunRecord.
 func SeriesPaths(dir, expID string) []string {
 	if dir == "" {
 		return nil
 	}
-	paths, err := filepath.Glob(filepath.Join(dir, expID, "*"))
-	if err != nil || len(paths) == 0 {
+	entries, err := os.ReadDir(filepath.Join(dir, expID))
+	if err != nil {
 		return nil
 	}
-	return paths // Glob returns sorted paths
+	var paths []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		paths = append(paths, filepath.Join(dir, expID, e.Name()))
+	}
+	return paths // ReadDir returns name-sorted entries
 }

@@ -8,18 +8,11 @@ import (
 	"sync/atomic"
 )
 
-// defaultWorkers is the sweep worker count used when the context does not
-// carry an explicit one (see WithWorkers). It defaults to all cores and is
-// only mutated through the deprecated SetParallelism shim.
-var defaultWorkers atomic.Int64
-
-func init() { defaultWorkers.Store(int64(runtime.GOMAXPROCS(0))) }
-
 // workersKey carries an explicit sweep worker count in a context.
 type workersKey struct{}
 
 // WithWorkers returns a context that carries an explicit sweep worker count
-// for this run. The harness threads harness.Options.Workers through here so
+// for this run. The harness threads harness.RunSpec.Workers through here so
 // every forEach under the run uses it; n < 1 leaves ctx unchanged.
 func WithWorkers(ctx context.Context, n int) context.Context {
 	if n < 1 {
@@ -28,28 +21,14 @@ func WithWorkers(ctx context.Context, n int) context.Context {
 	return context.WithValue(ctx, workersKey{}, n)
 }
 
-// Workers reports the sweep worker count carried by ctx, falling back to the
-// process default (all cores). Each scenario owns its engine and RNG, so
-// results are bit-identical at any setting; only wall-clock time changes.
+// Workers reports the sweep worker count carried by ctx, falling back to
+// all cores. Each scenario owns its engine and RNG, so results are
+// bit-identical at any setting; only wall-clock time changes.
 func Workers(ctx context.Context) int {
 	if n, ok := ctx.Value(workersKey{}).(int); ok && n >= 1 {
 		return n
 	}
-	return int(defaultWorkers.Load())
-}
-
-// SetParallelism sets the process-default sweep worker count (minimum 1) and
-// returns the previous value.
-//
-// Deprecated: SetParallelism mutates process-global state. New code should
-// pass an explicit count via harness.Options.Workers or WithWorkers; this
-// shim remains so existing callers keep compiling and only applies when the
-// context carries no count of its own.
-func SetParallelism(n int) int {
-	if n < 1 {
-		n = 1
-	}
-	return int(defaultWorkers.Swap(int64(n)))
+	return runtime.GOMAXPROCS(0)
 }
 
 // forEach runs fn(i) for i in [0, n) on Workers(ctx) workers and waits for

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"errors"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -71,21 +72,12 @@ func TestWorkersContextAndDefault(t *testing.T) {
 	if got := Workers(WithWorkers(ctx, 0)); got != Workers(ctx) {
 		t.Fatalf("zero workers overrode default: %d", got)
 	}
-	old := SetParallelism(5)
-	defer SetParallelism(old)
-	if got := Workers(ctx); got != 5 {
-		t.Fatalf("default workers = %d", got)
+	if got := Workers(ctx); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default workers = %d, want GOMAXPROCS", got)
 	}
-	// An explicit context count wins over the process default.
+	// An explicit context count always wins.
 	if got := Workers(WithWorkers(ctx, 2)); got != 2 {
-		t.Fatalf("context workers = %d with default set", got)
-	}
-}
-
-func TestSetParallelismClamps(t *testing.T) {
-	old := SetParallelism(-5)
-	if got := SetParallelism(old); got != 1 {
-		t.Fatalf("negative parallelism stored as %d", got)
+		t.Fatalf("context workers = %d", got)
 	}
 }
 

@@ -1,0 +1,126 @@
+// Package cliconfig is the shared flag-to-RunSpec builder for the CLIs:
+// cmd/pertbench and cmd/pertsim register the same sweep-mechanics and cache
+// flags here instead of duplicating the definitions, and both compile their
+// parsed flags into the one canonical harness.RunSpec. Binary-specific
+// flags (output formats, trace files) stay in the binaries.
+package cliconfig
+
+import (
+	"flag"
+	"strings"
+	"time"
+
+	"pert/internal/harness"
+)
+
+// Builder registers the shared harness flags on a FlagSet and, after
+// parsing, compiles them into a harness.RunSpec. The optional *Flag methods
+// opt a binary into flags it supports; they must be called before Parse.
+type Builder struct {
+	fs *flag.FlagSet
+
+	parallel        *int
+	timeout         *time.Duration
+	stallWindow     *time.Duration
+	cacheDir        *string
+	cacheMode       *string
+	metricsInterval *time.Duration
+	cpuprofile      *string
+	memprofile      *string
+
+	scale      *string
+	exp        *string
+	metricsDir *string
+	seed       *int64
+}
+
+// New registers the flags every harness CLI shares: sweep mechanics
+// (-parallel, -timeout, -stall-window), the result cache (-cache-dir,
+// -cache), -metrics-interval, and the profilers.
+func New(fs *flag.FlagSet) *Builder {
+	b := &Builder{fs: fs}
+	b.parallel = fs.Int("parallel", 0, "simulation worker count for sweeps (0 = all cores)")
+	b.timeout = fs.Duration("timeout", 0, "per-run timeout (0 = none); a timed-out run fails, the sweep continues")
+	b.stallWindow = fs.Duration("stall-window", 0, "no-progress watchdog window (0 = off); a run whose sim counters stop advancing this long is marked stalled, the sweep continues")
+	b.cacheDir = fs.String("cache-dir", "", "content-addressed result cache: hits replay without simulating, misses commit atomically; killed sweeps resume, concurrent processes share the directory")
+	b.cacheMode = fs.String("cache", "", "cache policy with -cache-dir: readwrite (default), read, write, or off")
+	b.metricsInterval = fs.Duration("metrics-interval", 0, "sampling period in sim time for -metrics (0 = 100ms)")
+	b.cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	b.memprofile = fs.String("memprofile", "", "write an allocation profile to this file (go tool pprof)")
+	return b
+}
+
+// ScaleFlag opts into -scale (quick/paper sweeps).
+func (b *Builder) ScaleFlag() {
+	b.scale = b.fs.String("scale", "quick", "experiment scale: quick or paper")
+}
+
+// ExpFlag opts into -exp (registry experiment selection).
+func (b *Builder) ExpFlag() {
+	b.exp = b.fs.String("exp", "all", "comma-separated experiment IDs (fig2..fig14, table1, ext-*) or 'all'")
+}
+
+// MetricsDirFlag opts into the directory form of -metrics (per-cell series
+// trees). Binaries with a file-based -metrics of their own must not call it.
+func (b *Builder) MetricsDirFlag() {
+	b.metricsDir = b.fs.String("metrics", "", "write per-cell JSONL time series under this directory (DIR/<exp>/<cell>.jsonl, or the cache's series/ trees with -cache-dir); schema in EXPERIMENTS.md")
+}
+
+// SeedFlag opts into -seed with the binary's default.
+func (b *Builder) SeedFlag(def int64) {
+	b.seed = b.fs.Int64("seed", def, "RNG seed")
+}
+
+// Spec compiles the parsed flags into a validated RunSpec. Call after
+// fs.Parse; the error is user-facing (bad scale, bad cache mode).
+func (b *Builder) Spec() (harness.RunSpec, error) {
+	spec := harness.RunSpec{
+		Workers:         *b.parallel,
+		Timeout:         *b.timeout,
+		StallWindow:     *b.stallWindow,
+		MetricsInterval: *b.metricsInterval,
+		Cache:           harness.CachePolicy{Dir: *b.cacheDir, Mode: *b.cacheMode},
+	}
+	if b.scale != nil {
+		spec.Scale = *b.scale
+	}
+	if b.seed != nil {
+		spec.Seed = *b.seed
+	}
+	if b.metricsDir != nil {
+		spec.MetricsDir = *b.metricsDir
+	}
+	if b.exp != nil && *b.exp != "all" {
+		for _, id := range strings.Split(*b.exp, ",") {
+			spec.Experiments = append(spec.Experiments, strings.TrimSpace(id))
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return spec, err
+	}
+	return spec, nil
+}
+
+// StartProfiles starts the profilers the flags requested; the returned stop
+// function writes and closes them (see harness.StartProfiles).
+func (b *Builder) StartProfiles() (func() error, error) {
+	return harness.StartProfiles(*b.cpuprofile, *b.memprofile)
+}
+
+// Seed returns the parsed -seed value (the binary's default when the flag
+// was not opted into).
+func (b *Builder) Seed() int64 {
+	if b.seed == nil {
+		return 0
+	}
+	return *b.seed
+}
+
+// MetricsInterval returns the parsed -metrics-interval value for binaries
+// that also consume it outside the harness (pertsim's file-based -metrics).
+func (b *Builder) MetricsInterval() time.Duration { return *b.metricsInterval }
+
+// CacheRequested reports whether the user pointed the run at a cache
+// directory (regardless of mode), so binaries whose code path cannot cache
+// can reject the combination loudly instead of ignoring it.
+func (b *Builder) CacheRequested() bool { return *b.cacheDir != "" && *b.cacheMode != harness.CacheOff }

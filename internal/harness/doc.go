@@ -6,12 +6,27 @@
 // run metadata (scale, wall time, sim-event throughput, build version) into
 // a stable JSON report.
 //
+// A sweep is described by a single RunSpec — the canonical serialized
+// object that cmd/pertbench flags, cmd/pertsim flags, and scenario schema
+// v2 files all compile into, and the object whose identity fields the
+// content-addressed result cache (internal/cache) hashes. With a cache
+// directory configured, the sweep partitions into hits (replayed without
+// re-simulating, marked `cached` in the report) and misses (executed under
+// a lockfile claim and committed atomically), so killed sweeps resume
+// where they stopped and concurrent worker processes sharing the directory
+// split the work between them.
+//
 // The CLIs (cmd/pertbench, cmd/pertsim) are thin wrappers over this
 // package; programmatic users call Run directly:
 //
-//	rep, err := harness.Run(ctx, experiments.Experiments, experiments.Quick,
-//		harness.Options{Workers: 4, Sink: harness.NewWriterSink(os.Stderr)})
-//	if err != nil { ... }            // cancelled or timed out overall
+//	rep, err := harness.Run(ctx, harness.RunSpec{
+//		Experiments: []string{"fig5", "fig13"}, // empty = the whole registry
+//		Scale:       string(experiments.Quick),
+//		Workers:     4,
+//		Sink:        harness.NewWriterSink(os.Stderr),
+//		Cache:       harness.CachePolicy{Dir: "results/cache"},
+//	})
+//	if err != nil { ... }            // cancelled or invalid spec
 //	for _, f := range rep.Failed() { // per-run failures don't abort the sweep
 //		log.Printf("%s: %s", f.ID, f.Error)
 //	}
@@ -19,6 +34,7 @@
 //
 // Experiments run sequentially (so per-run throughput deltas are
 // attributable); scenarios inside one experiment fan out over
-// Options.Workers. Results are bit-identical at any worker count because
-// each scenario owns its engine and RNG.
+// RunSpec.Workers. Results are bit-identical at any worker count because
+// each scenario owns its engine and RNG — which is also why worker counts
+// and timeouts stay out of the cache key.
 package harness

@@ -2,11 +2,15 @@ package harness
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
+	"pert/internal/cache"
 	"pert/internal/experiments"
 	"pert/internal/obs"
 	"pert/internal/sim"
@@ -26,69 +30,63 @@ func mallocCount() uint64 {
 	return ms.Mallocs
 }
 
-// Options configures a sweep. The zero value is usable: all cores, no
-// timeout, no observer.
-type Options struct {
-	// Workers bounds in-experiment scenario parallelism; <1 means the
-	// context's worker count (GOMAXPROCS unless overridden).
-	Workers int
-	// Timeout bounds each individual run; 0 means none. A timed-out run
-	// records an error and the sweep continues.
-	Timeout time.Duration
-	// StallWindow arms the no-progress watchdog: if the process-wide sim
-	// event counters do not advance for this much wallclock time, the run is
-	// marked StatusStalled and abandoned, and the sweep continues. 0
-	// disables. Runs are sequential, so a flat counter means the current run
-	// is stuck (deadlock, blocked I/O, runaway non-sim loop). Choose a
-	// window longer than any legitimate non-simulating stretch (analytic
-	// phases, table formatting); live engines refresh the counters at least
-	// every 2^16 events, so tens of seconds is a safe floor.
-	StallWindow time.Duration
-	// Sink observes run lifecycle and progress events; nil disables.
-	Sink Sink
-	// ProgressInterval is the Progress event period; 0 disables progress
-	// ticks (lifecycle events are still emitted).
-	ProgressInterval time.Duration
-	// MetricsDir, when non-empty, enables time-series collection: every
-	// dumbbell cell run under the sweep streams JSONL series to
-	// MetricsDir/<experiment>/<cell>.jsonl, and each RunRecord lists the
-	// files its experiment produced (SeriesPaths).
-	MetricsDir string
-	// MetricsInterval overrides the sampling period (0 = the experiments
-	// package default, 100 ms of sim time).
-	MetricsInterval time.Duration
+// Run executes the sweep the spec describes — its registry experiments in
+// order, then its inline scenario cell — and returns the aggregated report.
+// Per-run failures (panics, bad specs, unknown IDs, per-run timeouts) become
+// RunRecord.Error entries and the sweep continues; only cancellation of ctx
+// stops the sweep early, returning the partial report alongside ctx's
+// error. The report is never nil.
+//
+// With spec.Cache enabled, the sweep partitions into cache hits and misses:
+// hits replay their committed RunRecord without simulating (marked
+// `cached` in the report), misses run under a lockfile claim and commit
+// atomically on success — so a killed sweep resumes exactly where it
+// stopped, and concurrent worker processes sharing the cache directory
+// split the sweep between them (a loser of a claim race waits for the
+// winner's commit instead of recomputing).
+func Run(ctx context.Context, spec RunSpec) (*Report, error) {
+	return RunExperiments(ctx, spec.cells(), spec)
 }
 
-// Run executes the experiments in order at the given scale and returns the
-// aggregated report. Per-run failures — panics, bad specs, per-run
-// timeouts — become RunRecord.Error entries and the sweep continues; only
-// cancellation of ctx stops the sweep early, returning the partial report
-// alongside ctx's error. The report is never nil.
-func Run(ctx context.Context, exps []experiments.Experiment, scale experiments.Scale, opts Options) (*Report, error) {
-	workers := opts.Workers
+// RunExperiments is Run for a caller-supplied experiment list (tests and
+// custom sweeps); spec.Experiments and spec.Scenario are ignored. Cached
+// cells are keyed by experiment ID, so custom runners must be deterministic
+// functions of (ID, scale, seed, code version) to share a cache directory.
+func RunExperiments(ctx context.Context, exps []experiments.Experiment, spec RunSpec) (*Report, error) {
+	rep := &Report{
+		SchemaVersion: SchemaVersion,
+		Version:       Version(),
+		Scale:         string(spec.scale()),
+		StartedAt:     time.Now().UTC(),
+	}
+	if err := spec.Validate(); err != nil {
+		return rep, err
+	}
+	workers := spec.Workers
 	if workers < 1 {
 		workers = experiments.Workers(ctx)
 	}
 	ctx = experiments.WithWorkers(ctx, workers)
-	if opts.MetricsDir != "" {
-		ctx = experiments.WithMetrics(ctx, experiments.MetricsConfig{
-			Dir:      opts.MetricsDir,
-			Interval: sim.Duration(opts.MetricsInterval),
-		})
+	rep.Workers = workers
+
+	var store *cache.Store
+	if spec.Cache.enabled() {
+		s, err := cache.Open(spec.Cache.Dir)
+		if err != nil {
+			return rep, err
+		}
+		if spec.Cache.StaleClaim > 0 {
+			s.StaleClaim = spec.Cache.StaleClaim
+		}
+		store = s
+		rep.CacheDir = s.Dir()
 	}
 
 	var sink Sink
-	if opts.Sink != nil {
-		sink = &lockedSink{s: opts.Sink}
+	if spec.Sink != nil {
+		sink = &lockedSink{s: spec.Sink}
 	}
 
-	rep := &Report{
-		SchemaVersion: SchemaVersion,
-		Version:       Version(),
-		Scale:         string(scale),
-		Workers:       workers,
-		StartedAt:     time.Now().UTC(),
-	}
 	start := time.Now()
 	ev0, _ := sim.Counters()
 	m0 := mallocCount()
@@ -99,7 +97,12 @@ func Run(ctx context.Context, exps []experiments.Experiment, scale experiments.S
 			finish(rep, start, ev0, m0)
 			return rep, err
 		}
-		rec := runOne(ctx, exp, scale, i, len(exps), opts, sink, doneWall)
+		rec := runCell(ctx, exp, spec, store, sink, i, len(exps), doneWall)
+		if rec.Cached {
+			rep.CacheHits++
+		} else if store != nil {
+			rep.CacheMisses++
+		}
 		doneWall += time.Duration(rec.WallSeconds * float64(time.Second))
 		rep.Runs = append(rep.Runs, rec)
 	}
@@ -121,22 +124,182 @@ func finish(rep *Report, start time.Time, ev0, m0 uint64) {
 	}
 }
 
+// runCell resolves one sweep cell against the cache — replay a committed
+// entry, wait out another worker's claim, or execute and commit — falling
+// back to a plain uncached run when the cell has no stable key or the
+// policy forbids the needed side.
+func runCell(ctx context.Context, exp experiments.Experiment, spec RunSpec,
+	store *cache.Store, sink Sink, index, total int, doneWall time.Duration) RunRecord {
+
+	key := cellKey(spec, exp)
+	if store == nil || key == "" {
+		return runOne(ctx, exp, spec, spec.MetricsDir, sink, index, total, doneWall)
+	}
+	for {
+		if spec.Cache.reads() {
+			if rec, ok := replayCell(store, key, exp, sink, index, total); ok {
+				return rec
+			}
+		}
+		if !spec.Cache.writes() {
+			// Read-only policy and no committed entry: plain run.
+			rec := runOne(ctx, exp, spec, spec.MetricsDir, sink, index, total, doneWall)
+			rec.CacheKey = key
+			return rec
+		}
+		claim, err := store.Claim(key)
+		if err != nil {
+			// A broken cache directory degrades to uncached execution
+			// rather than failing the sweep.
+			rec := runOne(ctx, exp, spec, spec.MetricsDir, sink, index, total, doneWall)
+			rec.CacheKey = key
+			return rec
+		}
+		if claim == nil {
+			// Another live worker owns this cell. Wait for its commit when
+			// we may read it; otherwise compute our own uncommitted copy.
+			if !spec.Cache.reads() {
+				rec := runOne(ctx, exp, spec, spec.MetricsDir, sink, index, total, doneWall)
+				rec.CacheKey = key
+				return rec
+			}
+			entry, err := store.Wait(ctx, key, 0)
+			if err != nil {
+				rec := RunRecord{ID: exp.ID, Title: exp.Title, Scale: string(spec.scale()),
+					Status: StatusError, Error: err.Error(), CacheKey: key, Tables: []*experiments.Table{}}
+				return rec
+			}
+			if entry != nil {
+				continue // committed: replay on the next pass
+			}
+			continue // owner released without committing: retry the claim
+		}
+		return computeAndCommit(ctx, exp, spec, key, claim, sink, index, total, doneWall)
+	}
+}
+
+// cellKey returns the cell's content address, or "" when the spec or cell
+// is not cacheable (no cache configured, Go-only scenario overrides).
+func cellKey(spec RunSpec, exp experiments.Experiment) string {
+	if !spec.Cache.enabled() {
+		return ""
+	}
+	var key string
+	var err error
+	if spec.Scenario != nil && exp.ID == ScenarioCellID(spec.Scenario) {
+		key, err = spec.ScenarioKey(Version())
+	} else {
+		key, err = spec.CellKey(exp.ID, Version())
+	}
+	if err != nil {
+		return ""
+	}
+	return key
+}
+
+// replayCell replays a committed cache entry as this sweep's record for the
+// cell: the stored RunRecord byte-for-byte (timings included) plus the
+// cached/cache_key markers, with series paths re-discovered under the cell
+// so vanished files never surface as errors. A corrupt record is evicted
+// and reported as a miss so the cell recomputes.
+func replayCell(store *cache.Store, key string, exp experiments.Experiment,
+	sink Sink, index, total int) (RunRecord, bool) {
+
+	entry, ok, err := store.Get(key)
+	if err != nil || !ok {
+		return RunRecord{}, false
+	}
+	var rec RunRecord
+	if err := json.Unmarshal(entry.Record, &rec); err != nil {
+		store.Evict(key)
+		return RunRecord{}, false
+	}
+	rec.Cached = true
+	rec.CacheKey = key
+	rec.SeriesPaths = experiments.SeriesPaths(filepath.Join(entry.Dir, cache.SeriesDirName), exp.ID)
+	if rec.Tables == nil {
+		rec.Tables = []*experiments.Table{}
+	}
+	if sink != nil {
+		sink.Event(Event{Kind: RunStarted, ID: exp.ID, Index: index, Total: total})
+		var err error
+		if rec.Error != "" {
+			err = errors.New(rec.Error)
+		}
+		sink.Event(Event{
+			Kind: RunFinished, ID: exp.ID, Index: index, Total: total,
+			Err: err, Status: rec.Status, Cached: true,
+			SimEvents: rec.SimEvents, SimSeconds: rec.SimSeconds, Tables: rec.Tables,
+		})
+	}
+	return rec, true
+}
+
+// computeAndCommit runs a claimed cell and publishes the result. Only
+// healthy runs commit: errors, timeouts, and stalls release the claim so
+// the cell recomputes on the next attempt. A StatusOK run commits even when
+// the sweep was cancelled right after it — the cell is complete and
+// deterministic, and keeping it is what makes a killed sweep resume from
+// the exact cell that was in flight instead of one earlier.
+func computeAndCommit(ctx context.Context, exp experiments.Experiment, spec RunSpec,
+	key string, claim *cache.Claim, sink Sink, index, total int, doneWall time.Duration) RunRecord {
+
+	metricsRoot := ""
+	if spec.metricsOn() {
+		metricsRoot = claim.SeriesDir()
+	}
+	rec := runOne(ctx, exp, spec, metricsRoot, sink, index, total, doneWall)
+	rec.CacheKey = key
+	if rec.Status != StatusOK {
+		claim.Release()
+		rec.SeriesPaths = nil // staged series are discarded with the claim
+		return rec
+	}
+	// Series were staged under the claim; the committed cell is their
+	// canonical address.
+	finalSeries := filepath.Join(claim.Dir(), cache.SeriesDirName)
+	for i, p := range rec.SeriesPaths {
+		if rel, err := filepath.Rel(claim.SeriesDir(), p); err == nil && !strings.HasPrefix(rel, "..") {
+			rec.SeriesPaths[i] = filepath.Join(finalSeries, rel)
+		}
+	}
+	blob, err := json.Marshal(rec)
+	if err == nil {
+		_, err = claim.Commit(blob)
+	}
+	if err != nil {
+		// The result is still valid for this sweep; only the cache write
+		// failed. Release is idempotent if Commit already cleaned up.
+		claim.Release()
+		rec.SeriesPaths = nil
+	}
+	return rec
+}
+
 // runOne executes one experiment with panic recovery, an optional per-run
-// timeout, and a progress ticker sampling the sim event counters.
-func runOne(ctx context.Context, exp experiments.Experiment, scale experiments.Scale,
-	index, total int, opts Options, sink Sink, doneWall time.Duration) RunRecord {
+// timeout, and a progress ticker sampling the sim event counters. When
+// metricsRoot is non-empty the run's time series stream under it.
+func runOne(ctx context.Context, exp experiments.Experiment, spec RunSpec,
+	metricsRoot string, sink Sink, index, total int, doneWall time.Duration) RunRecord {
 
 	emit := func(e Event) {
 		if sink != nil {
 			sink.Event(e)
 		}
 	}
+	scale := spec.scale()
 	rec := RunRecord{ID: exp.ID, Title: exp.Title, Scale: string(scale), Tables: []*experiments.Table{}}
 	emit(Event{Kind: RunStarted, ID: exp.ID, Index: index, Total: total})
 
+	if metricsRoot != "" {
+		ctx = experiments.WithMetrics(ctx, experiments.MetricsConfig{
+			Dir:      metricsRoot,
+			Interval: sim.Duration(spec.MetricsInterval),
+		})
+	}
 	runCtx, cancel := context.WithCancel(ctx)
-	if opts.Timeout > 0 {
-		runCtx, cancel = context.WithTimeout(ctx, opts.Timeout)
+	if spec.Timeout > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, spec.Timeout)
 	}
 	defer cancel()
 
@@ -145,10 +308,10 @@ func runOne(ctx context.Context, exp experiments.Experiment, scale experiments.S
 	start := time.Now()
 
 	var stopProgress chan struct{}
-	if sink != nil && opts.ProgressInterval > 0 {
+	if sink != nil && spec.ProgressInterval > 0 {
 		stopProgress = make(chan struct{})
 		go func() {
-			tick := time.NewTicker(opts.ProgressInterval)
+			tick := time.NewTicker(spec.ProgressInterval)
 			defer tick.Stop()
 			for {
 				select {
@@ -161,7 +324,7 @@ func runOne(ctx context.Context, exp experiments.Experiment, scale experiments.S
 		}()
 	}
 
-	tables, err, stalled := watchRun(runCtx, cancel, exp, scale, opts.StallWindow)
+	tables, err, stalled := watchRun(runCtx, cancel, exp, scale, spec.StallWindow)
 	wall := time.Since(start)
 	if stopProgress != nil {
 		close(stopProgress)
@@ -193,7 +356,7 @@ func runOne(ctx context.Context, exp experiments.Experiment, scale experiments.S
 	} else if tables != nil {
 		rec.Tables = tables
 	}
-	rec.SeriesPaths = experiments.SeriesPaths(opts.MetricsDir, exp.ID)
+	rec.SeriesPaths = experiments.SeriesPaths(metricsRoot, exp.ID)
 	emit(Event{
 		Kind: RunFinished, ID: exp.ID, Index: index, Total: total,
 		Err: err, Status: rec.Status, Wall: wall, SimEvents: rec.SimEvents,

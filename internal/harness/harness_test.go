@@ -49,7 +49,7 @@ func TestRunRecoversPanicAndContinues(t *testing.T) {
 		panicExperiment("bad"),
 		simExperiment("ok2"),
 	}
-	rep, err := Run(context.Background(), exps, experiments.Quick, Options{Workers: 2})
+	rep, err := RunExperiments(context.Background(), exps, RunSpec{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestRunPanicInsideForEachWorker(t *testing.T) {
 			return []*experiments.Table{tab}, nil
 		},
 	}
-	rep, err := Run(context.Background(), []experiments.Experiment{exp}, experiments.Quick, Options{})
+	rep, err := RunExperiments(context.Background(), []experiments.Experiment{exp}, RunSpec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestRunCancellationReturnsPartialReport(t *testing.T) {
 		}
 	})
 	exps := []experiments.Experiment{simExperiment("a"), simExperiment("b"), simExperiment("c")}
-	rep, err := Run(ctx, exps, experiments.Quick, Options{Sink: cancelSink})
+	rep, err := RunExperiments(ctx, exps, RunSpec{Sink: cancelSink})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v", err)
 	}
@@ -133,7 +133,7 @@ func TestRunPerRunTimeout(t *testing.T) {
 		},
 	}
 	exps := []experiments.Experiment{hang, simExperiment("after")}
-	rep, err := Run(context.Background(), exps, experiments.Quick, Options{Timeout: 20 * time.Millisecond})
+	rep, err := RunExperiments(context.Background(), exps, RunSpec{Timeout: 20 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,8 +163,8 @@ func TestRunWatchdogMarksStalledAndContinues(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	exps := []experiments.Experiment{stall, simExperiment("after")}
-	rep, err := Run(context.Background(), exps, experiments.Quick,
-		Options{StallWindow: 50 * time.Millisecond, Sink: NewWriterSink(&buf)})
+	rep, err := RunExperiments(context.Background(), exps,
+		RunSpec{StallWindow: 50 * time.Millisecond, Sink: NewWriterSink(&buf)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,8 +208,8 @@ func TestRunWatchdogToleratesProgressingRun(t *testing.T) {
 			return []*experiments.Table{tab}, nil
 		},
 	}
-	rep, err := Run(context.Background(), []experiments.Experiment{busy}, experiments.Quick,
-		Options{StallWindow: 80 * time.Millisecond})
+	rep, err := RunExperiments(context.Background(), []experiments.Experiment{busy},
+		RunSpec{StallWindow: 80 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,19 +218,18 @@ func TestRunWatchdogToleratesProgressingRun(t *testing.T) {
 	}
 }
 
-func TestRunBadScaleBecomesRunError(t *testing.T) {
-	exp, _ := experiments.ByID("fig5")
-	rep, err := Run(context.Background(), []experiments.Experiment{exp}, experiments.Scale("bogus"), Options{})
-	if err != nil {
-		t.Fatal(err)
+func TestRunBadScaleRejectedUpfront(t *testing.T) {
+	rep, err := Run(context.Background(), RunSpec{Scale: "bogus", Experiments: []string{"fig5"}})
+	if err == nil || !strings.Contains(err.Error(), "unknown scale") {
+		t.Fatalf("err = %v", err)
 	}
-	if !strings.Contains(rep.Runs[0].Error, "unknown scale") {
-		t.Fatalf("run: %+v", rep.Runs[0])
+	if rep == nil || len(rep.Runs) != 0 {
+		t.Fatalf("report: %+v", rep)
 	}
 }
 
 func TestReportJSONSchema(t *testing.T) {
-	rep, err := Run(context.Background(), []experiments.Experiment{simExperiment("s")}, experiments.Quick, Options{Workers: 3})
+	rep, err := RunExperiments(context.Background(), []experiments.Experiment{simExperiment("s")}, RunSpec{Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +278,7 @@ func TestWriterSinkLines(t *testing.T) {
 	var buf bytes.Buffer
 	sink := NewWriterSink(&buf)
 	exps := []experiments.Experiment{simExperiment("x"), panicExperiment("y")}
-	if _, err := Run(context.Background(), exps, experiments.Quick, Options{Sink: sink}); err != nil {
+	if _, err := RunExperiments(context.Background(), exps, RunSpec{Sink: sink}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

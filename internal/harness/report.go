@@ -54,9 +54,18 @@ type RunRecord struct {
 	AllocsPerEvent float64 `json:"allocs_per_event"`
 	// Error is the failure (panic, cancellation, bad spec), empty on success.
 	Error string `json:"error,omitempty"`
+	// Cached marks a run replayed from the result cache instead of being
+	// simulated; its timing fields are the original run's (additive
+	// schema-version-1 field).
+	Cached bool `json:"cached,omitempty"`
+	// CacheKey is the run's content address in the result cache, set whenever
+	// caching was enabled and the cell was keyable — on misses too, so
+	// reports identify the cells they populated (additive field).
+	CacheKey string `json:"cache_key,omitempty"`
 	// SeriesPaths lists the time-series files this run wrote under
-	// Options.MetricsDir (additive schema-version-1 field; absent when
-	// metrics were disabled or the experiment wrote none).
+	// RunSpec.MetricsDir — or, when caching is enabled, under the cell's
+	// cache-addressable series/ directory (additive schema-version-1 field;
+	// absent when metrics were disabled or the experiment wrote none).
 	SeriesPaths []string `json:"series_paths,omitempty"`
 	// Tables holds the run's result tables; never null, empty on failure.
 	Tables []*experiments.Table `json:"tables"`
@@ -72,12 +81,18 @@ type Report struct {
 	StartedAt     time.Time `json:"started_at"`
 	// WallSeconds, SimEvents, EventsPerSecond, Mallocs and AllocsPerEvent
 	// cover the whole sweep (same caveats as the per-run fields).
-	WallSeconds     float64     `json:"wall_seconds"`
-	SimEvents       uint64      `json:"sim_events"`
-	EventsPerSecond float64     `json:"events_per_second"`
-	Mallocs         uint64      `json:"mallocs"`
-	AllocsPerEvent  float64     `json:"allocs_per_event"`
-	Runs            []RunRecord `json:"runs"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	SimEvents       uint64  `json:"sim_events"`
+	EventsPerSecond float64 `json:"events_per_second"`
+	Mallocs         uint64  `json:"mallocs"`
+	AllocsPerEvent  float64 `json:"allocs_per_event"`
+	// CacheDir, CacheHits and CacheMisses describe the sweep's use of the
+	// content-addressed result cache (additive schema-version-1 fields;
+	// absent when caching was disabled).
+	CacheDir    string      `json:"cache_dir,omitempty"`
+	CacheHits   int         `json:"cache_hits,omitempty"`
+	CacheMisses int         `json:"cache_misses,omitempty"`
+	Runs        []RunRecord `json:"runs"`
 }
 
 // Failed returns the runs that ended in an error, in sweep order.

@@ -1,0 +1,272 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"pert/internal/cache"
+	"pert/internal/experiments"
+	"pert/internal/scenario"
+)
+
+// Cache policy modes. The zero value ("") behaves as CacheReadWrite.
+const (
+	CacheReadWrite = "readwrite" // replay hits, commit misses (default)
+	CacheRead      = "read"      // replay hits, never commit
+	CacheWrite     = "write"     // always recompute, commit results
+	CacheOff       = "off"       // ignore the cache directory entirely
+)
+
+// CachePolicy selects how a sweep uses the content-addressed result store.
+// An empty Dir disables caching regardless of Mode.
+type CachePolicy struct {
+	// Dir is the cache root directory, shared freely between concurrent
+	// worker processes (cells are claimed via lockfiles).
+	Dir string `json:"dir,omitempty"`
+	// Mode is one of "", "readwrite", "read", "write", "off".
+	Mode string `json:"mode,omitempty"`
+	// StaleClaim overrides cache.DefaultStaleClaim for in-flight cell
+	// claims; 0 keeps the default. Runtime tuning, not serialized.
+	StaleClaim time.Duration `json:"-"`
+}
+
+func (p CachePolicy) enabled() bool { return p.Dir != "" && p.Mode != CacheOff }
+func (p CachePolicy) reads() bool {
+	return p.enabled() && (p.Mode == "" || p.Mode == CacheReadWrite || p.Mode == CacheRead)
+}
+func (p CachePolicy) writes() bool {
+	return p.enabled() && (p.Mode == "" || p.Mode == CacheReadWrite || p.Mode == CacheWrite)
+}
+
+func (p CachePolicy) validate() error {
+	switch p.Mode {
+	case "", CacheReadWrite, CacheRead, CacheWrite, CacheOff:
+		return nil
+	}
+	return fmt.Errorf("harness: unknown cache mode %q (want %s, %s, %s or %s)",
+		p.Mode, CacheReadWrite, CacheRead, CacheWrite, CacheOff)
+}
+
+// RunSpec is the single canonical description of one harness invocation —
+// the struct that pertbench flags, pertsim flags, and scenario schema v2
+// files all compile into, replacing the old Options struct and per-binary
+// flag plumbing. Its serialized form (plain encoding/json) is also the
+// object the result cache hashes: the "cell identity" fields below are
+// folded into every cell's cache key, while the "mechanics" fields only
+// shape how cells execute (results are bit-identical across them, a
+// determinism contract the engine tests pin) and the "runtime wiring"
+// fields never serialize at all.
+type RunSpec struct {
+	// Cell identity — hashed into cache keys.
+
+	// Experiments lists registry experiment IDs to run, in order. Empty
+	// means the whole registry when Scenario is nil, and no registry cells
+	// otherwise.
+	Experiments []string `json:"experiments,omitempty"`
+	// Scenario is an optional inline declarative cell (schema v2): the
+	// validated spec runs through experiments.RunScenario as the sweep's
+	// final cell. Its cache key hashes the whole canonicalized spec.
+	Scenario *scenario.Spec `json:"scenario,omitempty"`
+	// Scale selects experiment sizing; "" means quick.
+	Scale string `json:"scale,omitempty"`
+	// Seed is the sweep's base RNG seed. Registry experiments use fixed
+	// internal seeds today, so for them it only distinguishes cache cells;
+	// inline scenarios carry their own seed inside the spec.
+	Seed int64 `json:"seed,omitempty"`
+	// MetricsInterval overrides the time-series sampling period (0 = the
+	// experiments package default, 100 ms of sim time). Part of the cell
+	// identity because it changes the series files a cell produces.
+	MetricsInterval time.Duration `json:"metrics_interval,omitempty"`
+
+	// Mechanics — how cells execute; never hashed.
+
+	// Workers bounds in-experiment scenario parallelism; <1 means the
+	// context's worker count (GOMAXPROCS unless overridden).
+	Workers int `json:"workers,omitempty"`
+	// Timeout bounds each individual run; 0 means none. A timed-out run
+	// records an error and the sweep continues.
+	Timeout time.Duration `json:"timeout,omitempty"`
+	// StallWindow arms the no-progress watchdog: if the process-wide sim
+	// event counters do not advance for this much wallclock time, the run
+	// is marked StatusStalled and abandoned, and the sweep continues. 0
+	// disables. See the watchdog notes on watchRun.
+	StallWindow time.Duration `json:"stall_window,omitempty"`
+	// MetricsDir, when non-empty, enables time-series collection for every
+	// cell. Without a cache the files land under
+	// MetricsDir/<experiment>/<cell>.jsonl as before; with a cache enabled
+	// the directory's *location* is superseded — series stream into each
+	// cell's cache-addressable series/ subtree (so hits replay them) and
+	// the report's series_paths point there. Only the on/off switch (and
+	// MetricsInterval) joins the cell identity.
+	MetricsDir string `json:"metrics_dir,omitempty"`
+	// Cache selects the content-addressed result store, if any.
+	Cache CachePolicy `json:"cache,omitempty"`
+
+	// Runtime wiring — excluded from the serialized form.
+
+	// Sink observes run lifecycle and progress events; nil disables.
+	Sink Sink `json:"-"`
+	// ProgressInterval is the Progress event period; 0 disables progress
+	// ticks (lifecycle events are still emitted).
+	ProgressInterval time.Duration `json:"-"`
+}
+
+// scale returns the effective scale with the quick default applied.
+func (s RunSpec) scale() experiments.Scale {
+	if s.Scale == "" {
+		return experiments.Quick
+	}
+	return experiments.Scale(s.Scale)
+}
+
+// metricsOn reports whether time-series collection is enabled.
+func (s RunSpec) metricsOn() bool { return s.MetricsDir != "" }
+
+// Validate checks the spec's enumerated fields. Unknown experiment IDs are
+// deliberately not validated here — they become per-run error records so a
+// sweep survives a typo (see Run).
+func (s RunSpec) Validate() error {
+	if !s.scale().Valid() {
+		return fmt.Errorf("harness: unknown scale %q (want %q or %q)",
+			s.Scale, experiments.Quick, experiments.Paper)
+	}
+	if err := s.Cache.validate(); err != nil {
+		return err
+	}
+	if s.Scenario != nil {
+		if err := s.Scenario.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cacheKeySchema versions the cell-identity layout below. Bump it whenever
+// the identity object or the meaning of any hashed field changes, so stale
+// caches miss instead of replaying wrong results.
+const cacheKeySchema = 1
+
+// cellIdentity is the canonical object a cell's cache key hashes: the
+// semantic subset of the RunSpec plus the cell's own spec and the code
+// version. Mechanics (workers, timeouts, sinks) are absent by construction.
+type cellIdentity struct {
+	KeySchema       int            `json:"key_schema"`
+	CodeVersion     string         `json:"code_version"`
+	Scale           string         `json:"scale"`
+	Seed            int64          `json:"seed,omitempty"`
+	Metrics         bool           `json:"metrics,omitempty"`
+	MetricsInterval int64          `json:"metrics_interval,omitempty"` // nanoseconds
+	Experiment      string         `json:"experiment,omitempty"`
+	Scenario        *scenario.Spec `json:"scenario,omitempty"`
+}
+
+// identity builds the shared (cell-independent) part of the key.
+// MetricsInterval joins only when metrics are on — with them off it cannot
+// affect results, so two such specs must share cells.
+func (s RunSpec) identity(codeVersion string) cellIdentity {
+	id := cellIdentity{
+		KeySchema:   cacheKeySchema,
+		CodeVersion: codeVersion,
+		Scale:       string(s.scale()),
+		Seed:        s.Seed,
+	}
+	if s.metricsOn() {
+		id.Metrics = true
+		id.MetricsInterval = int64(s.MetricsInterval)
+	}
+	return id
+}
+
+// CellKey returns the cache key of the registry-experiment cell expID under
+// this spec, hashed with the given code version. Pass Version() for live
+// keys; tests pin a fixed version so golden digests survive commits.
+func (s RunSpec) CellKey(expID, codeVersion string) (string, error) {
+	if expID == "" {
+		return "", errors.New("harness: empty experiment ID")
+	}
+	id := s.identity(codeVersion)
+	id.Experiment = expID
+	return cache.Key(id)
+}
+
+// ScenarioKey returns the cache key of the spec's inline scenario cell. A
+// scenario carrying Go-only overrides (an explicit Queue factory or Env) is
+// not content-addressable and returns an error — the harness runs such
+// cells uncached.
+func (s RunSpec) ScenarioKey(codeVersion string) (string, error) {
+	if s.Scenario == nil {
+		return "", errors.New("harness: no inline scenario")
+	}
+	if s.Scenario.Topology.Queue != nil || s.Scenario.Env != nil {
+		return "", errors.New("harness: scenario with Go-only overrides (Queue/Env) is not cacheable")
+	}
+	id := s.identity(codeVersion)
+	id.Experiment = ScenarioCellID(s.Scenario)
+	canon := s.Scenario.Canonical()
+	id.Scenario = &canon
+	return cache.Key(id)
+}
+
+// ScenarioCellID names the inline scenario cell in reports and sink events.
+func ScenarioCellID(sp *scenario.Spec) string {
+	if sp == nil || sp.Name == "" {
+		return "scenario"
+	}
+	return "scenario:" + sp.Name
+}
+
+// cells expands the spec into the ordered experiment list Run executes:
+// registry cells (unknown IDs become always-failing placeholders so report
+// mode records them without stopping the sweep) followed by the inline
+// scenario cell, if any.
+func (s RunSpec) cells() []experiments.Experiment {
+	ids := s.Experiments
+	if len(ids) == 0 && s.Scenario == nil {
+		ids = experiments.IDs()
+	}
+	out := make([]experiments.Experiment, 0, len(ids)+1)
+	for _, id := range ids {
+		exp, ok := experiments.ByID(id)
+		if !ok {
+			exp = failingExperiment(id)
+		}
+		out = append(out, exp)
+	}
+	if s.Scenario != nil {
+		out = append(out, scenarioExperiment(s.Scenario))
+	}
+	return out
+}
+
+// scenarioExperiment adapts an inline declarative scenario to the
+// experiment interface; scale does not apply (the spec is already sized).
+func scenarioExperiment(sp *scenario.Spec) experiments.Experiment {
+	return experiments.Experiment{
+		ID:    ScenarioCellID(sp),
+		Title: "declarative scenario (schema v2)",
+		Run: func(ctx context.Context, _ experiments.Scale) ([]*experiments.Table, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			t, err := experiments.RunScenario(*sp)
+			if err != nil {
+				return nil, err
+			}
+			return []*experiments.Table{t}, nil
+		},
+	}
+}
+
+// failingExperiment is a placeholder whose run always errors — how unknown
+// experiment IDs are recorded without aborting the rest of the sweep.
+func failingExperiment(id string) experiments.Experiment {
+	return experiments.Experiment{
+		ID:    id,
+		Title: "unknown experiment",
+		Run: func(context.Context, experiments.Scale) ([]*experiments.Table, error) {
+			return nil, fmt.Errorf("unknown experiment %q (use -list)", id)
+		},
+	}
+}

@@ -31,6 +31,7 @@ type Event struct {
 
 	Err          error                // RunFinished only; nil on success
 	Status       string               // RunFinished only; a report Status* value
+	Cached       bool                 // RunFinished only; replayed from the result cache
 	Wall         time.Duration        // elapsed wallclock for this run so far
 	SimEvents    uint64               // sim events attributed to this run so far
 	EventsPerSec float64              // SimEvents / Wall
@@ -83,6 +84,14 @@ func (s *WriterSink) Event(e Event) {
 		}
 		fmt.Fprintln(s.w, line)
 	case RunFinished:
+		if e.Cached {
+			if e.Err != nil {
+				fmt.Fprintf(s.w, "%s: cached (FAILED: %v)\n", pos, e.Err)
+				return
+			}
+			fmt.Fprintf(s.w, "%s: cached (%s events)\n", pos, count(e.SimEvents))
+			return
+		}
 		if e.Status == StatusStalled {
 			fmt.Fprintf(s.w, "%s: STALLED after %s: %v\n", pos, e.Wall.Round(time.Millisecond), e.Err)
 			return

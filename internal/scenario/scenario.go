@@ -55,8 +55,9 @@ type TopologySpec struct {
 	// queues (both directions). Empty = the first flow group's scheme.
 	AQM string
 	// Queue overrides AQM with an explicit factory (Go callers only; the
-	// JSON loader always goes through AQM).
-	Queue topo.QueueFactory
+	// JSON loader always goes through AQM). Excluded from the serialized
+	// form — a spec carrying one is not content-addressable.
+	Queue topo.QueueFactory `json:"-"`
 }
 
 // FlowGroupSpec is one homogeneous traffic population: Count flows of one
@@ -131,7 +132,8 @@ type Spec struct {
 	// Env overrides the derived scheme environment (capacity, flow count,
 	// RTT bound). Experiments that historically hand-picked these values
 	// set it to stay bit-identical; leave nil to derive from the spec.
-	Env *Env
+	// Excluded from the serialized form (see Topology.Queue).
+	Env *Env `json:"-"`
 }
 
 // measureUntil returns the effective window end.
@@ -232,6 +234,26 @@ func (s Spec) Validate() error {
 		}
 	}
 	return nil
+}
+
+// Canonical returns a copy of the spec with its alias defaults made
+// explicit — the zero-value spellings the spec's own accessors define:
+// traffic kind ("" ≡ "ftp"), measure_until (0 ≡ duration), and the queue
+// scheme ("" ≡ the first group's scheme). Semantically identical documents
+// that differ only in eliding these serialize identically, which is what
+// the content-addressed result cache hashes. Topology zeros that the
+// compiler *derives* (buffer from BDP, delay from RTT) are deliberately not
+// expanded: those rules live in the compiler and an explicit value equal to
+// the derivation is a coincidence, not an alias.
+func (s Spec) Canonical() Spec {
+	out := s
+	out.Groups = append([]FlowGroupSpec(nil), s.Groups...)
+	for i := range out.Groups {
+		out.Groups[i].Traffic = out.Groups[i].kind()
+	}
+	out.MeasureUntil = s.measureUntil()
+	out.Topology.AQM = s.queueScheme()
+	return out
 }
 
 // queueScheme resolves the scheme name whose Queue factory builds the core

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check validate-scenarios bench bench-micro bench-smoke cache-smoke results results-paper fuzz clean
+.PHONY: all build test vet check validate-scenarios bench bench-micro bench-smoke cache-smoke chaos-smoke results results-paper fuzz clean
 
 all: build check
 
@@ -64,6 +64,15 @@ cache-smoke:
 	diff -u "$$dir/cold.flat" "$$dir/warm.flat" || { echo "cache-smoke: warm report differs from cold"; exit 1; }; \
 	echo "cache-smoke: OK (2/2 cells replayed, zero simulations)"
 
+# Chaos smoke: the fault-tolerance acceptance suite. SIGKILLs and
+# crash-injects a cached sweep at random points (including inside the cache
+# commit protocol), then proves a clean rerun repairs the debris and
+# converges to a byte-identical report with zero re-simulated warm cells;
+# also pins worker isolation, retry-to-identical, and crash containment.
+chaos-smoke:
+	$(GO) test ./internal/harness -run 'TestChaos|TestIsolatedSweepMatchesInProcess|TestCrashOnceCellRetriesToBitIdentical|TestIsolationContainsWorkerCrash' -count=1 -timeout 15m -v
+	$(GO) test ./internal/cache -run 'TestCrash|TestFsck' -count=1 -v
+
 # Regenerate the committed quick-scale results file.
 results:
 	$(GO) run ./cmd/pertbench -scale quick > results_quick.txt
@@ -78,6 +87,7 @@ fuzz:
 	$(GO) test ./internal/experiments -run=NONE -fuzz=FuzzLoadScenario -fuzztime=20s
 	$(GO) test ./internal/scenario -run=NONE -fuzz=FuzzLoadSpec -fuzztime=20s
 	$(GO) test ./internal/netem -run=NONE -fuzz=FuzzReadTrace -fuzztime=20s
+	$(GO) test ./internal/harness -run=NONE -fuzz=FuzzDecodeRunRecord -fuzztime=20s
 
 clean:
 	$(GO) clean ./...

@@ -5,7 +5,8 @@
 //
 //	pertbench [-scale quick|paper] [-exp fig6,fig7,...|all] [-format text|json|csv]
 //	          [-json] [-progress] [-parallel N] [-timeout D] [-stall-window D]
-//	          [-cache-dir DIR] [-cache MODE] [-cpuprofile FILE] [-memprofile FILE]
+//	          [-cache-dir DIR] [-cache MODE] [-cache-fsck] [-isolate]
+//	          [-retries N] [-retry-backoff D] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Quick scale (default) shrinks bandwidth and duration while preserving the
 // dimensionless shape of each experiment; paper scale runs the publication's
@@ -22,6 +23,12 @@
 // report), and a sweep killed mid-run resumes exactly where it stopped when
 // rerun with the same flags. Multiple pertbench processes may share one
 // cache directory and will split the sweep between them.
+//
+// -isolate runs each cell in a re-exec'd worker process so a crash loses one
+// cell, not the sweep; -retries N re-runs failed cells with exponential
+// backoff; -cache-fsck repairs a cache directory after a crash and exits.
+// The first Ctrl-C drains the in-flight cell and writes a partial report; a
+// second kills in-flight workers immediately.
 package main
 
 import (
@@ -30,8 +37,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"pert/internal/experiments"
@@ -40,7 +45,8 @@ import (
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	harness.MaybeWorker() // never returns when spawned as a -isolate cell worker
+	ctx, stop := harness.NotifyShutdown(context.Background())
 	defer stop()
 	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -77,6 +83,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+	if shared.FsckRequested() {
+		return shared.RunFsck(stdout, stderr)
+	}
 
 	switch *format {
 	case "text", "json", "csv":
@@ -104,6 +113,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		spec.ProgressInterval = time.Second
 	}
 	rep, runErr := harness.Run(ctx, spec)
+	if runErr != nil && shared.CacheRequested() {
+		fmt.Fprintln(stderr, "pertbench: sweep interrupted; finished cells are committed — rerun the same command to resume")
+	}
 
 	if *jsonReport {
 		if err := rep.WriteJSON(stdout); err != nil {

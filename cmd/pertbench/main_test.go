@@ -4,9 +4,19 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
+
+	"pert/internal/harness"
 )
+
+// TestMain mirrors the real binary: the test executable doubles as the
+// worker the supervisor re-execs for -isolate sweeps.
+func TestMain(m *testing.M) {
+	harness.MaybeWorker()
+	os.Exit(m.Run())
+}
 
 func TestListIDs(t *testing.T) {
 	var out, errb bytes.Buffer
@@ -229,5 +239,81 @@ func TestCacheBadModeExits2(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run(context.Background(), []string{"-cache-dir", t.TempDir(), "-cache", "sometimes", "-exp", "fig5"}, &out, &errb); code != 2 {
 		t.Fatalf("bad cache mode exit = %d", code)
+	}
+}
+
+// TestIsolatedSweep runs a cell in a re-exec'd worker process and then
+// replays it from a non-isolated warm run: same cache key, same tables —
+// process isolation must not perturb cell identity.
+func TestIsolatedSweep(t *testing.T) {
+	dir := t.TempDir()
+
+	var cold, warm bytes.Buffer
+	var errb bytes.Buffer
+	if code := run(context.Background(), []string{"-json", "-exp", "fig5", "-cache-dir", dir, "-isolate"}, &cold, &errb); code != 0 {
+		t.Fatalf("isolated exit %d: %s", code, errb.String())
+	}
+	errb.Reset()
+	if code := run(context.Background(), []string{"-json", "-exp", "fig5", "-cache-dir", dir}, &warm, &errb); code != 0 {
+		t.Fatalf("warm exit %d: %s", code, errb.String())
+	}
+
+	type report struct {
+		CacheHits   int `json:"cache_hits"`
+		CacheMisses int `json:"cache_misses"`
+		Runs        []struct {
+			Status   string `json:"status"`
+			Error    string `json:"error"`
+			Cached   bool   `json:"cached"`
+			CacheKey string `json:"cache_key"`
+			Tables   []struct {
+				Rows [][]string `json:"rows"`
+			} `json:"tables"`
+		} `json:"runs"`
+	}
+	var c, w report
+	if err := json.Unmarshal(cold.Bytes(), &c); err != nil {
+		t.Fatalf("cold report: %v\n%s", err, cold.String())
+	}
+	if err := json.Unmarshal(warm.Bytes(), &w); err != nil {
+		t.Fatalf("warm report: %v", err)
+	}
+	if c.CacheMisses != 1 || c.Runs[0].Status != "ok" || c.Runs[0].Error != "" {
+		t.Fatalf("isolated cold run: %+v", c)
+	}
+	if w.CacheHits != 1 || !w.Runs[0].Cached {
+		t.Fatalf("warm run after isolated commit: %+v", w)
+	}
+	if w.Runs[0].CacheKey != c.Runs[0].CacheKey {
+		t.Fatalf("isolation changed the cache key: %s vs %s", c.Runs[0].CacheKey, w.Runs[0].CacheKey)
+	}
+	if len(c.Runs[0].Tables) != 1 ||
+		c.Runs[0].Tables[0].Rows[0][0] != w.Runs[0].Tables[0].Rows[0][0] {
+		t.Fatal("isolated tables differ from replayed tables")
+	}
+}
+
+func TestCacheFsck(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-cache-fsck"}, &out, &errb); code != 2 {
+		t.Fatalf("fsck without -cache-dir exit = %d", code)
+	}
+	if !strings.Contains(errb.String(), "-cache-dir") {
+		t.Fatalf("stderr: %s", errb.String())
+	}
+
+	dir := t.TempDir()
+	out.Reset()
+	errb.Reset()
+	if code := run(context.Background(), []string{"-exp", "fig5", "-json", "-cache-dir", dir}, &out, &errb); code != 0 {
+		t.Fatalf("seed sweep exit %d: %s", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run(context.Background(), []string{"-cache-fsck", "-cache-dir", dir}, &out, &errb); code != 0 {
+		t.Fatalf("fsck exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "1 cells") {
+		t.Fatalf("fsck summary: %q", out.String())
 	}
 }

@@ -29,9 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 	"time"
 
 	"pert/internal/experiments"
@@ -45,7 +43,8 @@ import (
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	harness.MaybeWorker() // never returns when spawned as a -isolate cell worker
+	ctx, stop := harness.NotifyShutdown(context.Background())
 	defer stop()
 	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -97,6 +96,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *validate && *config == "" {
 		fmt.Fprintln(stderr, "pertsim: -validate requires -config")
 		return 2
+	}
+	if shared.FsckRequested() {
+		return shared.RunFsck(stdout, stderr)
 	}
 	for _, p := range []struct {
 		name string
@@ -164,6 +166,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		// Ad-hoc flag runs carry Go-only instrumentation hooks and are not
 		// content-addressable; only schema-v2 configs run through the cache.
 		fmt.Fprintln(stderr, "pertsim: -cache-dir requires a schema-v2 -config (see EXPERIMENTS.md)")
+		return 2
+	}
+	if shared.IsolateRequested() {
+		// Same restriction: only harness-routed (schema-v2) runs can re-exec
+		// their cell in a worker process.
+		fmt.Fprintln(stderr, "pertsim: -isolate requires a schema-v2 -config (see EXPERIMENTS.md)")
 		return 2
 	}
 

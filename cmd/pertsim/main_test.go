@@ -159,3 +159,28 @@ func TestCacheRequiresV2Config(t *testing.T) {
 		t.Fatalf("error message: %s", errb.String())
 	}
 }
+
+func TestIsolateRequiresV2Config(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-flows", "2", "-dur", "6s", "-isolate"}, &out, &errb); code != 2 {
+		t.Fatalf("ad-hoc -isolate exit = %d: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "schema-v2") {
+		t.Fatalf("error message: %s", errb.String())
+	}
+}
+
+func TestCacheFsck(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-cache-fsck"}, &out, &errb); code != 2 {
+		t.Fatalf("fsck without -cache-dir exit = %d", code)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run(context.Background(), []string{"-cache-fsck", "-cache-dir", t.TempDir()}, &out, &errb); code != 0 {
+		t.Fatalf("fsck on empty cache exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "0 cells checked") {
+		t.Fatalf("fsck summary: %q", out.String())
+	}
+}

@@ -141,12 +141,14 @@ func (s *Store) Claim(key string) (*Claim, error) {
 				os.Remove(lock)
 				return nil, fmt.Errorf("cache: %w", err)
 			}
+			crashPoint(CrashSiteClaim)
 			staging := filepath.Join(s.dir, "tmp", fmt.Sprintf("%s.%d", key, os.Getpid()))
 			os.RemoveAll(staging)
 			if err := os.MkdirAll(staging, 0o755); err != nil {
 				os.Remove(lock)
 				return nil, fmt.Errorf("cache: %w", err)
 			}
+			crashPoint(CrashSiteStage)
 			return &Claim{store: s, key: key, lock: lock, staging: staging}, nil
 		}
 		if !errors.Is(err, fs.ErrExist) {
@@ -162,8 +164,10 @@ func (s *Store) Claim(key string) (*Claim, error) {
 
 // Wait blocks until key is committed by another process, polling the store.
 // It returns (nil, nil) when the claim disappears without a commit (the
-// owner released or died) — the caller should retry Claim. Cancellation of
-// ctx returns its error.
+// owner released or died) — the caller should retry Claim. A claim whose
+// owner is provably dead, or stale by age, counts as disappeared: a waiter
+// must not be wedged forever by the lockfile of a SIGKILLed worker.
+// Cancellation of ctx returns its error.
 func (s *Store) Wait(ctx context.Context, key string, poll time.Duration) (*Entry, error) {
 	if poll <= 0 {
 		poll = 200 * time.Millisecond
@@ -176,9 +180,10 @@ func (s *Store) Wait(ctx context.Context, key string, poll time.Duration) (*Entr
 		} else if ok {
 			return e, nil
 		}
-		if _, err := os.Stat(s.lockPath(key)); errors.Is(err, fs.ErrNotExist) {
-			// No commit and no claim: the owner gave up (or its stale lock
-			// was swept). One last Get closes the release-after-commit race.
+		if s.claimStale(s.lockPath(key)) {
+			// No live claim (vanished, dead owner, or stale by age): the
+			// caller should retry Claim, which will break any leftover lock.
+			// One last Get closes the release-after-commit race.
 			e, ok, err := s.Get(key)
 			if err != nil || !ok {
 				return nil, err
@@ -233,27 +238,61 @@ func processAlive(pid int) bool {
 	return true
 }
 
-// sweepTmp removes staging directories whose owner process is dead —
-// best-effort garbage collection of interrupted commits.
+// tmpGCGrace is the minimum age before Open's GC may reap a staging
+// directory whose owner looks dead. The PID probe can misfire — an owner on
+// another host sharing the directory, or a PID namespace boundary — so a
+// freshly-modified staging dir is never reaped on liveness evidence alone,
+// mirroring the lockfile protocol's age + PID-liveness stale-breaking.
+const tmpGCGrace = time.Minute
+
+// sweepTmp garbage-collects staging directories abandoned by interrupted
+// commits. It must never reap a directory another live process is actively
+// staging, so it reaps only when the owner is provably dead AND the
+// directory has not been touched within tmpGCGrace; directories whose owner
+// cannot even be parsed are reaped once older than StaleClaim. A live
+// owner's staging dir is never touched (a reused PID delays collection
+// until that PID dies, which is bounded and harmless).
 func (s *Store) sweepTmp() {
 	entries, err := os.ReadDir(filepath.Join(s.dir, "tmp"))
 	if err != nil {
 		return
 	}
 	for _, e := range entries {
-		name := e.Name()
-		dot := strings.LastIndexByte(name, '.')
-		if dot < 0 {
-			continue
+		s.reapTmp(e.Name(), tmpGCGrace)
+	}
+}
+
+// reapTmp applies the staging GC policy to one tmp entry: deadGrace is the
+// minimum age for reaping a dead owner's directory (fsck passes 0 — an
+// explicit repair need not wait). Reports whether the entry was removed.
+func (s *Store) reapTmp(name string, deadGrace time.Duration) bool {
+	path := filepath.Join(s.dir, "tmp", name)
+	fi, err := os.Stat(path)
+	if err != nil {
+		return false
+	}
+	age := time.Since(fi.ModTime())
+	pid := 0
+	if dot := strings.LastIndexByte(name, '.'); dot >= 0 {
+		pid, _ = strconv.Atoi(name[dot+1:])
+	}
+	switch {
+	case pid == os.Getpid():
+		return false // our own in-flight claims
+	case pid > 0 && processAlive(pid):
+		return false // actively staging (or a reused PID; collected later)
+	case pid > 0:
+		if age < deadGrace {
+			return false // dead-looking but fresh: the probe may be wrong
 		}
-		pid, err := strconv.Atoi(name[dot+1:])
-		if err != nil || pid == os.Getpid() {
-			continue
-		}
-		if !processAlive(pid) {
-			os.RemoveAll(filepath.Join(s.dir, "tmp", name))
+	default:
+		// Unattributable name (not ours): only age can clear it.
+		if s.StaleClaim <= 0 || age < s.StaleClaim {
+			return false
 		}
 	}
+	os.RemoveAll(path)
+	return true
 }
 
 // Claim is exclusive ownership of one in-flight cell. Exactly one of Commit
@@ -291,6 +330,7 @@ func (c *Claim) Commit(record []byte) (string, error) {
 	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
 		return fail(err)
 	}
+	crashPoint(CrashSiteCommitStage)
 	if err := os.Rename(c.staging, final); err != nil {
 		// A cell that appeared despite our lock (external writer) still
 		// satisfies the caller; anything else is a real commit failure.
@@ -300,6 +340,7 @@ func (c *Claim) Commit(record []byte) (string, error) {
 		}
 		return fail(err)
 	}
+	crashPoint(CrashSiteCommitRename)
 	os.Remove(c.lock)
 	c.done = true
 	return final, nil
@@ -311,6 +352,7 @@ func (c *Claim) Release() {
 	if c.done {
 		return
 	}
+	crashPoint(CrashSiteRelease)
 	os.RemoveAll(c.staging)
 	os.Remove(c.lock)
 	c.done = true

@@ -271,19 +271,37 @@ func TestWaitHonorsContext(t *testing.T) {
 
 func TestOpenSweepsDeadStaging(t *testing.T) {
 	dir := t.TempDir()
+	// Old + dead owner: reaped.
 	dead := filepath.Join(dir, "tmp", fmt.Sprintf("somekey.%d", 1<<30))
 	if err := os.MkdirAll(dead, 0o755); err != nil {
 		t.Fatal(err)
 	}
+	old := time.Now().Add(-2 * tmpGCGrace)
+	if err := os.Chtimes(dead, old, old); err != nil {
+		t.Fatal(err)
+	}
+	// Dead owner but fresh: inside the grace window (the PID may not have
+	// started yet — a racing process mid-MkdirTemp), so it survives.
+	freshDead := filepath.Join(dir, "tmp", fmt.Sprintf("newkey.%d", 1<<30-1))
+	if err := os.MkdirAll(freshDead, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Live owner, however old: never reaped.
 	live := filepath.Join(dir, "tmp", fmt.Sprintf("otherkey.%d", os.Getpid()))
 	if err := os.MkdirAll(live, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(live, old, old); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Open(dir); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(dead); !os.IsNotExist(err) {
-		t.Fatal("dead staging dir survived Open")
+		t.Fatal("old dead staging dir survived Open")
+	}
+	if _, err := os.Stat(freshDead); err != nil {
+		t.Fatal("fresh staging dir was swept inside the grace window")
 	}
 	if _, err := os.Stat(live); err != nil {
 		t.Fatal("live staging dir was swept")

@@ -1,0 +1,361 @@
+package cache
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMain doubles as the crash-test child: when PERT_CACHE_CRASHTEST names
+// a store directory, the process runs one claim/commit (or claim/release)
+// sequence against it instead of the test suite — with PERT_CRASH_AT armed,
+// it dies mid-protocol at the injected site.
+func TestMain(m *testing.M) {
+	if dir := os.Getenv("PERT_CACHE_CRASHTEST"); dir != "" {
+		os.Exit(crashChild(dir))
+	}
+	os.Exit(m.Run())
+}
+
+// crashTestKey is the cell the crash child operates on.
+const crashTestKey = "deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef"
+
+func crashChild(dir string) int {
+	s, err := Open(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 9
+	}
+	claim, err := s.Claim(crashTestKey)
+	if err != nil || claim == nil {
+		fmt.Fprintf(os.Stderr, "claim failed: %v\n", err)
+		return 9
+	}
+	if os.Getenv(CrashEnv) == CrashSiteRelease {
+		claim.Release()
+		return 0
+	}
+	if _, err := claim.Commit([]byte(`{"id":"x","status":"ok","tables":[]}`)); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 9
+	}
+	return 0
+}
+
+// runCrashChild re-execs the test binary as a crash child against dir with
+// injection armed at site, returning the child's exit code.
+func runCrashChild(t *testing.T, dir, site string) int {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"PERT_CACHE_CRASHTEST="+dir,
+		CrashEnv+"="+site,
+	)
+	cmd.Stderr = os.Stderr
+	err := cmd.Run()
+	if err == nil {
+		return 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode()
+	}
+	t.Fatalf("crash child: %v", err)
+	return -1
+}
+
+// TestCrashSitesLeaveRepairableDebris is the cache half of the chaos
+// harness: for every injectable site, a child process dies exactly there,
+// and the store must (a) never present a corrupt committed cell, and (b) be
+// fully repairable by Fsck, after which a fresh claim/commit round succeeds.
+func TestCrashSitesLeaveRepairableDebris(t *testing.T) {
+	for _, site := range CrashSites() {
+		t.Run(site, func(t *testing.T) {
+			dir := t.TempDir()
+			if code := runCrashChild(t, dir, site); code != CrashExitCode {
+				t.Fatalf("child exit = %d, want %d (injection did not fire)", code, CrashExitCode)
+			}
+			s, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The atomic-rename protocol's core promise: a crash anywhere
+			// either left the cell fully committed or not present at all —
+			// never half-written.
+			entry, committed, err := s.Get(crashTestKey)
+			if err != nil {
+				t.Fatalf("crash at %s left a corrupt committed cell: %v", site, err)
+			}
+			wantCommitted := site == CrashSiteCommitRename
+			if committed != wantCommitted {
+				t.Fatalf("crash at %s: committed = %v, want %v", site, committed, wantCommitted)
+			}
+			if committed && !strings.Contains(string(entry.Record), `"id":"x"`) {
+				t.Fatalf("committed record garbled: %s", entry.Record)
+			}
+			rep, err := s.Fsck(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Evicted != 0 {
+				t.Fatalf("fsck evicted %d committed cells after crash at %s:\n%s",
+					rep.Evicted, site, strings.Join(rep.Problems, "\n"))
+			}
+			// Every site dies holding the lock (even commit.rename crashes
+			// before dropping it), so fsck must break exactly one claim;
+			// sites that die with a live staging dir must have it reaped.
+			if rep.ClaimsBroken != 1 {
+				t.Fatalf("fsck after %s broke %d claims, want 1:\n%s",
+					site, rep.ClaimsBroken, strings.Join(rep.Problems, "\n"))
+			}
+			wantTmp := 0
+			switch site {
+			case CrashSiteStage, CrashSiteCommitStage, CrashSiteRelease:
+				wantTmp = 1
+			}
+			if rep.TmpReaped != wantTmp {
+				t.Fatalf("fsck after %s reaped %d staging dirs, want %d", site, rep.TmpReaped, wantTmp)
+			}
+			// The store must be fully usable afterwards.
+			if !committed {
+				claim, err := s.Claim(crashTestKey)
+				if err != nil || claim == nil {
+					t.Fatalf("re-claim after fsck failed: claim=%v err=%v", claim, err)
+				}
+				if _, err := claim.Commit([]byte(`{"id":"x","status":"ok","tables":[]}`)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, ok, err := s.Get(crashTestKey); err != nil || !ok {
+				t.Fatalf("cell not readable after repair: ok=%v err=%v", ok, err)
+			}
+			// A second fsck on the healthy store is a no-op.
+			rep, err = s.Fsck(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Evicted != 0 || rep.ClaimsBroken != 0 || rep.TmpReaped != 0 {
+				t.Fatalf("fsck on healthy store repaired something: %s", rep.Summary())
+			}
+		})
+	}
+}
+
+// TestCrashOnceMarker pins the one-shot behavior retried workers rely on:
+// with CrashOnceEnv set, the first child dies at the site and the second
+// sails through.
+func TestCrashOnceMarker(t *testing.T) {
+	dir := t.TempDir()
+	marker := filepath.Join(t.TempDir(), "crashed-once")
+	env := []string{
+		"PERT_CACHE_CRASHTEST=" + dir,
+		CrashEnv + "=" + CrashSiteCommitStage,
+		CrashOnceEnv + "=" + marker,
+	}
+	run := func() int {
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(), env...)
+		err := cmd.Run()
+		if err == nil {
+			return 0
+		}
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		t.Fatal(err)
+		return -1
+	}
+	if code := run(); code != CrashExitCode {
+		t.Fatalf("first child exit = %d, want %d", code, CrashExitCode)
+	}
+	if _, err := os.Stat(marker); err != nil {
+		t.Fatalf("marker not written: %v", err)
+	}
+	if code := run(); code != 0 {
+		t.Fatalf("second child exit = %d, want 0 (marker should disarm the crash)", code)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get(crashTestKey); !ok {
+		t.Fatal("second child did not commit the cell")
+	}
+}
+
+// TestFsckRepairsAllDebrisKinds builds every kind of crash debris by hand —
+// an orphaned staging dir, a stale claim, a truncated record — plus one
+// healthy cell and one live claim, and checks Fsck repairs exactly the
+// debris.
+func TestFsckRepairsAllDebrisKinds(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyFor := func(b byte) string { return strings.Repeat(string(b), 64) }
+
+	// Healthy committed cell.
+	healthy := keyFor('a')
+	claim, _ := s.Claim(healthy)
+	if _, err := claim.Commit([]byte(`{"id":"h"}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Truncated record.
+	corrupt := keyFor('b')
+	cdir := s.CellDir(corrupt)
+	if err := os.MkdirAll(cdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(cdir, "record.json"), []byte(`{"id":"trunc`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Stale claim: dead owner.
+	stale := keyFor('c')
+	if err := os.MkdirAll(filepath.Dir(s.lockPath(stale)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.lockPath(stale), []byte(fmt.Sprint(1<<30)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Live claim: ours, must survive.
+	live := keyFor('d')
+	liveClaim, err := s.Claim(live)
+	if err != nil || liveClaim == nil {
+		t.Fatal("live claim failed")
+	}
+	defer liveClaim.Release()
+	// Orphaned staging dir (dead owner).
+	orphan := filepath.Join(dir, "tmp", fmt.Sprintf("%s.%d", keyFor('e'), 1<<30))
+	if err := os.MkdirAll(orphan, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := s.Fsck(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Evicted != 1 {
+		t.Fatalf("evicted = %d, want 1 (the truncated record): %v", rep.Evicted, rep.Problems)
+	}
+	if rep.ClaimsBroken != 1 {
+		t.Fatalf("claims broken = %d, want 1 (the dead owner): %v", rep.ClaimsBroken, rep.Problems)
+	}
+	if rep.TmpReaped != 1 {
+		t.Fatalf("tmp reaped = %d, want 1: %v", rep.TmpReaped, rep.Problems)
+	}
+	if _, ok, _ := s.Get(healthy); !ok {
+		t.Fatal("healthy cell evicted")
+	}
+	if _, ok, _ := s.Get(corrupt); ok {
+		t.Fatal("corrupt cell survived")
+	}
+	if s.claimStale(s.lockPath(live)) {
+		t.Fatal("live claim broken")
+	}
+	if _, err := os.Stat(liveClaim.staging); err != nil {
+		t.Fatal("live staging dir reaped by fsck")
+	}
+}
+
+// TestClaimStaleClockSkew: a lockfile whose mtime is in the future (clock
+// skew between hosts sharing the directory) must still be breakable when
+// its owner is provably dead — age alone never protects a dead owner.
+func TestClaimStaleClockSkew(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("f", 64)
+	lock := s.lockPath(key)
+	if err := os.MkdirAll(filepath.Dir(lock), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(lock, []byte(fmt.Sprint(1<<30)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	future := time.Now().Add(time.Hour)
+	if err := os.Chtimes(lock, future, future); err != nil {
+		t.Fatal(err)
+	}
+	claim, err := s.Claim(key)
+	if err != nil || claim == nil {
+		t.Fatalf("future-dated dead claim not broken: claim=%v err=%v", claim, err)
+	}
+	claim.Release()
+}
+
+// TestClaimStalePIDReuse: when the lockfile's PID is alive but belongs to an
+// unrelated process (PID reuse after a reboot — modeled with PID 1), the
+// liveness probe alone must not wedge the cell forever: the mtime staleness
+// bound still breaks the claim.
+func TestClaimStalePIDReuse(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StaleClaim = 50 * time.Millisecond
+	key := strings.Repeat("e", 64)
+	lock := s.lockPath(key)
+	if err := os.MkdirAll(filepath.Dir(lock), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(lock, []byte("1"), 0o644); err != nil { // PID 1 is always alive
+		t.Fatal(err)
+	}
+	if claim, _ := s.Claim(key); claim != nil {
+		t.Fatal("fresh claim with a live PID was broken")
+	}
+	old := time.Now().Add(-time.Second)
+	if err := os.Chtimes(lock, old, old); err != nil {
+		t.Fatal(err)
+	}
+	claim, err := s.Claim(key)
+	if err != nil || claim == nil {
+		t.Fatalf("aged-out claim with reused PID not broken: claim=%v err=%v", claim, err)
+	}
+	claim.Release()
+}
+
+// TestWaitReturnsWhenOwnerDies: a waiter polling a claim whose owner was
+// SIGKILLed (dead PID in the lockfile, no commit coming) must return
+// promptly instead of blocking until context cancellation.
+func TestWaitReturnsWhenOwnerDies(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("d", 64)
+	lock := s.lockPath(key)
+	if err := os.MkdirAll(filepath.Dir(lock), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(lock, []byte(fmt.Sprint(1<<30)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		entry, err := s.Wait(ctx, key, 5*time.Millisecond)
+		if entry != nil {
+			err = fmt.Errorf("Wait returned an entry for an uncommitted cell")
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait wedged on a dead owner's claim")
+	}
+}

@@ -1,0 +1,61 @@
+package cache
+
+import (
+	"fmt"
+	"os"
+)
+
+// Crash-injection hooks for the chaos harness. Setting CrashEnv to one of
+// the site names below makes the process die abruptly (os.Exit, no deferred
+// cleanup — the closest a cooperating process can come to a SIGKILL) the
+// first time it reaches that point of the cache protocol. The sites bracket
+// every state transition a crash could interrupt: a killed claimant must
+// leave debris that the next claimant (or `-cache-fsck`) can always repair,
+// and a crash after the atomic rename must leave a fully-committed cell.
+//
+// With CrashOnceEnv also set to a file path, the crash fires only if that
+// file does not exist yet; the marker is written just before dying, so a
+// retried worker inheriting the same environment crashes exactly once.
+// This is test instrumentation, not an operator surface.
+const (
+	// CrashEnv selects the crash site; empty disables injection.
+	CrashEnv = "PERT_CRASH_AT"
+	// CrashOnceEnv points at a marker file making the injected crash
+	// one-shot across process restarts.
+	CrashOnceEnv = "PERT_CRASH_ONCE"
+
+	// CrashExitCode is the exit status of an injected crash, distinct from
+	// every deliberate exit code the binaries use.
+	CrashExitCode = 86
+)
+
+// The injectable sites, in protocol order.
+const (
+	CrashSiteClaim        = "cache.claim"         // lockfile created, staging dir not yet
+	CrashSiteStage        = "cache.stage"         // staging dir created, nothing written
+	CrashSiteCommitStage  = "cache.commit.stage"  // record staged, rename not yet done
+	CrashSiteCommitRename = "cache.commit.rename" // cell renamed into place, lock not yet dropped
+	CrashSiteRelease      = "cache.release"       // release requested, nothing cleaned yet
+)
+
+// CrashSites lists every injectable site, for chaos drivers that want to
+// sweep them.
+func CrashSites() []string {
+	return []string{CrashSiteClaim, CrashSiteStage, CrashSiteCommitStage,
+		CrashSiteCommitRename, CrashSiteRelease}
+}
+
+// crashPoint dies abruptly when injection is armed for this site.
+func crashPoint(site string) {
+	if os.Getenv(CrashEnv) != site {
+		return
+	}
+	if marker := os.Getenv(CrashOnceEnv); marker != "" {
+		if _, err := os.Stat(marker); err == nil {
+			return // already crashed once
+		}
+		os.WriteFile(marker, []byte(site), 0o644)
+	}
+	fmt.Fprintf(os.Stderr, "cache: injected crash at %s\n", site)
+	os.Exit(CrashExitCode)
+}

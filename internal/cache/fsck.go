@@ -1,0 +1,116 @@
+package cache
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// FsckReport summarizes one repair pass over a store.
+type FsckReport struct {
+	// Cells is the number of committed cells examined.
+	Cells int
+	// Evicted counts cells removed because their record.json was missing,
+	// truncated, or failed validation.
+	Evicted int
+	// ClaimsBroken counts stale lockfiles removed (dead or unprovable
+	// owners; live claims are left alone).
+	ClaimsBroken int
+	// TmpReaped counts orphaned staging directories removed.
+	TmpReaped int
+	// Problems describes each repair, one line per action, in scan order.
+	Problems []string
+}
+
+// Fsck scans the whole store and repairs crash debris: orphaned staging
+// directories under tmp/, stale claim lockfiles, and committed cells whose
+// record.json no longer parses (truncated by a dying filesystem,
+// hand-edited, or otherwise corrupt). validate, when non-nil, is applied to
+// each record blob and its error evicts the cell — the harness passes a
+// strict RunRecord decoder; nil falls back to a JSON well-formedness check.
+//
+// Fsck is safe to run while other processes use the store: live claims and
+// live staging directories are never touched, and eviction of a corrupt
+// cell at worst forces a recompute. The atomic stage-under-tmp/rename
+// commit protocol guarantees a crash can never truncate a committed cell,
+// so on a healthy store Fsck evicts nothing — the chaos suite pins that.
+func (s *Store) Fsck(validate func([]byte) error) (*FsckReport, error) {
+	if validate == nil {
+		validate = func(blob []byte) error {
+			if !json.Valid(blob) {
+				return errors.New("not valid JSON")
+			}
+			return nil
+		}
+	}
+	rep := &FsckReport{}
+	note := func(format string, args ...any) {
+		rep.Problems = append(rep.Problems, fmt.Sprintf(format, args...))
+	}
+
+	// Orphaned staging directories: an explicit repair does not wait out the
+	// dead-owner grace period Open's background GC observes.
+	tmp, err := os.ReadDir(filepath.Join(s.dir, "tmp"))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("cache: fsck: %w", err)
+	}
+	for _, e := range tmp {
+		if s.reapTmp(e.Name(), 0) {
+			rep.TmpReaped++
+			note("reaped orphaned staging dir tmp/%s", e.Name())
+		}
+	}
+
+	shards, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("cache: fsck: %w", err)
+	}
+	for _, sh := range shards {
+		if !sh.IsDir() || sh.Name() == "tmp" {
+			continue
+		}
+		entries, err := os.ReadDir(filepath.Join(s.dir, sh.Name()))
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			name := e.Name()
+			path := filepath.Join(s.dir, sh.Name(), name)
+			if strings.HasSuffix(name, ".lock") {
+				if s.claimStale(path) {
+					os.Remove(path)
+					rep.ClaimsBroken++
+					note("broke stale claim %s/%s", sh.Name(), name)
+				}
+				continue
+			}
+			if !e.IsDir() {
+				continue
+			}
+			rep.Cells++
+			blob, err := os.ReadFile(filepath.Join(path, recordFile))
+			if err != nil {
+				os.RemoveAll(path)
+				rep.Evicted++
+				note("evicted cell %s: unreadable record.json: %v", name, err)
+				continue
+			}
+			if err := validate(blob); err != nil {
+				os.RemoveAll(path)
+				rep.Evicted++
+				note("evicted cell %s: corrupt record.json: %v", name, err)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// Summary renders the report's one-line totals.
+func (r *FsckReport) Summary() string {
+	return fmt.Sprintf("%d cells checked, %d evicted, %d stale claims broken, %d staging dirs reaped",
+		r.Cells, r.Evicted, r.ClaimsBroken, r.TmpReaped)
+}

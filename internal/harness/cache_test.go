@@ -34,6 +34,7 @@ func normalizeReport(rep *Report) {
 	rep.CacheDir = ""
 	rep.CacheHits = 0
 	rep.CacheMisses = 0
+	rep.Retries = 0
 	for i := range rep.Runs {
 		r := &rep.Runs[i]
 		r.WallSeconds = 0
@@ -42,6 +43,7 @@ func normalizeReport(rep *Report) {
 		r.AllocsPerEvent = 0
 		r.Cached = false
 		r.CacheKey = ""
+		r.Attempts = 0
 	}
 }
 

@@ -7,9 +7,12 @@ package cliconfig
 
 import (
 	"flag"
+	"fmt"
+	"io"
 	"strings"
 	"time"
 
+	"pert/internal/cache"
 	"pert/internal/harness"
 )
 
@@ -24,6 +27,10 @@ type Builder struct {
 	stallWindow     *time.Duration
 	cacheDir        *string
 	cacheMode       *string
+	cacheFsck       *bool
+	isolate         *bool
+	retries         *int
+	retryBackoff    *time.Duration
 	metricsInterval *time.Duration
 	cpuprofile      *string
 	memprofile      *string
@@ -44,6 +51,10 @@ func New(fs *flag.FlagSet) *Builder {
 	b.stallWindow = fs.Duration("stall-window", 0, "no-progress watchdog window (0 = off); a run whose sim counters stop advancing this long is marked stalled, the sweep continues")
 	b.cacheDir = fs.String("cache-dir", "", "content-addressed result cache: hits replay without simulating, misses commit atomically; killed sweeps resume, concurrent processes share the directory")
 	b.cacheMode = fs.String("cache", "", "cache policy with -cache-dir: readwrite (default), read, write, or off")
+	b.cacheFsck = fs.Bool("cache-fsck", false, "with -cache-dir: check and repair the cache (orphaned staging dirs, stale claims, corrupt record.json), print a summary, and exit instead of running a sweep")
+	b.isolate = fs.Bool("isolate", false, "run each cell in its own worker process, so a crash (OOM kill, runtime fatal) loses one cell instead of the sweep")
+	b.retries = fs.Int("retries", 0, "re-run cells that end error/timeout/stalled/crashed up to this many extra times, with exponential backoff")
+	b.retryBackoff = fs.Duration("retry-backoff", 0, "base delay before the first retry (0 = 500ms); doubles per retry with jitter")
 	b.metricsInterval = fs.Duration("metrics-interval", 0, "sampling period in sim time for -metrics (0 = 100ms)")
 	b.cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	b.memprofile = fs.String("memprofile", "", "write an allocation profile to this file (go tool pprof)")
@@ -80,6 +91,13 @@ func (b *Builder) Spec() (harness.RunSpec, error) {
 		StallWindow:     *b.stallWindow,
 		MetricsInterval: *b.metricsInterval,
 		Cache:           harness.CachePolicy{Dir: *b.cacheDir, Mode: *b.cacheMode},
+		Isolate:         *b.isolate,
+	}
+	if *b.retries > 0 {
+		spec.Retry = harness.RetryPolicy{
+			MaxAttempts: *b.retries + 1,
+			Backoff:     *b.retryBackoff,
+		}
 	}
 	if b.scale != nil {
 		spec.Scale = *b.scale
@@ -124,3 +142,36 @@ func (b *Builder) MetricsInterval() time.Duration { return *b.metricsInterval }
 // directory (regardless of mode), so binaries whose code path cannot cache
 // can reject the combination loudly instead of ignoring it.
 func (b *Builder) CacheRequested() bool { return *b.cacheDir != "" && *b.cacheMode != harness.CacheOff }
+
+// IsolateRequested reports whether -isolate was set, for binaries whose
+// non-harness code paths cannot honor it.
+func (b *Builder) IsolateRequested() bool { return *b.isolate }
+
+// FsckRequested reports whether this invocation is a -cache-fsck repair run
+// rather than a sweep.
+func (b *Builder) FsckRequested() bool { return *b.cacheFsck }
+
+// RunFsck opens the cache named by -cache-dir, repairs it with the harness's
+// strict record validator, and prints the summary (plus one line per repair)
+// to stdout. Returns the process exit code.
+func (b *Builder) RunFsck(stdout, stderr io.Writer) int {
+	if *b.cacheDir == "" {
+		fmt.Fprintln(stderr, "-cache-fsck requires -cache-dir")
+		return 2
+	}
+	store, err := cache.Open(*b.cacheDir)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	rep, err := store.Fsck(harness.ValidateRecord)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	for _, p := range rep.Problems {
+		fmt.Fprintln(stdout, p)
+	}
+	fmt.Fprintf(stdout, "cache %s: %s\n", store.Dir(), rep.Summary())
+	return 0
+}

@@ -97,11 +97,14 @@ func RunExperiments(ctx context.Context, exps []experiments.Experiment, spec Run
 			finish(rep, start, ev0, m0)
 			return rep, err
 		}
-		rec := runCell(ctx, exp, spec, store, sink, i, len(exps), doneWall)
+		rec := runCellAttempts(ctx, exp, spec, store, sink, i, len(exps), doneWall)
 		if rec.Cached {
 			rep.CacheHits++
 		} else if store != nil {
 			rep.CacheMisses++
+		}
+		if rec.Attempts > 1 {
+			rep.Retries += rec.Attempts - 1
 		}
 		doneWall += time.Duration(rec.WallSeconds * float64(time.Second))
 		rep.Runs = append(rep.Runs, rec)
@@ -129,11 +132,11 @@ func finish(rep *Report, start time.Time, ev0, m0 uint64) {
 // back to a plain uncached run when the cell has no stable key or the
 // policy forbids the needed side.
 func runCell(ctx context.Context, exp experiments.Experiment, spec RunSpec,
-	store *cache.Store, sink Sink, index, total int, doneWall time.Duration) RunRecord {
+	store *cache.Store, sink Sink, index, total int, doneWall time.Duration, attempt int) RunRecord {
 
 	key := cellKey(spec, exp)
 	if store == nil || key == "" {
-		return runOne(ctx, exp, spec, spec.MetricsDir, sink, index, total, doneWall)
+		return runOne(ctx, exp, spec, spec.MetricsDir, sink, index, total, doneWall, attempt)
 	}
 	for {
 		if spec.Cache.reads() {
@@ -143,7 +146,7 @@ func runCell(ctx context.Context, exp experiments.Experiment, spec RunSpec,
 		}
 		if !spec.Cache.writes() {
 			// Read-only policy and no committed entry: plain run.
-			rec := runOne(ctx, exp, spec, spec.MetricsDir, sink, index, total, doneWall)
+			rec := runOne(ctx, exp, spec, spec.MetricsDir, sink, index, total, doneWall, attempt)
 			rec.CacheKey = key
 			return rec
 		}
@@ -151,7 +154,7 @@ func runCell(ctx context.Context, exp experiments.Experiment, spec RunSpec,
 		if err != nil {
 			// A broken cache directory degrades to uncached execution
 			// rather than failing the sweep.
-			rec := runOne(ctx, exp, spec, spec.MetricsDir, sink, index, total, doneWall)
+			rec := runOne(ctx, exp, spec, spec.MetricsDir, sink, index, total, doneWall, attempt)
 			rec.CacheKey = key
 			return rec
 		}
@@ -159,14 +162,19 @@ func runCell(ctx context.Context, exp experiments.Experiment, spec RunSpec,
 			// Another live worker owns this cell. Wait for its commit when
 			// we may read it; otherwise compute our own uncommitted copy.
 			if !spec.Cache.reads() {
-				rec := runOne(ctx, exp, spec, spec.MetricsDir, sink, index, total, doneWall)
+				rec := runOne(ctx, exp, spec, spec.MetricsDir, sink, index, total, doneWall, attempt)
 				rec.CacheKey = key
 				return rec
 			}
 			entry, err := store.Wait(ctx, key, 0)
 			if err != nil {
+				status := StatusError
+				if ctx.Err() != nil {
+					status = StatusCanceled // the sweep was interrupted, not the cell
+				}
 				rec := RunRecord{ID: exp.ID, Title: exp.Title, Scale: string(spec.scale()),
-					Status: StatusError, Error: err.Error(), CacheKey: key, Tables: []*experiments.Table{}}
+					Status: status, Error: err.Error(), Attempts: attempt,
+					CacheKey: key, Tables: []*experiments.Table{}}
 				return rec
 			}
 			if entry != nil {
@@ -174,7 +182,7 @@ func runCell(ctx context.Context, exp experiments.Experiment, spec RunSpec,
 			}
 			continue // owner released without committing: retry the claim
 		}
-		return computeAndCommit(ctx, exp, spec, key, claim, sink, index, total, doneWall)
+		return computeAndCommit(ctx, exp, spec, key, claim, sink, index, total, doneWall, attempt)
 	}
 }
 
@@ -209,8 +217,8 @@ func replayCell(store *cache.Store, key string, exp experiments.Experiment,
 	if err != nil || !ok {
 		return RunRecord{}, false
 	}
-	var rec RunRecord
-	if err := json.Unmarshal(entry.Record, &rec); err != nil {
+	rec, err := DecodeRunRecord(entry.Record)
+	if err != nil {
 		store.Evict(key)
 		return RunRecord{}, false
 	}
@@ -242,13 +250,13 @@ func replayCell(store *cache.Store, key string, exp experiments.Experiment,
 // deterministic, and keeping it is what makes a killed sweep resume from
 // the exact cell that was in flight instead of one earlier.
 func computeAndCommit(ctx context.Context, exp experiments.Experiment, spec RunSpec,
-	key string, claim *cache.Claim, sink Sink, index, total int, doneWall time.Duration) RunRecord {
+	key string, claim *cache.Claim, sink Sink, index, total int, doneWall time.Duration, attempt int) RunRecord {
 
 	metricsRoot := ""
 	if spec.metricsOn() {
 		metricsRoot = claim.SeriesDir()
 	}
-	rec := runOne(ctx, exp, spec, metricsRoot, sink, index, total, doneWall)
+	rec := runOne(ctx, exp, spec, metricsRoot, sink, index, total, doneWall, attempt)
 	rec.CacheKey = key
 	if rec.Status != StatusOK {
 		claim.Release()
@@ -280,7 +288,7 @@ func computeAndCommit(ctx context.Context, exp experiments.Experiment, spec RunS
 // timeout, and a progress ticker sampling the sim event counters. When
 // metricsRoot is non-empty the run's time series stream under it.
 func runOne(ctx context.Context, exp experiments.Experiment, spec RunSpec,
-	metricsRoot string, sink Sink, index, total int, doneWall time.Duration) RunRecord {
+	metricsRoot string, sink Sink, index, total int, doneWall time.Duration, attempt int) RunRecord {
 
 	emit := func(e Event) {
 		if sink != nil {
@@ -288,7 +296,8 @@ func runOne(ctx context.Context, exp experiments.Experiment, spec RunSpec,
 		}
 	}
 	scale := spec.scale()
-	rec := RunRecord{ID: exp.ID, Title: exp.Title, Scale: string(scale), Tables: []*experiments.Table{}}
+	rec := RunRecord{ID: exp.ID, Title: exp.Title, Scale: string(scale),
+		Attempts: attempt, Tables: []*experiments.Table{}}
 	emit(Event{Kind: RunStarted, ID: exp.ID, Index: index, Total: total})
 
 	if metricsRoot != "" {
@@ -344,6 +353,10 @@ func runOne(ctx context.Context, exp experiments.Experiment, spec RunSpec,
 	switch {
 	case stalled:
 		rec.Status = StatusStalled
+	case err != nil && ctx.Err() != nil:
+		// The sweep's own context died, not the per-run deadline: the cell
+		// was interrupted, and retrying it against a dead context is futile.
+		rec.Status = StatusCanceled
 	case err != nil && (errors.Is(err, context.DeadlineExceeded) || runCtx.Err() == context.DeadlineExceeded):
 		rec.Status = StatusTimeout
 	case err != nil:

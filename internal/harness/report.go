@@ -16,10 +16,12 @@ const SchemaVersion = 1
 // Run-health states recorded in RunRecord.Status. Exactly one applies to
 // every finished run; anything other than StatusOK also fills Error.
 const (
-	StatusOK      = "ok"      // tables produced, invariants held
-	StatusError   = "error"   // runner returned an error or panicked (incl. auditor violations)
-	StatusTimeout = "timeout" // per-run Timeout expired
-	StatusStalled = "stalled" // watchdog saw no sim progress within StallWindow
+	StatusOK       = "ok"       // tables produced, invariants held
+	StatusError    = "error"    // runner returned an error or panicked (incl. auditor violations)
+	StatusTimeout  = "timeout"  // per-run Timeout expired (or the supervisor's deadline budget)
+	StatusStalled  = "stalled"  // watchdog saw no sim progress within StallWindow
+	StatusCrashed  = "crashed"  // isolated worker process died (OOM kill, fatal runtime error, injected crash)
+	StatusCanceled = "canceled" // the sweep's context was canceled mid-run (Ctrl-C); never retried
 )
 
 // RunRecord is the outcome of one experiment run. Exactly one of Error and
@@ -54,6 +56,11 @@ type RunRecord struct {
 	AllocsPerEvent float64 `json:"allocs_per_event"`
 	// Error is the failure (panic, cancellation, bad spec), empty on success.
 	Error string `json:"error,omitempty"`
+	// Attempts is how many times the cell executed before this record was
+	// produced (1 = first try; >1 means RunSpec.Retry re-ran it). Replayed
+	// records keep the count of the run that committed them. Additive
+	// schema-version-1 field; absent in old reports means 1.
+	Attempts int `json:"attempts,omitempty"`
 	// Cached marks a run replayed from the result cache instead of being
 	// simulated; its timing fields are the original run's (additive
 	// schema-version-1 field).
@@ -89,10 +96,13 @@ type Report struct {
 	// CacheDir, CacheHits and CacheMisses describe the sweep's use of the
 	// content-addressed result cache (additive schema-version-1 fields;
 	// absent when caching was disabled).
-	CacheDir    string      `json:"cache_dir,omitempty"`
-	CacheHits   int         `json:"cache_hits,omitempty"`
-	CacheMisses int         `json:"cache_misses,omitempty"`
-	Runs        []RunRecord `json:"runs"`
+	CacheDir    string `json:"cache_dir,omitempty"`
+	CacheHits   int    `json:"cache_hits,omitempty"`
+	CacheMisses int    `json:"cache_misses,omitempty"`
+	// Retries counts extra cell executions the retry policy spent across
+	// the sweep (sum of attempts-1; additive schema-version-1 field).
+	Retries int         `json:"retries,omitempty"`
+	Runs    []RunRecord `json:"runs"`
 }
 
 // Failed returns the runs that ended in an error, in sweep order.

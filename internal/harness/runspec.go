@@ -103,6 +103,14 @@ type RunSpec struct {
 	MetricsDir string `json:"metrics_dir,omitempty"`
 	// Cache selects the content-addressed result store, if any.
 	Cache CachePolicy `json:"cache,omitempty"`
+	// Isolate runs each cell in a re-exec'd worker process, so an OOM kill
+	// or fatal runtime error loses one cell instead of the sweep. Requires
+	// an enabled Cache (the worker commits its result there) and a binary
+	// that calls MaybeWorker early in main.
+	Isolate bool `json:"isolate,omitempty"`
+	// Retry re-runs cells that end error/timeout/stalled/crashed, with
+	// exponential backoff + jitter. The zero value disables retries.
+	Retry RetryPolicy `json:"retry,omitempty"`
 
 	// Runtime wiring — excluded from the serialized form.
 

@@ -13,11 +13,14 @@ import (
 type EventKind string
 
 // The lifecycle a sink observes for every run, in order: one RunStarted,
-// zero or more Progress ticks, one RunFinished.
+// zero or more Progress ticks, one RunFinished. When the retry policy
+// re-runs a failed cell, a RunRetried event separates the attempts (so a
+// cell may see several RunStarted/RunFinished pairs).
 const (
 	RunStarted  EventKind = "run_started"
 	RunFinished EventKind = "run_finished"
 	Progress    EventKind = "progress"
+	RunRetried  EventKind = "run_retried"
 )
 
 // Event is one observation streamed to a Sink. Index/Total locate the run
@@ -39,6 +42,8 @@ type Event struct {
 	SimPerWall   float64              // SimSeconds per wallclock second
 	ETA          time.Duration        // Progress only; estimated sweep time left, 0 if unknown
 	Tables       []*experiments.Table // RunFinished only; nil on failure
+	Attempt      int                  // RunRetried only; the attempt that just failed (1-based)
+	Backoff      time.Duration        // RunRetried only; delay before the next attempt
 }
 
 // Sink receives events. The harness serializes calls through an internal
@@ -96,12 +101,23 @@ func (s *WriterSink) Event(e Event) {
 			fmt.Fprintf(s.w, "%s: STALLED after %s: %v\n", pos, e.Wall.Round(time.Millisecond), e.Err)
 			return
 		}
+		if e.Status == StatusCrashed {
+			fmt.Fprintf(s.w, "%s: CRASHED after %s: %v\n", pos, e.Wall.Round(time.Millisecond), e.Err)
+			return
+		}
+		if e.Status == StatusCanceled {
+			fmt.Fprintf(s.w, "%s: canceled after %s\n", pos, e.Wall.Round(time.Millisecond))
+			return
+		}
 		if e.Err != nil {
 			fmt.Fprintf(s.w, "%s: FAILED after %s: %v\n", pos, e.Wall.Round(time.Millisecond), e.Err)
 			return
 		}
 		fmt.Fprintf(s.w, "%s: done in %s (%s events, %s/s)\n",
 			pos, e.Wall.Round(time.Millisecond), count(e.SimEvents), count(uint64(e.EventsPerSec)))
+	case RunRetried:
+		fmt.Fprintf(s.w, "%s: attempt %d ended %s, retrying in %s\n",
+			pos, e.Attempt, e.Status, e.Backoff.Round(time.Millisecond))
 	}
 }
 

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check validate-scenarios bench bench-micro bench-smoke cache-smoke chaos-smoke results results-paper fuzz clean
+.PHONY: all build test vet check validate-scenarios bench bench-micro bench-smoke bench-shards cache-smoke chaos-smoke shard-smoke results results-paper fuzz clean
 
 all: build check
 
@@ -46,6 +46,41 @@ bench-micro:
 bench-smoke:
 	$(GO) test -run 'TestScheduleAllocBudget|TestLinkAllocBudget' -bench=. -benchtime=1x -benchmem ./internal/sim/ ./internal/netem/
 	$(GO) test -run 'TestMetricsOverheadSmoke' -bench 'BenchmarkSimulatedSecond' -benchtime=1x -benchmem .
+
+# Shard speedup measurement: wall time of the 8-bottleneck parking-lot
+# benchmark at increasing shard counts, serial first as the baseline.
+# Informational, not a CI gate — real speedup needs real cores; a 1-core
+# container serializes the shard goroutines and shows ~1x.
+bench-shards:
+	@for n in 1 2 4 8; do \
+		start=$$(date +%s%N); \
+		$(GO) run ./cmd/pertbench -scale quick -exp ext-parkinglot-xl -parallel 1 -shards $$n > /dev/null || exit 1; \
+		end=$$(date +%s%N); \
+		echo "ext-parkinglot-xl shards=$$n wall_ms=$$(( (end - start) / 1000000 ))"; \
+	done
+
+# Sharded-engine smoke: the conservative-lookahead parallel engine's
+# correctness gate. Runs the shard unit and integration tests under the race
+# detector (cross-shard ports, domain partitioning, the sharded runner's
+# one-shard bit-identity against the serial path, fixed-N determinism), then
+# the cross-shard zero-alloc budget without race instrumentation, then the
+# CLI path end to end: -shards 1 must take the serial engine, and two
+# -shards 4 runs must note per-shard event counts and agree byte for byte
+# once wall-clock timing lines are filtered.
+shard-smoke:
+	$(GO) test -race -count=1 -timeout 10m -run 'Shard|Partition|TestCounters|TestDomainAudit' ./internal/sim/ ./internal/netem/ ./internal/scenario/ ./internal/experiments/
+	$(GO) test -count=1 -run 'TestShardSendDrainAllocBudget' ./internal/sim/
+	@dir=$$(mktemp -d); \
+	trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/pertbench -scale quick -exp ext-parkinglot-xl -parallel 1 -shards 1 > "$$dir/serial.txt" || exit 1; \
+	grep -q 'run serially (shards=1)' "$$dir/serial.txt" || { echo "shard-smoke: -shards 1 did not take the serial path"; exit 1; }; \
+	$(GO) run ./cmd/pertbench -scale quick -exp ext-parkinglot-xl -parallel 1 -shards 4 > "$$dir/s4a.txt" || exit 1; \
+	$(GO) run ./cmd/pertbench -scale quick -exp ext-parkinglot-xl -parallel 1 -shards 4 > "$$dir/s4b.txt" || exit 1; \
+	grep -q 'shards=4 events_per_shard=' "$$dir/s4a.txt" || { echo "shard-smoke: missing per-shard event counts"; exit 1; }; \
+	grep -v 'completed in' "$$dir/s4a.txt" > "$$dir/s4a.flat"; \
+	grep -v 'completed in' "$$dir/s4b.txt" > "$$dir/s4b.flat"; \
+	diff -u "$$dir/s4a.flat" "$$dir/s4b.flat" || { echo "shard-smoke: sharded run not deterministic"; exit 1; }; \
+	echo "shard-smoke: OK (serial path, per-shard counts, deterministic replay)"
 
 # Cache smoke: the same tiny sweep twice into one cache directory. The warm
 # run must replay every cell (top-level sim_events stays 0, both runs marked

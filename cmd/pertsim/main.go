@@ -274,6 +274,26 @@ func runV2(ctx context.Context, raw []byte, shared *cliconfig.Builder,
 		fmt.Fprintf(stderr, "pertsim: %v\n", err)
 		return 1
 	}
+	spec, err := shared.Spec()
+	if err != nil {
+		fmt.Fprintf(stderr, "pertsim: %v\n", err)
+		return 2
+	}
+	if spec.Shards > 0 {
+		// The flag overrides the document's shard count (-shards 1 forces a
+		// sharded file serial; 0 means unset, keep the file's value). It
+		// folds into the scenario spec itself — the canonicalized spec is
+		// what the cache key hashes — and the merged spec must re-validate
+		// (shard-safety is stricter than the serial rules the file was
+		// loaded under). This happens before -validate so that "validate
+		// with -shards N" answers the question actually being asked.
+		sp.Shards = spec.Shards
+		spec.Shards = 0
+		if err := sp.Validate(); err != nil {
+			fmt.Fprintf(stderr, "pertsim: %v\n", err)
+			return 2
+		}
+	}
 	if validateOnly {
 		name := sp.Name
 		if name == "" {
@@ -282,11 +302,6 @@ func runV2(ctx context.Context, raw []byte, shared *cliconfig.Builder,
 		fmt.Fprintf(stdout, "pertsim: %s is a valid v2 scenario (%s, %d groups, %d link rules)\n",
 			name, sp.Topology.Template, len(sp.Groups), len(sp.Links))
 		return 0
-	}
-	spec, err := shared.Spec()
-	if err != nil {
-		fmt.Fprintf(stderr, "pertsim: %v\n", err)
-		return 2
 	}
 	spec.Scenario = &sp
 	rep, err := harness.Run(ctx, spec)

@@ -184,3 +184,59 @@ func TestCacheFsck(t *testing.T) {
 		t.Fatalf("fsck summary: %q", out.String())
 	}
 }
+
+// TestV2ShardsFlag: the -shards flag overrides a v2 document's shard count
+// in both directions — forcing a sharded file serial (-shards 1, no shards
+// note) and sharding a serial file (-shards 2, note present) — and
+// -validate applies the stricter shard rules to the merged spec.
+func TestV2ShardsFlag(t *testing.T) {
+	dir := t.TempDir()
+	cfg := filepath.Join(dir, "lot.json")
+	os.WriteFile(cfg, []byte(`{
+		"name": "lot", "seed": 5, "shards": 4,
+		"topology": {"template": "parkinglot", "routers": 3, "cloud_size": 2, "core_bw_bps": 8e6},
+		"groups": [
+			{"scheme": "PERT", "count": 2, "from": "cloud1", "to": "cloud2", "start_window": "1s"},
+			{"scheme": "PERT", "count": 2, "from": "cloud2", "to": "cloud3", "start_window": "1s"}
+		],
+		"duration": "6s", "measure_from": "2s"
+	}`), 0o644)
+
+	var serial, sharded, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-config", cfg, "-shards", "1"}, &serial, &errb); code != 0 {
+		t.Fatalf("-shards 1 exit %d: %s", code, errb.String())
+	}
+	if strings.Contains(serial.String(), "shards=") {
+		t.Fatalf("-shards 1 did not force the serial path:\n%s", serial.String())
+	}
+	errb.Reset()
+	if code := run(context.Background(), []string{"-config", cfg, "-shards", "2"}, &sharded, &errb); code != 0 {
+		t.Fatalf("-shards 2 exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(sharded.String(), "shards=2 events_per_shard=") {
+		t.Fatalf("-shards 2 note missing:\n%s", sharded.String())
+	}
+
+	// A serial-only feature (a link schedule) must fail -validate once the
+	// flag requests sharding, and still pass without it.
+	bad := filepath.Join(dir, "sched.json")
+	os.WriteFile(bad, []byte(`{
+		"name": "sched", "seed": 5,
+		"topology": {"template": "parkinglot", "routers": 3, "cloud_size": 2, "core_bw_bps": 8e6},
+		"groups": [{"scheme": "PERT", "count": 2, "from": "cloud1", "to": "cloud2", "start_window": "1s"}],
+		"links": [{"link": "core1", "schedule": [{"at": "3s", "capacity_bps": 4e6}]}],
+		"duration": "6s", "measure_from": "2s"
+	}`), 0o644)
+	var out bytes.Buffer
+	errb.Reset()
+	if code := run(context.Background(), []string{"-config", bad, "-validate"}, &out, &errb); code != 0 {
+		t.Fatalf("serial -validate exit %d: %s", code, errb.String())
+	}
+	errb.Reset()
+	if code := run(context.Background(), []string{"-config", bad, "-validate", "-shards", "4"}, &out, &errb); code != 2 {
+		t.Fatalf("sharded -validate exit %d (want 2): %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "schedule") {
+		t.Fatalf("rejection should name the schedule: %s", errb.String())
+	}
+}

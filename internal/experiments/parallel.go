@@ -31,6 +31,31 @@ func Workers(ctx context.Context) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// shardsKey carries a requested per-scenario shard count in a context.
+type shardsKey struct{}
+
+// WithShards returns a context carrying a shard-count override for the
+// experiments that support the parallel engine (currently the sharded
+// scenario runner behind ext-parkinglot-xl). Unlike Workers — which
+// parallelizes *across* independent scenarios and never changes results —
+// shards parallelize *within* one scenario and select different per-shard
+// RNG streams, so a run at shards=N is a different (deterministic) execution
+// from serial. n < 1 leaves ctx unchanged.
+func WithShards(ctx context.Context, n int) context.Context {
+	if n < 1 {
+		return ctx
+	}
+	return context.WithValue(ctx, shardsKey{}, n)
+}
+
+// ShardsFrom reports the shard count carried by ctx, or def when none is.
+func ShardsFrom(ctx context.Context, def int) int {
+	if n, ok := ctx.Value(shardsKey{}).(int); ok && n >= 1 {
+		return n
+	}
+	return def
+}
+
 // forEach runs fn(i) for i in [0, n) on Workers(ctx) workers and waits for
 // completion. Order of execution is unspecified; callers must write results
 // into per-index slots. Cancellation is observed between scenario launches:

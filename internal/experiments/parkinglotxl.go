@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"pert/internal/scenario"
+	"pert/internal/sim"
+)
+
+// extParkingLotXLSpec builds the multi-bottleneck benchmark scenario: a
+// 9-router parking lot (8 core bottlenecks — beyond the paper's Figure 10
+// five), heterogeneous per-cloud attachment delays so every hop population
+// has a different RTT, hop-by-hop traffic on every core link plus through
+// traffic crossing all of them. This is the workload the sharded engine is
+// sized for: 8 roughly-equal event populations separated by 5 ms lookahead.
+func extParkingLotXLSpec(scale Scale, scheme Scheme, shards int) scenario.Spec {
+	const routers = 9
+	coreBW, cloud, perHop := 150e6, 20, 20
+	dur, from, until, sw := scale.window()
+	if scale == Quick {
+		coreBW, cloud, perHop = 30e6, 6, 6
+		// The quick window shrinks further: this scenario is ~8x fig11's
+		// event volume and runs on every `make bench`.
+		dur, from, until, sw = seconds(20), seconds(6), seconds(18), seconds(3)
+	}
+	var groups []scenario.FlowGroupSpec
+	for hop := 1; hop < routers; hop++ {
+		groups = append(groups, scenario.FlowGroupSpec{
+			Label:  fmt.Sprintf("R%d-R%d", hop, hop+1),
+			Scheme: string(scheme), Count: perHop,
+			From: fmt.Sprintf("cloud%d", hop), To: fmt.Sprintf("cloud%d", hop+1),
+			StartWindow: sw,
+		})
+	}
+	groups = append(groups, scenario.FlowGroupSpec{
+		Label:  "through",
+		Scheme: string(scheme), Count: perHop,
+		From: "cloud1", To: fmt.Sprintf("cloud%d", routers),
+		StartWindow: sw,
+	})
+	return scenario.Spec{
+		Name: "ext-parkinglot-xl:" + string(scheme),
+		Seed: 9900,
+		Topology: scenario.TopologySpec{
+			Template:  scenario.ParkingLotTemplate,
+			Routers:   routers,
+			CloudSize: cloud,
+			CoreBW:    coreBW,
+			// Heterogeneous RTTs: cloud i attaches at 1/3/6/10 ms round-
+			// robin, so each hop's flow population sees a different
+			// end-to-end delay and the bottlenecks desynchronize.
+			EdgeDelays: []sim.Duration{ms(1), ms(3), ms(6), ms(10)},
+			AQM:        string(scheme),
+		},
+		Groups:   groups,
+		Duration: dur, MeasureFrom: from, MeasureUntil: until,
+		Shards: shards,
+	}
+}
+
+// ExtParkingLotXL is the sharded-engine showcase and benchmark: the
+// extra-large parking lot above run under the parallel engine (default 8
+// shards, one per bottleneck-feeding router pair; override with
+// WithShards/-shards, 1 = serial). Only shard-safe end-host schemes run
+// here — router AQMs draw marking randomness from the global engine and are
+// rejected by validation. The per-link panels read as usual; the table notes
+// carry the shard count and per-shard event totals, which is what
+// `make bench` surfaces in BENCH_quick.json and what the speedup harness
+// (`make bench-shards`) compares across shard counts.
+func ExtParkingLotXL(ctx context.Context, scale Scale) (*Table, error) {
+	if err := checkRun(ctx, scale); err != nil {
+		return nil, err
+	}
+	shards := ShardsFrom(ctx, 8)
+	t := &Table{
+		ID:     "ext-parkinglot-xl",
+		Title:  fmt.Sprintf("Extension: 8-bottleneck parking lot on the sharded engine (shards=%d)", shards),
+		XLabel: "row",
+	}
+	for _, scheme := range []Scheme{PERT, SackDroptail} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		spec := extParkingLotXLSpec(scale, scheme, shards)
+		sub, err := RunScenario(spec)
+		if err != nil {
+			return nil, err
+		}
+		if t.Header == nil {
+			t.Header = append([]string{"scheme"}, sub.Header...)
+		}
+		for _, row := range sub.Rows {
+			t.AddRow(append([]string{string(scheme)}, row...)...)
+		}
+		for _, n := range sub.Notes {
+			t.Notes = append(t.Notes, string(scheme)+": "+n)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"8 core bottlenecks, heterogeneous 1/3/6/10 ms cloud attachment delays (different RTT per hop)")
+	if shards > 1 {
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("run with the conservative-lookahead sharded engine, shards=%d (see DESIGN.md §9)", shards))
+	} else {
+		t.Notes = append(t.Notes, "run serially (shards=1); use -shards to engage the parallel engine")
+	}
+	return t, nil
+}

@@ -59,6 +59,7 @@ var Experiments = []Experiment{
 	{ID: "ext-highspeed", Title: "Extension: PERT over aggressive probing", Scales: allScales, Run: one(ExtHighSpeed)},
 	{ID: "ext-jitter", Title: "Extension: robustness to access-link delay jitter", Scales: allScales, Run: one(ExtJitter)},
 	{ID: "ext-lossy", Title: "Extension: robustness to non-congestive random loss", Scales: allScales, Run: one(ExtLossy)},
+	{ID: "ext-parkinglot-xl", Title: "Extension: 8-bottleneck parking lot on the sharded engine", Scales: allScales, Run: one(ExtParkingLotXL)},
 	{ID: "ext-replicated", Title: "Extension: seed sensitivity with confidence intervals", Scales: allScales, Run: one(ExtReplicated)},
 	{ID: "ext-stability", Title: "Extension: certified stability boundaries, PERT vs RED", Scales: allScales, Run: one(ExtStability)},
 	{ID: "ext-threshold", Title: "Extension: detection-margin sweep", Scales: allScales, Run: one(ExtThreshold)},

@@ -18,6 +18,9 @@ import (
 // `pertsim -config` for v2 files — mixed-scheme, multi-bottleneck runs need
 // no Go code.
 func RunScenario(spec scenario.Spec) (*Table, error) {
+	if spec.EffectiveShards() > 1 {
+		return runScenarioSharded(spec)
+	}
 	eng := sim.NewEngine(spec.Seed)
 	net := netem.NewNetwork(eng)
 	inst, err := scenario.Compile(eng, net, spec)

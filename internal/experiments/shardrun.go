@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pert/internal/netem"
+	"pert/internal/scenario"
+	"pert/internal/sim"
+	"pert/internal/stats"
+	"pert/internal/trafficgen"
+)
+
+// runScenarioSharded is RunScenario's parallel path: it cuts the topology
+// into spec.EffectiveShards() domains along the template's partition hint and
+// runs them under conservative-lookahead synchronization (sim.ShardGroup).
+// The run is windowed exactly like the serial path — group runs to the
+// measurement start, to the window end, and to the duration — and all
+// instrumentation is created and read on the caller's goroutine at those
+// quiescent points, so the assembled table needs no locking.
+//
+// Three things differ from the serial path, all forced by concurrency:
+//
+//   - auditing is per domain (StartDomainAudit), each ticking on its own
+//     shard's engine; the whole-network conservation equation is checked once
+//     by Audit() after the group stops. Domain 0's auditor consumes the same
+//     engine-0 event sequence a serial StartAudit would, so a group of one
+//     shard reproduces the serial table byte for byte.
+//   - queue monitors attach to the engine owning each measured link
+//     (link.From's domain), never to engine 0.
+//   - the table notes record the shard count and per-shard event totals, the
+//     load-balance evidence the benchmark reads.
+func runScenarioSharded(spec scenario.Spec) (*Table, error) {
+	shards := spec.EffectiveShards()
+	g := sim.NewShardGroup(shards, spec.Seed)
+	net := netem.NewNetwork(g.Engine(0))
+	inst, err := scenario.Compile(g.Engine(0), net, spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := net.Partition(g, inst.Topo.PartitionHint(shards)); err != nil {
+		return nil, err
+	}
+
+	name := spec.Name
+	if name == "" {
+		name = "scenario"
+	}
+	measured := inst.Topo.Measured()
+
+	auds := make([]*netem.Auditor, net.Domains())
+	for d := range auds {
+		auds[d] = netem.StartDomainAudit(net, d, netem.AuditConfig{
+			Seed:     spec.Seed,
+			Scenario: fmt.Sprintf("scenario %s template=%s groups=%d", name, spec.Topology.Template, len(spec.Groups)),
+		})
+	}
+	for _, ml := range measured {
+		aud := auds[ml.Link.From.Domain()]
+		aud.Watch(ml.Link)
+		aud.BoundQueue(ml.Link, inst.Topo.BufferPkts())
+	}
+
+	inst.Spawn()
+
+	until := spec.MeasureUntil
+	if until == 0 {
+		until = spec.Duration
+	}
+	g.Run(sim.Time(spec.MeasureFrom))
+	now := g.Engine(0).Now()
+	meters := make([]*stats.Meter, len(measured))
+	qmons := make([]*stats.QueueMonitor, len(measured))
+	for i, ml := range measured {
+		meters[i] = stats.NewMeter(ml.Link)
+		meters[i].Start(now)
+		// The monitor's sampling events must run on the engine that owns
+		// the link, or they would race with the owning shard.
+		qmons[i] = stats.MonitorQueue(ml.Link.From.Engine(), ml.Link, now, 10*sim.Millisecond)
+	}
+	snaps := make([][]uint64, len(inst.Groups))
+	for i, grp := range inst.Groups {
+		snaps[i] = trafficgen.GoodputSnapshot(grp.Flows)
+	}
+
+	g.Run(sim.Time(until))
+	now = g.Engine(0).Now()
+	t := &Table{
+		ID:    name,
+		Title: fmt.Sprintf("Scenario %s (%s, %d groups, buffer %d pkts)", name, spec.Topology.Template, len(spec.Groups), inst.Topo.BufferPkts()),
+		Header: []string{"row", "avg_queue_pkts", "drop_rate", "mark_rate", "utilization",
+			"goodput_share_per_flow", "jain"},
+	}
+	window := (until - spec.MeasureFrom).Seconds()
+	pkt := spec.Topology.PktSize
+	if pkt == 0 {
+		pkt = 1040
+	}
+	capacityBytes := inst.Topo.CapacityPPS() * float64(pkt) * window
+	for i, ml := range measured {
+		t.AddRow("link "+ml.Name, f2(qmons[i].Series.Mean()), sci(meters[i].DropRate()),
+			sci(meters[i].MarkRate()), f3(meters[i].Utilization(now)), "-", "-")
+		qmons[i].Stop()
+	}
+	for i, grp := range inst.Groups {
+		label := "group " + grp.Label()
+		if len(grp.Flows) > 0 {
+			goodputs := trafficgen.Goodputs(grp.Flows, snaps[i])
+			var sum float64
+			for _, b := range goodputs {
+				sum += b
+			}
+			share := sum / capacityBytes / float64(len(grp.Flows))
+			t.AddRow(label, "-", "-", "-", "-", f3(share), f3(stats.Jain(goodputs)))
+		}
+	}
+	g.Run(sim.Time(spec.Duration))
+	for _, aud := range auds {
+		aud.Stop()
+	}
+	// The group has stopped: the summed cross-domain ledger must balance.
+	if err := net.Audit(); err != nil {
+		return nil, fmt.Errorf("scenario %s shards=%d: %w", name, shards, err)
+	}
+	t.Notes = append(t.Notes,
+		"goodput_share_per_flow = mean per-flow goodput as a fraction of core capacity over the window",
+		fmt.Sprintf("shards=%d events_per_shard=%v", shards, g.EventCounts()))
+	return t, nil
+}

@@ -23,6 +23,7 @@ type Builder struct {
 	fs *flag.FlagSet
 
 	parallel        *int
+	shards          *int
 	timeout         *time.Duration
 	stallWindow     *time.Duration
 	cacheDir        *string
@@ -47,6 +48,7 @@ type Builder struct {
 func New(fs *flag.FlagSet) *Builder {
 	b := &Builder{fs: fs}
 	b.parallel = fs.Int("parallel", 0, "simulation worker count for sweeps (0 = all cores)")
+	b.shards = fs.Int("shards", 0, "shard count for the parallel in-scenario engine where supported (0/1 = serial); unlike -parallel this changes per-shard RNG streams, so shards>1 runs cache separately from serial runs")
 	b.timeout = fs.Duration("timeout", 0, "per-run timeout (0 = none); a timed-out run fails, the sweep continues")
 	b.stallWindow = fs.Duration("stall-window", 0, "no-progress watchdog window (0 = off); a run whose sim counters stop advancing this long is marked stalled, the sweep continues")
 	b.cacheDir = fs.String("cache-dir", "", "content-addressed result cache: hits replay without simulating, misses commit atomically; killed sweeps resume, concurrent processes share the directory")
@@ -87,6 +89,7 @@ func (b *Builder) SeedFlag(def int64) {
 func (b *Builder) Spec() (harness.RunSpec, error) {
 	spec := harness.RunSpec{
 		Workers:         *b.parallel,
+		Shards:          *b.shards,
 		Timeout:         *b.timeout,
 		StallWindow:     *b.stallWindow,
 		MetricsInterval: *b.metricsInterval,

@@ -67,6 +67,7 @@ func RunExperiments(ctx context.Context, exps []experiments.Experiment, spec Run
 		workers = experiments.Workers(ctx)
 	}
 	ctx = experiments.WithWorkers(ctx, workers)
+	ctx = experiments.WithShards(ctx, spec.Shards) // no-op when < 1
 	rep.Workers = workers
 
 	var store *cache.Store

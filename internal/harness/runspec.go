@@ -9,6 +9,7 @@ import (
 	"pert/internal/cache"
 	"pert/internal/experiments"
 	"pert/internal/scenario"
+	"pert/internal/sim"
 )
 
 // Cache policy modes. The zero value ("") behaves as CacheReadWrite.
@@ -79,6 +80,13 @@ type RunSpec struct {
 	// experiments package default, 100 ms of sim time). Part of the cell
 	// identity because it changes the series files a cell produces.
 	MetricsInterval time.Duration `json:"metrics_interval,omitempty"`
+	// Shards requests the sharded parallel engine for cells that support
+	// it (experiments that consult experiments.ShardsFrom, and inline
+	// scenarios — pertsim folds the flag into the scenario spec instead).
+	// Unlike Workers, sharding is a *different execution* — each shard has
+	// its own RNG stream — so values above 1 join the cell identity; 0 and
+	// 1 are both the serial engine and hash identically.
+	Shards int `json:"shards,omitempty"`
 
 	// Mechanics — how cells execute; never hashed.
 
@@ -140,6 +148,9 @@ func (s RunSpec) Validate() error {
 		return fmt.Errorf("harness: unknown scale %q (want %q or %q)",
 			s.Scale, experiments.Quick, experiments.Paper)
 	}
+	if s.Shards < 0 || s.Shards > sim.MaxShards {
+		return fmt.Errorf("harness: shards %d outside [0, %d]", s.Shards, sim.MaxShards)
+	}
 	if err := s.Cache.validate(); err != nil {
 		return err
 	}
@@ -166,6 +177,7 @@ type cellIdentity struct {
 	Seed            int64          `json:"seed,omitempty"`
 	Metrics         bool           `json:"metrics,omitempty"`
 	MetricsInterval int64          `json:"metrics_interval,omitempty"` // nanoseconds
+	Shards          int            `json:"shards,omitempty"`           // only when > 1
 	Experiment      string         `json:"experiment,omitempty"`
 	Scenario        *scenario.Spec `json:"scenario,omitempty"`
 }
@@ -183,6 +195,12 @@ func (s RunSpec) identity(codeVersion string) cellIdentity {
 	if s.metricsOn() {
 		id.Metrics = true
 		id.MetricsInterval = int64(s.MetricsInterval)
+	}
+	// Shards ≤ 1 is the serial engine and must share cells with pre-shards
+	// specs (and with each other); only a real parallel request forks the
+	// key space.
+	if s.Shards > 1 {
+		id.Shards = s.Shards
 	}
 	return id
 }

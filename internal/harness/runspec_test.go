@@ -8,6 +8,7 @@ import (
 
 	"pert/internal/experiments"
 	"pert/internal/scenario"
+	"pert/internal/sim"
 )
 
 // goldenCodeVersion pins the code-version component so the digests below
@@ -20,31 +21,32 @@ const goldenCodeVersion = "test"
 // change was accidental — never silently update a digest without knowing
 // which.
 var goldenCellKeys = map[string]string{
-	"fig2":           "c48a76caf0687419d047fd628a1042e0373b6a419ade360474f26175efd316f7",
-	"fig3":           "d85e61078fa6283016b161c2575d88e51317eac43c63ebe57378fd61564f9dad",
-	"fig4":           "414d6422a3b2816385c3e585fbf0424b7b7d203130573f123bbbc7c28d8a2cb1",
-	"fig5":           "923b7ef2da3905ffd1d6879ffecca76b855dc6b77fc2bfc1ec880db5bd7693b2",
-	"fig6":           "951f7f7d6b9ef5d308b89329fd6f1bd952778cee67e798d1fc3ac2100985d067",
-	"fig7":           "fb912b57bc6b72c0b55d2bf072c67090ac46c10da8a860217423a0ce31bd6f74",
-	"fig8":           "0d03c21b6719948744fcf1f924ee05ad5c18be87ea76af5b7b998730712a56cf",
-	"fig9":           "b4233bc1cb6be3f7853a4fe92f8edef45b5c405093b9ff393f94f0bd783114d1",
-	"fig11":          "3dd6e1e8b1aa323c763b54afcee6aacb8c25e6253b5926178130fe5063e064af",
-	"fig12":          "cea06806dfeb4cb36749dabefa87c8f5de023124386bf7ffcecc7fb660eec3e8",
-	"fig13":          "48f925defcdf51d2209cb35b7bedee8bd29fb5e73ed3b663732f2e01e2b1ed26",
-	"fig14":          "64439967e2c73be9085c1dff9005c77883eed92d6519e9ca9949e11e3a24b67e",
-	"ext-aqm":        "9b021083c83f45ba687ac8276232ecfe057fa7acda54bc48f528e2857f31a51f",
-	"ext-coexist":    "6479ca32da67fd73e0b032cdab071b1817aac942ffa199536acb5a105f538057",
-	"ext-delaycc":    "ab42fce10682afc0e665c629b2198247ceeebd7f5fd94a95c80ff7e98ce6bf14",
-	"ext-fct":        "2768f9ea3371930175c86d387ea7d6a7754ad97388faf4170fc2f6198b8f2c1f",
-	"ext-flap":       "0fe16bcecc05bd25a2871090ba901ef8b762934d047ff320c1d081d6bddc3998",
-	"ext-highspeed":  "f657c15d19e258cd457dfe6d397badcacb9b9ea3043fcaab72a9c138931496ee",
-	"ext-jitter":     "4af8917a19e0315116aee477e7c74daf511e3bf0fd5e1cbec71e86868cf55a3f",
-	"ext-lossy":      "5018aabf3e40e96d05002e31508429db6b16e6cd70fcd0d829fcfa153972eacc",
-	"ext-replicated": "33ab693d378f5579005cc92708626dcb3169ee0f4cdaeb0cf50eb439a1683959",
-	"ext-stability":  "23c086c3d7c904218b3f080b21d53c19506df66196b791a8834737c69bf2e0d4",
-	"ext-threshold":  "f89d51cb3fad5c8a8b38d3fc1d9d3307f2da39e656c835e76c70a504d43de0be",
-	"ext-validation": "1bfea074012168569a1a912ecb21981d47715455c259b44a5e822285ed0fedce",
-	"table1":         "705213a2cb6dc5415f866f1c96a2268cafa7958fd469b4d67190433e31dd815a",
+	"fig2":              "c48a76caf0687419d047fd628a1042e0373b6a419ade360474f26175efd316f7",
+	"fig3":              "d85e61078fa6283016b161c2575d88e51317eac43c63ebe57378fd61564f9dad",
+	"fig4":              "414d6422a3b2816385c3e585fbf0424b7b7d203130573f123bbbc7c28d8a2cb1",
+	"fig5":              "923b7ef2da3905ffd1d6879ffecca76b855dc6b77fc2bfc1ec880db5bd7693b2",
+	"fig6":              "951f7f7d6b9ef5d308b89329fd6f1bd952778cee67e798d1fc3ac2100985d067",
+	"fig7":              "fb912b57bc6b72c0b55d2bf072c67090ac46c10da8a860217423a0ce31bd6f74",
+	"fig8":              "0d03c21b6719948744fcf1f924ee05ad5c18be87ea76af5b7b998730712a56cf",
+	"fig9":              "b4233bc1cb6be3f7853a4fe92f8edef45b5c405093b9ff393f94f0bd783114d1",
+	"fig11":             "3dd6e1e8b1aa323c763b54afcee6aacb8c25e6253b5926178130fe5063e064af",
+	"fig12":             "cea06806dfeb4cb36749dabefa87c8f5de023124386bf7ffcecc7fb660eec3e8",
+	"fig13":             "48f925defcdf51d2209cb35b7bedee8bd29fb5e73ed3b663732f2e01e2b1ed26",
+	"fig14":             "64439967e2c73be9085c1dff9005c77883eed92d6519e9ca9949e11e3a24b67e",
+	"ext-aqm":           "9b021083c83f45ba687ac8276232ecfe057fa7acda54bc48f528e2857f31a51f",
+	"ext-coexist":       "6479ca32da67fd73e0b032cdab071b1817aac942ffa199536acb5a105f538057",
+	"ext-delaycc":       "ab42fce10682afc0e665c629b2198247ceeebd7f5fd94a95c80ff7e98ce6bf14",
+	"ext-fct":           "2768f9ea3371930175c86d387ea7d6a7754ad97388faf4170fc2f6198b8f2c1f",
+	"ext-flap":          "0fe16bcecc05bd25a2871090ba901ef8b762934d047ff320c1d081d6bddc3998",
+	"ext-highspeed":     "f657c15d19e258cd457dfe6d397badcacb9b9ea3043fcaab72a9c138931496ee",
+	"ext-jitter":        "4af8917a19e0315116aee477e7c74daf511e3bf0fd5e1cbec71e86868cf55a3f",
+	"ext-lossy":         "5018aabf3e40e96d05002e31508429db6b16e6cd70fcd0d829fcfa153972eacc",
+	"ext-parkinglot-xl": "ac295134ee23ee5fd55f2b26ae1c0ac840618fd810cf2dd42f9fa528a333337a",
+	"ext-replicated":    "33ab693d378f5579005cc92708626dcb3169ee0f4cdaeb0cf50eb439a1683959",
+	"ext-stability":     "23c086c3d7c904218b3f080b21d53c19506df66196b791a8834737c69bf2e0d4",
+	"ext-threshold":     "f89d51cb3fad5c8a8b38d3fc1d9d3307f2da39e656c835e76c70a504d43de0be",
+	"ext-validation":    "1bfea074012168569a1a912ecb21981d47715455c259b44a5e822285ed0fedce",
+	"table1":            "705213a2cb6dc5415f866f1c96a2268cafa7958fd469b4d67190433e31dd815a",
 }
 
 func TestGoldenCellKeys(t *testing.T) {
@@ -124,6 +126,58 @@ func TestCellKeyIgnoresMechanics(t *testing.T) {
 	}
 	if k, _ := base.CellKey("fig6", "other-version"); k == baseKey {
 		t.Error("code version not in the key")
+	}
+}
+
+// TestShardsCellKeys: shards 0 and 1 are both the serial engine and must
+// share cells (with each other and with pre-shards specs); shards > 1 is a
+// different execution — per-shard RNG streams — and must never collide with
+// serial cells or with other shard counts. Same contract for inline
+// scenarios, where the count lives in the spec.
+func TestShardsCellKeys(t *testing.T) {
+	key := func(s RunSpec) string {
+		k, err := s.CellKey("ext-parkinglot-xl", goldenCodeVersion)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	serial := key(RunSpec{Scale: "quick"})
+	if k := key(RunSpec{Scale: "quick", Shards: 1}); k != serial {
+		t.Error("shards=1 forked the serial cell key")
+	}
+	k4, k8 := key(RunSpec{Scale: "quick", Shards: 4}), key(RunSpec{Scale: "quick", Shards: 8})
+	if k4 == serial || k8 == serial {
+		t.Error("sharded run shares a cell with the serial run")
+	}
+	if k4 == k8 {
+		t.Error("shards=4 and shards=8 share a cell")
+	}
+
+	scen := func(shards int) string {
+		sp := scenario.Spec{
+			Name: "xl",
+			Seed: 1,
+			Topology: scenario.TopologySpec{
+				Template: scenario.ParkingLotTemplate, Routers: 4, CloudSize: 4,
+			},
+			Groups: []scenario.FlowGroupSpec{
+				{Scheme: "PERT", Count: 2, From: "cloud1", To: "cloud4"},
+			},
+			Duration: 10 * sim.Second,
+			Shards:   shards,
+		}
+		k, err := RunSpec{Scale: "quick", Scenario: &sp}.ScenarioKey(goldenCodeVersion)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	if scen(0) != scen(1) {
+		t.Error("scenario shards=0 and shards=1 hash differently")
+	}
+	if scen(0) == scen(4) {
+		t.Error("sharded scenario shares a cell with the serial scenario")
 	}
 }
 

@@ -26,8 +26,29 @@ type Conservation struct {
 	InFlight     int64  // propagating on some wire
 }
 
-// Conservation returns a snapshot of the network's packet ledger.
-func (n *Network) Conservation() Conservation { return n.acct }
+// add accumulates another domain's ledger column into c.
+func (c *Conservation) add(o Conservation) {
+	c.Injected += o.Injected
+	c.Duplicated += o.Duplicated
+	c.Delivered += o.Delivered
+	c.Dropped += o.Dropped
+	c.Queued += o.Queued
+	c.Transmitting += o.Transmitting
+	c.InFlight += o.InFlight
+}
+
+// Conservation returns a snapshot of the network's packet ledger, summed
+// over all shard domains. Only the sum balances: a boundary delivery
+// increments the sender domain's InFlight and decrements the receiver's,
+// so individual columns of a partitioned network are not meaningful alone.
+// On a partitioned network, call only while the shard group is stopped.
+func (n *Network) Conservation() Conservation {
+	c := n.doms[0].acct
+	for _, d := range n.doms[1:] {
+		c.add(d.acct)
+	}
+	return c
+}
 
 // Audit checks the simulation's structural invariants and returns the first
 // violation found, or nil:
@@ -43,7 +64,7 @@ func (n *Network) Conservation() Conservation { return n.acct }
 // A non-nil return means the simulator's bookkeeping is corrupt (a model bug,
 // not a model result), so callers should abort the run.
 func (n *Network) Audit() error {
-	c := n.acct
+	c := n.Conservation()
 	if c.Queued < 0 || c.Transmitting < 0 || c.InFlight < 0 {
 		return fmt.Errorf("negative occupancy: queued=%d transmitting=%d in-flight=%d",
 			c.Queued, c.Transmitting, c.InFlight)
@@ -56,19 +77,29 @@ func (n *Network) Audit() error {
 	}
 	for _, node := range n.Nodes {
 		for _, l := range node.out {
-			qlen, qbytes := l.Queue.Len(), l.Queue.Bytes()
-			if qlen < 0 || qbytes < 0 || (qbytes == 0) != (qlen == 0) {
-				return fmt.Errorf("%v: queue accounting corrupt: Len=%d Bytes=%d", l, qlen, qbytes)
-			}
-			busy := uint64(0)
-			if l.busy {
-				busy = 1
-			}
-			if want := l.Stats.Drops + l.Stats.TxPackets + uint64(qlen) + busy; l.Stats.Arrivals != want {
-				return fmt.Errorf("%v: link accounting violated: arrivals=%d but drops+tx+queued+busy=%d",
-					l, l.Stats.Arrivals, want)
+			if err := auditLink(l); err != nil {
+				return err
 			}
 		}
+	}
+	return nil
+}
+
+// auditLink checks one link's local invariants: queue sanity and the
+// per-link packet accounting equation. All the state involved is owned by
+// the link's domain, so a shard-scoped auditor may run this mid-run.
+func auditLink(l *Link) error {
+	qlen, qbytes := l.Queue.Len(), l.Queue.Bytes()
+	if qlen < 0 || qbytes < 0 || (qbytes == 0) != (qlen == 0) {
+		return fmt.Errorf("%v: queue accounting corrupt: Len=%d Bytes=%d", l, qlen, qbytes)
+	}
+	busy := uint64(0)
+	if l.busy {
+		busy = 1
+	}
+	if want := l.Stats.Drops + l.Stats.TxPackets + uint64(qlen) + busy; l.Stats.Arrivals != want {
+		return fmt.Errorf("%v: link accounting violated: arrivals=%d but drops+tx+queued+busy=%d",
+			l, l.Stats.Arrivals, want)
 	}
 	return nil
 }
@@ -140,6 +171,13 @@ type Auditor struct {
 	full   bool // ring has wrapped
 	last   sim.Time
 	ticker *sim.Ticker
+
+	// dom, when non-nil, scopes the auditor to one shard domain
+	// (StartDomainAudit): it ticks on that domain's engine and checks only
+	// that domain's links, skipping the network-wide conservation equation
+	// — which spans state owned by concurrently running shards and only
+	// balances over the sum anyway.
+	dom *domain
 }
 
 type queueBound struct {
@@ -171,6 +209,28 @@ func StartAudit(n *Network, cfg AuditConfig) *Auditor {
 	}
 	a := &Auditor{net: n, cfg: cfg, ring: make([]auditTraceEvent, cfg.TraceDepth)}
 	a.ticker = n.eng.Every(0, cfg.Interval, a.check)
+	return a
+}
+
+// StartDomainAudit attaches an auditor scoped to one shard domain of a
+// partitioned network, ticking on that domain's engine — safe while the
+// other shards run concurrently. It verifies per-link accounting and queue
+// sanity for the domain's links plus any bounds registered with BoundQueue
+// (watch and bound only links the domain owns); the global conservation
+// equation is left to a whole-network Audit after the group stops.
+//
+// Domain 0's auditor consumes exactly the engine-0 sequence numbers a
+// serial StartAudit would, which is part of the shards=1 bit-identity
+// contract.
+func StartDomainAudit(n *Network, dom int, cfg AuditConfig) *Auditor {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 100 * sim.Millisecond
+	}
+	if cfg.TraceDepth <= 0 {
+		cfg.TraceDepth = 32
+	}
+	a := &Auditor{net: n, cfg: cfg, ring: make([]auditTraceEvent, cfg.TraceDepth), dom: n.doms[dom]}
+	a.ticker = a.dom.eng.Every(0, cfg.Interval, a.check)
 	return a
 }
 
@@ -224,7 +284,13 @@ func (a *Auditor) BoundQueue(l *Link, pkts int) {
 func (a *Auditor) Stop() { a.ticker.Stop() }
 
 // Check runs one audit pass immediately (the periodic ticker calls this too).
-func (a *Auditor) Check() { a.check(a.net.eng.Now()) }
+func (a *Auditor) Check() {
+	if a.dom != nil {
+		a.check(a.dom.eng.Now())
+		return
+	}
+	a.check(a.net.eng.Now())
+}
 
 func (a *Auditor) check(now sim.Time) {
 	if now < a.last {
@@ -232,7 +298,19 @@ func (a *Auditor) check(now sim.Time) {
 		return
 	}
 	a.last = now
-	if err := a.net.Audit(); err != nil {
+	if a.dom != nil {
+		for _, node := range a.net.Nodes {
+			if node.dom != a.dom {
+				continue
+			}
+			for _, l := range node.out {
+				if err := auditLink(l); err != nil {
+					a.fail(now, err.Error())
+					return
+				}
+			}
+		}
+	} else if err := a.net.Audit(); err != nil {
 		a.fail(now, err.Error())
 		return
 	}

@@ -43,7 +43,7 @@ func TestAuditViolationCarriesReproBundle(t *testing.T) {
 
 	// Corrupt the ledger the way a lost-packet bug would: a packet that was
 	// injected but never reached any other column.
-	net.acct.Injected++
+	net.doms[0].acct.Injected++
 	aud.Check()
 
 	if got == nil {
@@ -75,7 +75,7 @@ func TestAuditDefaultPanicsWithBundle(t *testing.T) {
 	net, a, b, _ := line(eng, 8e6, 0, 60)
 	aud := StartAudit(net, AuditConfig{Seed: 5, Scenario: "panics"})
 	flood(eng, net, a, b, 3)
-	net.acct.Delivered++ // corrupt
+	net.doms[0].acct.Delivered++ // corrupt
 	defer func() {
 		r := recover()
 		if r == nil {
@@ -131,7 +131,7 @@ func TestAuditTraceRingWraps(t *testing.T) {
 		OnViolation: func(v *ViolationError) { got = v }})
 	aud.Watch(ab)
 	flood(eng, net, a, b, 10) // 20 ring events (enqueue+depart per packet)
-	net.acct.Injected++
+	net.doms[0].acct.Injected++
 	aud.Check()
 	if got == nil {
 		t.Fatal("no violation")
@@ -153,7 +153,7 @@ func TestAuditorStopSilences(t *testing.T) {
 		Interval:    sim.Millisecond,
 		OnViolation: func(*ViolationError) { violations++ }})
 	aud.Stop()
-	net.acct.Injected++ // corrupt before any traffic
+	net.doms[0].acct.Injected++ // corrupt before any traffic
 	flood(eng, net, a, b, 5)
 	if violations != 0 {
 		t.Fatalf("stopped auditor still fired %d times", violations)
@@ -172,7 +172,7 @@ func TestAuditViolationCarriesFlightDump(t *testing.T) {
 		OnViolation: func(v *ViolationError) { got = v }})
 	aud.Watch(ab)
 	flood(eng, net, a, b, 10)
-	net.acct.Injected++ // corrupt
+	net.doms[0].acct.Injected++ // corrupt
 	aud.Check()
 
 	if got == nil {
@@ -194,7 +194,7 @@ func TestAuditViolationCarriesFlightDump(t *testing.T) {
 	var bare *ViolationError
 	aud2 := StartAudit(net2, AuditConfig{Seed: 9, Scenario: "no flight",
 		OnViolation: func(v *ViolationError) { bare = v }})
-	net2.acct.Injected++
+	net2.doms[0].acct.Injected++
 	aud2.Check()
 	if bare == nil {
 		t.Fatal("second auditor saw no violation")

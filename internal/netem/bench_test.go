@@ -156,7 +156,7 @@ func TestInlineSackAliasing(t *testing.T) {
 	p.ResetSack()
 	p.Sack = append(p.Sack, SackBlock{Start: 10, End: 12}, SackBlock{Start: 20, End: 21})
 
-	cp := net.clonePacket(p)
+	cp := net.doms[0].clonePacket(p)
 	if cp.ID != p.ID {
 		t.Fatal("clone must keep the original's ID (wire duplication)")
 	}

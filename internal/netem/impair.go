@@ -118,19 +118,19 @@ func (s LinkSchedule) Apply(l *Link) {
 // completed transmission; conservation accounting moves the packet from the
 // transmitter into flight (or into the dropped column) here.
 func (l *Link) deliver(p *Packet, delay sim.Duration) {
-	acct := &l.From.net.acct
+	acct := &l.dom.acct
 	if l.down {
 		// Carrier gone mid-transmission: the bits went nowhere.
 		l.impairStats.Blackholed++
 		acct.Dropped++
-		l.From.net.ReleasePacket(p)
+		l.dom.releasePacket(p)
 		return
 	}
 	if imp := l.impair; imp != nil {
 		if imp.Loss > 0 && imp.rng.Float64() < imp.Loss {
 			l.impairStats.WireLost++
 			acct.Dropped++
-			l.From.net.ReleasePacket(p)
+			l.dom.releasePacket(p)
 			return
 		}
 		if imp.Reorder > 0 && imp.rng.Float64() < imp.Reorder {
@@ -164,10 +164,10 @@ func (l *Link) maybeDup(p *Packet, delay sim.Duration) {
 		return
 	}
 	l.impairStats.Duplicated++
-	acct := &l.From.net.acct
+	acct := &l.dom.acct
 	acct.Duplicated++
 	acct.InFlight++
-	cp := l.From.net.clonePacket(p)
+	cp := l.dom.clonePacket(p)
 	arrival := l.eng.Now() + delay + l.txTime(p.Size)
 	if arrival < l.lastDelivery {
 		arrival = l.lastDelivery
@@ -178,6 +178,85 @@ func (l *Link) maybeDup(p *Packet, delay sim.Duration) {
 
 // arrive completes a packet's flight across the link.
 func (l *Link) arrive(p *Packet) {
-	l.From.net.acct.InFlight--
+	l.dom.acct.InFlight--
 	l.To.Receive(p)
+}
+
+// deliverCross is deliver for boundary links: arrivals go through the
+// cross-shard port instead of the local event heap. The impairment RNG
+// draws happen in exactly deliver's order (loss, reorder, dup), so a
+// link's fault sequence depends only on its seed, not on which side of a
+// partition cut it landed.
+//
+// Two accounting rules differ from the serial path. The sender's domain
+// increments InFlight and the receiver's domain decrements it on arrival
+// (remoteArriveFn), so only the summed ledger balances. And the duplication
+// decision — including the clone — happens BEFORE the original is sent:
+// once a packet is on the port the receiving shard may mutate or recycle it
+// concurrently, so the serial path's clone-after-post order would race.
+func (l *Link) deliverCross(p *Packet, delay sim.Duration) {
+	acct := &l.dom.acct
+	if l.down {
+		l.impairStats.Blackholed++
+		acct.Dropped++
+		l.dom.releasePacket(p)
+		return
+	}
+	if imp := l.impair; imp != nil {
+		if imp.Loss > 0 && imp.rng.Float64() < imp.Loss {
+			l.impairStats.WireLost++
+			acct.Dropped++
+			l.dom.releasePacket(p)
+			return
+		}
+		if imp.Reorder > 0 && imp.rng.Float64() < imp.Reorder {
+			extra := 1 + imp.rng.Int63n(int64(imp.ReorderMax))
+			l.impairStats.Reordered++
+			arrival := l.eng.Now() + delay + sim.Duration(extra)
+			cp := l.cloneForDup(p)
+			acct.InFlight++
+			l.xport.Send(arrival, l.remoteArriveFn, p)
+			if cp != nil {
+				l.sendDupCross(cp, delay)
+			}
+			return
+		}
+	}
+	arrival := l.eng.Now() + delay
+	if arrival < l.lastDelivery {
+		arrival = l.lastDelivery
+	}
+	l.lastDelivery = arrival
+	cp := l.cloneForDup(p)
+	acct.InFlight++
+	l.xport.Send(arrival, l.remoteArriveFn, p)
+	if cp != nil {
+		l.sendDupCross(cp, delay)
+	}
+}
+
+// cloneForDup draws the duplication decision and returns the wire echo to
+// send, or nil. Split from the send so deliverCross can clone before the
+// original leaves this shard.
+func (l *Link) cloneForDup(p *Packet) *Packet {
+	imp := l.impair
+	if imp == nil || imp.Dup <= 0 || imp.rng.Float64() >= imp.Dup {
+		return nil
+	}
+	return l.dom.clonePacket(p)
+}
+
+// sendDupCross ships a wire duplicate across the boundary one transmission
+// time after the original, mirroring maybeDup's arrival arithmetic.
+func (l *Link) sendDupCross(cp *Packet, delay sim.Duration) {
+	l.impairStats.Duplicated++
+	acct := &l.dom.acct
+	acct.Duplicated++
+	acct.InFlight++
+	arrival := l.eng.Now() + delay + l.txTime(cp.Size)
+	if arrival < l.lastDelivery {
+		arrival = l.lastDelivery
+	}
+	l.lastDelivery = arrival
+	l.xport.Send(arrival, l.remoteArriveFn, cp)
 }

@@ -57,7 +57,15 @@ type Link struct {
 	Stats LinkStats
 
 	eng  *sim.Engine
+	dom  *domain // shard domain owning this link (its From node's domain)
 	busy bool
+
+	// Boundary-link state (domain.go): when the link's endpoints live in
+	// different shard domains, deliveries cross through xport instead of
+	// being posted on the local engine, and arrive on the receiving shard
+	// via remoteArriveFn. Nil for intra-domain links — the serial path.
+	xport          *sim.Port
+	remoteArriveFn func(any)
 
 	// Transmit-loop state. The link is a single server, so one persistent
 	// timer plus a stashed in-flight packet replaces the per-transmission
@@ -94,7 +102,7 @@ type capPoint struct {
 func (l *Link) Send(p *Packet) {
 	now := l.eng.Now()
 	l.Stats.Arrivals++
-	acct := &l.From.net.acct
+	acct := &l.dom.acct
 	if l.down {
 		l.impairStats.Blackholed++
 		l.Stats.Drops++
@@ -102,7 +110,7 @@ func (l *Link) Send(p *Packet) {
 		if l.OnDrop != nil {
 			l.OnDrop(p, now)
 		}
-		l.From.net.ReleasePacket(p)
+		l.dom.releasePacket(p)
 		return
 	}
 	ce := p.CE
@@ -112,7 +120,7 @@ func (l *Link) Send(p *Packet) {
 		if l.OnDrop != nil {
 			l.OnDrop(p, now)
 		}
-		l.From.net.ReleasePacket(p)
+		l.dom.releasePacket(p)
 		return
 	}
 	// Disciplines mark only at enqueue time (the Discipline contract), so
@@ -138,7 +146,7 @@ func (l *Link) serve() {
 		return
 	}
 	l.busy = true
-	acct := &l.From.net.acct
+	acct := &l.dom.acct
 	acct.Queued--
 	acct.Transmitting++
 	tx := l.txTime(p.Size)
@@ -155,7 +163,7 @@ func (l *Link) completeTx() {
 	l.Stats.TxPackets++
 	l.Stats.TxBytes += uint64(p.Size)
 	l.Stats.BusyTime += tx
-	l.From.net.acct.Transmitting--
+	l.dom.acct.Transmitting--
 	if l.OnDepart != nil {
 		l.OnDepart(p, l.eng.Now())
 	}
@@ -163,7 +171,11 @@ func (l *Link) completeTx() {
 	if l.JitterMax > 0 {
 		delay += sim.Duration(l.eng.Rand().Int63n(int64(l.JitterMax)))
 	}
-	l.deliver(p, delay)
+	if l.xport != nil {
+		l.deliverCross(p, delay)
+	} else {
+		l.deliver(p, delay)
+	}
 	l.serve()
 }
 

@@ -12,6 +12,7 @@ import (
 type Node struct {
 	ID    NodeID
 	net   *Network
+	dom   *domain         // shard domain owning this node (domain.go)
 	out   []*Link         // links originating here
 	next  []*Link         // next-hop link per destination NodeID; nil = unreachable
 	demux map[int]Handler // flow ID -> local agent
@@ -37,13 +38,13 @@ func (n *Node) DetachFlow(flow int) {
 // consumption, and the pool now enforces it.
 func (n *Node) Receive(p *Packet) {
 	if p.Dst == n.ID {
-		n.net.acct.Delivered++
+		n.dom.acct.Delivered++
 		if h, ok := n.demux[p.Flow]; ok {
-			h.Receive(p, n.net.eng.Now())
+			h.Receive(p, n.dom.eng.Now())
 		}
 		// Packets for unregistered flows (e.g. ACKs racing a closed
 		// connection) are silently discarded, as a real host would RST.
-		n.net.ReleasePacket(p)
+		n.dom.releasePacket(p)
 		return
 	}
 	n.Forward(p)
@@ -77,32 +78,27 @@ type Network struct {
 	eng   *sim.Engine
 	Nodes []*Node
 
-	nextPktID uint64
-
-	// pktFree recycles pool-allocated packets (NewPacket/ReleasePacket).
-	// Endpoints allocate every data segment and ACK from here, so a
-	// steady-state run reuses a small working set of Packet structs
-	// instead of feeding the garbage collector one allocation per packet.
-	pktFree []*Packet
-
-	// acct is the packet-conservation ledger (audit.go): every packet the
-	// network has seen is in exactly one column at any instant. Maintained
-	// inline by Send/serve/deliver/Receive — plain integer bumps, so the
-	// accounting is always on.
-	acct Conservation
+	// doms are the shard domains (domain.go), each owning its engine,
+	// packet pool/ID counter, and conservation-ledger column. An
+	// unpartitioned network has exactly one; Partition replaces the slice.
+	// Each node and link points at its owning domain directly, so the hot
+	// path never searches this slice.
+	doms []*domain
 }
 
 // NewNetwork returns an empty network bound to the engine.
 func NewNetwork(eng *sim.Engine) *Network {
-	return &Network{eng: eng}
+	return &Network{eng: eng, doms: []*domain{{idx: 0, eng: eng}}}
 }
 
-// Engine returns the simulation engine the network runs on.
+// Engine returns the simulation engine the network was built on (shard 0's
+// engine when partitioned). Endpoint code scheduling per-node work should
+// use Node.Engine instead.
 func (n *Network) Engine() *sim.Engine { return n.eng }
 
 // AddNode creates a new node and returns it.
 func (n *Network) AddNode() *Node {
-	node := &Node{ID: NodeID(len(n.Nodes)), net: n, demux: make(map[int]Handler)}
+	node := &Node{ID: NodeID(len(n.Nodes)), net: n, dom: n.doms[0], demux: make(map[int]Handler)}
 	n.Nodes = append(n.Nodes, node)
 	return node
 }
@@ -113,8 +109,8 @@ func (n *Network) AddLink(from, to *Node, capacity float64, delay sim.Duration, 
 	if capacity <= 0 {
 		panic("netem: non-positive link capacity")
 	}
-	l := &Link{From: from, To: to, Capacity: capacity, Delay: delay, Queue: q, eng: n.eng}
-	l.txDone = n.eng.NewTimer(l.completeTx)
+	l := &Link{From: from, To: to, Capacity: capacity, Delay: delay, Queue: q, eng: from.dom.eng, dom: from.dom}
+	l.txDone = l.eng.NewTimer(l.completeTx)
 	l.arriveFn = func(a any) { l.arrive(a.(*Packet)) }
 	from.out = append(from.out, l)
 	return l
@@ -128,72 +124,26 @@ func (n *Network) AddDuplexLink(a, b *Node, capacity float64, delay sim.Duration
 	return ab, ba
 }
 
-// NewPacketID returns a fresh unique packet ID.
-func (n *Network) NewPacketID() uint64 {
-	n.nextPktID++
-	return n.nextPktID
-}
+// NewPacketID returns a fresh unique packet ID from domain 0's counter.
+// Per-node endpoint code should use Node.NewPacket, which mints from the
+// owning domain.
+func (n *Network) NewPacketID() uint64 { return n.doms[0].newPacketID() }
 
-// NewPacket returns a zeroed packet with a fresh ID, drawn from the
-// network's free list when possible. Pool-allocated packets are recycled at
-// their terminal points (local delivery, queue drop, wire loss), so callers
-// must not retain them past the handler or observer callback that sees them.
-// The free list is LIFO and touched only from the simulation goroutine, so
-// pooling cannot perturb deterministic packet identity: IDs still come from
-// the same counter in the same order.
-func (n *Network) NewPacket() *Packet {
-	var p *Packet
-	if k := len(n.pktFree); k > 0 {
-		p = n.pktFree[k-1]
-		n.pktFree = n.pktFree[:k-1]
-		*p = Packet{}
-	} else {
-		p = &Packet{}
-	}
-	p.ID = n.NewPacketID()
-	p.pool = pktLive
-	return p
-}
+// NewPacket returns a zeroed packet with a fresh ID, drawn from domain 0's
+// free list when possible. Pool-allocated packets are recycled at their
+// terminal points (local delivery, queue drop, wire loss), so callers must
+// not retain them past the handler or observer callback that sees them.
+// Each free list is LIFO and touched only from its owning shard's
+// goroutine, so pooling cannot perturb deterministic packet identity: IDs
+// still come from per-domain counters in per-domain order.
+func (n *Network) NewPacket() *Packet { return n.doms[0].newPacket() }
 
-// ReleasePacket returns a pool-allocated packet to the free list. Packets
-// constructed directly (tests, external drivers) are ignored, so terminal
-// points may release unconditionally. Releasing the same packet twice
-// panics: a double free would alias two live packets and silently corrupt
-// the run.
-func (n *Network) ReleasePacket(p *Packet) {
-	switch p.pool {
-	case pktForeign:
-		return
-	case pktFree:
-		panic("netem: packet released twice")
-	}
-	p.pool = pktFree
-	n.pktFree = append(n.pktFree, p)
-}
-
-// clonePacket duplicates a packet (wire duplication, impair.go) preserving
-// its ID and all fields. The clone's SACK list is re-aliased onto its own
-// inline backing array when the original used its own. Clones of pooled
-// packets are pooled; clones of foreign packets stay foreign so tests that
-// retain their packets are unaffected.
-func (n *Network) clonePacket(p *Packet) *Packet {
-	var cp *Packet
-	if p.pool == pktLive {
-		if k := len(n.pktFree); k > 0 {
-			cp = n.pktFree[k-1]
-			n.pktFree = n.pktFree[:k-1]
-		} else {
-			cp = &Packet{}
-		}
-	} else {
-		cp = &Packet{}
-	}
-	*cp = *p
-	if k := len(p.Sack); k > 0 && &p.Sack[0] == &p.sackStore[0] {
-		cp.Sack = cp.sackStore[:k]
-	}
-	return cp
-}
+// ReleasePacket returns a pool-allocated packet to domain 0's free list.
+// Packets constructed directly (tests, external drivers) are ignored, so
+// terminal points may release unconditionally. Releasing the same packet
+// twice panics: a double free would alias two live packets and silently
+// corrupt the run.
+func (n *Network) ReleasePacket(p *Packet) { n.doms[0].releasePacket(p) }
 
 // ComputeRoutes fills every node's next-hop table with shortest paths by hop
 // count (BFS from every destination). Must be called after the topology is
@@ -237,7 +187,7 @@ func (n *Network) ComputeRoutes() {
 // toward its destination. Packets originating at a node still traverse that
 // node's outgoing link queue.
 func (n *Network) SendFrom(src *Node, p *Packet) {
-	n.acct.Injected++
+	src.dom.acct.Injected++
 	if p.Dst == src.ID {
 		src.Receive(p)
 		return

@@ -24,14 +24,14 @@ func init() {
 	}
 
 	Register(SchemeDef{
-		Name: "PERT", Section4: true, ProactiveWeb: true,
+		Name: "PERT", Section4: true, ProactiveWeb: true, ShardSafe: true,
 		CC: func(net *netem.Network, env Env) func() tcp.CongestionControl {
 			return func() tcp.CongestionControl { return tcp.NewPERTRed() }
 		},
 		Queue: droptail,
 	})
 	Register(SchemeDef{
-		Name: "Sack/Droptail", Section4: true,
+		Name: "Sack/Droptail", Section4: true, ShardSafe: true,
 		CC:    reno,
 		Queue: droptail,
 	})
@@ -49,7 +49,7 @@ func init() {
 		},
 	})
 	Register(SchemeDef{
-		Name: "Vegas", Section4: true, ProactiveWeb: true,
+		Name: "Vegas", Section4: true, ProactiveWeb: true, ShardSafe: true,
 		CC: func(net *netem.Network, env Env) func() tcp.CongestionControl {
 			return func() tcp.CongestionControl { return tcp.NewVegas() }
 		},
@@ -89,7 +89,7 @@ func init() {
 		},
 	})
 	Register(SchemeDef{
-		Name: "PERT-REM", ProactiveWeb: true,
+		Name: "PERT-REM", ProactiveWeb: true, ShardSafe: true,
 		CC: func(net *netem.Network, env Env) func() tcp.CongestionControl {
 			return func() tcp.CongestionControl {
 				return tcp.NewPERTLazy(func(c *tcp.Conn) core.Responder {

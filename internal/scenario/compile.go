@@ -82,6 +82,7 @@ func Compile(eng *sim.Engine, net *netem.Network, spec Spec) (*Instance, error) 
 			CloudSize:  spec.Topology.cloudSize(),
 			CoreBW:     spec.Topology.CoreBW,
 			CoreDelay:  spec.Topology.CoreDelay,
+			EdgeDelays: spec.Topology.EdgeDelays,
 			BufferPkts: spec.Topology.BufferPkts,
 			PktSize:    spec.Topology.PktSize,
 			Queue:      qf,

@@ -28,6 +28,9 @@ type Config struct {
 	MeasureFrom  string `json:"measure_from,omitempty"`  // default duration/4
 	MeasureUntil string `json:"measure_until,omitempty"` // default duration
 	TargetDelay  string `json:"target_delay,omitempty"`
+
+	// Shards > 1 requests the parallel engine (see Spec.Shards).
+	Shards int `json:"shards,omitempty"`
 }
 
 // TopologyConfig is the JSON form of a TopologySpec.
@@ -42,10 +45,11 @@ type TopologyConfig struct {
 	AccessJitter string   `json:"access_jitter,omitempty"`
 
 	// Parking lot.
-	Routers   int     `json:"routers,omitempty"`
-	CloudSize int     `json:"cloud_size,omitempty"`
-	CoreBwBps float64 `json:"core_bw_bps,omitempty"`
-	CoreDelay string  `json:"core_delay,omitempty"`
+	Routers    int      `json:"routers,omitempty"`
+	CloudSize  int      `json:"cloud_size,omitempty"`
+	CoreBwBps  float64  `json:"core_bw_bps,omitempty"`
+	CoreDelay  string   `json:"core_delay,omitempty"`
+	EdgeDelays []string `json:"edge_delays,omitempty"` // per-cloud, round-robin
 
 	// Shared.
 	BufferPkts int    `json:"buffer_pkts,omitempty"`
@@ -129,6 +133,7 @@ func (c Config) Spec() (Spec, error) {
 		MeasureFrom:  from,
 		MeasureUntil: until,
 		TargetDelay:  target,
+		Shards:       c.Shards,
 	}
 	for i, g := range c.Groups {
 		sw, err := parseDur(g.StartWindow, from/2)
@@ -205,6 +210,13 @@ func (t TopologyConfig) spec() (TopologySpec, error) {
 			return out, fmt.Errorf("scenario: bad rtt %q", s)
 		}
 		out.RTTs = append(out.RTTs, sim.Time(d))
+	}
+	for _, s := range t.EdgeDelays {
+		d, err := time.ParseDuration(s)
+		if err != nil || d < 0 {
+			return out, fmt.Errorf("scenario: bad edge delay %q", s)
+		}
+		out.EdgeDelays = append(out.EdgeDelays, sim.Time(d))
 	}
 	return out, nil
 }

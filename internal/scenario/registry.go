@@ -70,6 +70,13 @@ type SchemeDef struct {
 	// Section4 marks members of the paper's Section 4 comparison set
 	// (Figures 6-9, 11, 12 and Table 1).
 	Section4 bool
+	// ShardSafe marks schemes whose CC and Queue factories capture no
+	// global-engine state (RNG, timers): per-connection controllers that
+	// draw from their own connection's engine, and queues that draw nothing.
+	// Only shard-safe schemes may appear in a Spec with Shards > 1; the
+	// router AQMs (RED, PI, REM, AVQ) all seed from net.Engine().Rand() —
+	// engine 0 after partitioning — and stay serial-only.
+	ShardSafe bool
 }
 
 // registry holds defs by name plus the registration order (the presentation
@@ -147,5 +154,17 @@ func Section4Names() []string {
 func SortedNames() []string {
 	out := Names()
 	sort.Strings(out)
+	return out
+}
+
+// shardSafeNames returns the registered shard-safe schemes in registration
+// order, for validation error messages.
+func shardSafeNames() []string {
+	var out []string
+	for _, n := range order {
+		if registry[n].ShardSafe {
+			out = append(out, n)
+		}
+	}
 	return out
 }

@@ -46,6 +46,10 @@ type TopologySpec struct {
 	CloudSize int          // hosts per cloud; 0 = the paper's 20
 	CoreBW    float64      // core link rate; 0 = the paper's 150 Mbps
 	CoreDelay sim.Duration // core one-way delay; 0 = the paper's 5 ms
+	// EdgeDelays gives cloud i the attachment delay EdgeDelays[i % len],
+	// overriding the paper's uniform 5 ms — heterogeneous RTTs per cloud
+	// without perturbing the core chain. Empty keeps the uniform default.
+	EdgeDelays []sim.Duration
 
 	// Shared parameters.
 	BufferPkts int // core queue size; 0 = the template's BDP rule
@@ -129,6 +133,14 @@ type Spec struct {
 	MeasureUntil sim.Duration // end of the window; 0 = Duration
 	TargetDelay  sim.Duration // PI/REM delay reference (default 3 ms)
 
+	// Shards > 1 requests the parallel engine: the topology is cut into
+	// that many domains (clamped to the template's useful maximum) and run
+	// under conservative-lookahead synchronization. 0 and 1 both mean the
+	// serial engine; they produce byte-identical results and hash to the
+	// same cache cell. Shards > 1 is a different execution (its own RNG
+	// streams per shard) and therefore a different cell.
+	Shards int
+
 	// Env overrides the derived scheme environment (capacity, flow count,
 	// RTT bound). Experiments that historically hand-picked these values
 	// set it to stay bit-identical; leave nil to derive from the spec.
@@ -160,6 +172,12 @@ func (s Spec) Validate() error {
 	}
 	if s.TargetDelay < 0 {
 		return fmt.Errorf("scenario: negative target_delay")
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("scenario: negative shards")
+	}
+	if s.Shards > sim.MaxShards {
+		return fmt.Errorf("scenario: shards %d exceeds the engine maximum %d", s.Shards, sim.MaxShards)
 	}
 	if err := s.Topology.validate(); err != nil {
 		return err
@@ -233,6 +251,43 @@ func (s Spec) Validate() error {
 			}
 		}
 	}
+	if s.Shards > 1 {
+		if err := s.validateShardable(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateShardable rejects spec features the parallel engine cannot run.
+// The restrictions all have the same root cause: sharded execution gives
+// every domain its own RNG and event clock, so anything that captures the
+// global engine — router AQMs drawing marking randomness from engine 0, web
+// session generators, link schedules armed on engine 0 before partitioning —
+// would race or silently change results. Schemes opt in via
+// SchemeDef.ShardSafe.
+func (s Spec) validateShardable() error {
+	if aqm := s.queueScheme(); aqm != "" && Known(aqm) {
+		if !registry[aqm].ShardSafe {
+			return fmt.Errorf("scenario: shards=%d: aqm scheme %q is not shard-safe (its queue draws from the global engine RNG); shard-safe schemes: %v", s.Shards, aqm, shardSafeNames())
+		}
+	}
+	for i, g := range s.Groups {
+		if g.kind() == Web {
+			return fmt.Errorf("scenario: shards=%d: group %d is web traffic, which runs on the global engine; sharded runs take ftp groups only", s.Shards, i)
+		}
+		if g.Scheme == "" {
+			return fmt.Errorf("scenario: shards=%d: group %d has no registered scheme; custom CC factories cannot be verified shard-safe", s.Shards, i)
+		}
+		if !registry[g.Scheme].ShardSafe {
+			return fmt.Errorf("scenario: shards=%d: group %d scheme %q is not shard-safe; shard-safe schemes: %v", s.Shards, i, g.Scheme, shardSafeNames())
+		}
+	}
+	for i, r := range s.Links {
+		if len(r.Schedule) > 0 {
+			return fmt.Errorf("scenario: shards=%d: link rule %d has a schedule; mid-run link changes are armed on the global engine and cannot be sharded", s.Shards, i)
+		}
+	}
 	return nil
 }
 
@@ -253,7 +308,33 @@ func (s Spec) Canonical() Spec {
 	}
 	out.MeasureUntil = s.measureUntil()
 	out.Topology.AQM = s.queueScheme()
+	// 0 and 1 shards are the same serial execution; canonicalize to 0 so
+	// they hash to the same cache cell. Counts above 1 are kept verbatim
+	// (NOT clamped to the topology maximum): the clamp happens at run time,
+	// and collapsing, say, shards=8 and shards=6 on a 6-router lot into one
+	// cell would be correct but surprising — the spec author asked for
+	// different things and can diff the cells.
+	if out.Shards <= 1 {
+		out.Shards = 0
+	}
 	return out
+}
+
+// EffectiveShards returns the shard count a run of this spec actually uses:
+// the requested count clamped to the topology's useful maximum (a dumbbell
+// has one cut; a parking lot has one domain per router). Always ≥ 1.
+func (s Spec) EffectiveShards() int {
+	if s.Shards <= 1 {
+		return 1
+	}
+	max := 2 // dumbbell: the bottleneck is the only useful cut
+	if s.Topology.Template == ParkingLotTemplate {
+		max = s.Topology.routers()
+	}
+	if s.Shards > max {
+		return max
+	}
+	return s.Shards
 }
 
 // queueScheme resolves the scheme name whose Queue factory builds the core

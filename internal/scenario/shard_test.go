@@ -1,0 +1,173 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"pert/internal/netem"
+	"pert/internal/sim"
+)
+
+// shardedSpec is a minimal parking-lot spec requesting the parallel engine.
+func shardedSpec() Spec {
+	return Spec{
+		Seed:     1,
+		Topology: TopologySpec{Template: ParkingLotTemplate, Routers: 4, CloudSize: 4},
+		Groups: []FlowGroupSpec{
+			{Scheme: "PERT", Count: 2, From: "cloud1", To: "cloud4"},
+		},
+		Duration:    seconds(10),
+		MeasureFrom: seconds(2),
+		Shards:      4,
+	}
+}
+
+func TestValidateShardsAccepts(t *testing.T) {
+	if err := shardedSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every registered shard-safe scheme must actually validate.
+	for _, name := range shardSafeNames() {
+		s := shardedSpec()
+		s.Groups[0].Scheme = name
+		if err := s.Validate(); err != nil {
+			t.Errorf("shard-safe scheme %q rejected: %v", name, err)
+		}
+	}
+	// Sharded dumbbells are fine too.
+	d := validSpec()
+	d.Shards = 2
+	if err := d.Validate(); err != nil {
+		t.Errorf("sharded dumbbell rejected: %v", err)
+	}
+}
+
+func TestValidateShardsRejects(t *testing.T) {
+	cases := map[string]func(*Spec){
+		"negative shards":   func(s *Spec) { s.Shards = -1 },
+		"too many shards":   func(s *Spec) { s.Shards = sim.MaxShards + 1 },
+		"router aqm":        func(s *Spec) { s.Topology.AQM = "Sack/RED-ECN" },
+		"unsafe group":      func(s *Spec) { s.Groups[0].Scheme = "Sack/PI-ECN" },
+		"pert-pi is global": func(s *Spec) { s.Groups[0].Scheme = "PERT-PI" },
+		"web group": func(s *Spec) {
+			s.Groups = append(s.Groups, FlowGroupSpec{
+				Scheme: "PERT", Count: 1, From: "cloud2", To: "cloud3",
+				Traffic: Web, StartWindow: seconds(1),
+			})
+		},
+		"link schedule": func(s *Spec) {
+			s.Links = []LinkRule{{Link: "core1", Schedule: netem.LinkSchedule{
+				{At: sim.Time(seconds(1)), Capacity: 1e6},
+			}}}
+		},
+	}
+	for name, mutate := range cases {
+		s := shardedSpec()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// The same features are fine when the run is serial.
+	s := shardedSpec()
+	s.Shards = 0
+	s.Topology.AQM = "Sack/RED-ECN"
+	s.Links = []LinkRule{{Link: "core1", Schedule: netem.LinkSchedule{
+		{At: sim.Time(seconds(1)), Capacity: 1e6},
+	}}}
+	if err := s.Validate(); err != nil {
+		t.Errorf("serial spec with router AQM + schedule rejected: %v", err)
+	}
+}
+
+// TestCanonicalShards: 0 and 1 shards are the same serial execution and must
+// hash identically; counts above 1 are preserved verbatim.
+func TestCanonicalShards(t *testing.T) {
+	s := validSpec()
+	s.Shards = 1
+	if got := s.Canonical().Shards; got != 0 {
+		t.Errorf("shards=1 canonicalized to %d, want 0", got)
+	}
+	s.Shards = 0
+	if got := s.Canonical().Shards; got != 0 {
+		t.Errorf("shards=0 canonicalized to %d, want 0", got)
+	}
+	s.Shards = 8
+	if got := s.Canonical().Shards; got != 8 {
+		t.Errorf("shards=8 canonicalized to %d, want 8", got)
+	}
+}
+
+func TestEffectiveShards(t *testing.T) {
+	for _, tc := range []struct {
+		mutate func(*Spec)
+		want   int
+	}{
+		{func(s *Spec) { s.Shards = 0 }, 1},
+		{func(s *Spec) { s.Shards = 1 }, 1},
+		{func(s *Spec) { s.Shards = 3 }, 3},
+		{func(s *Spec) { s.Shards = 4 }, 4},
+		{func(s *Spec) { s.Shards = 9 }, 4}, // clamped to the 4 routers
+	} {
+		s := shardedSpec()
+		tc.mutate(&s)
+		if got := s.EffectiveShards(); got != tc.want {
+			t.Errorf("parkinglot shards=%d: effective %d, want %d", s.Shards, got, tc.want)
+		}
+	}
+	d := validSpec()
+	d.Shards = 8
+	if got := d.EffectiveShards(); got != 2 { // a dumbbell has one cut
+		t.Errorf("dumbbell shards=8: effective %d, want 2", got)
+	}
+}
+
+// TestCompilePartitionHint: the hint a compiled topology returns is a valid
+// netem.Partition assignment — full length, in range, and cutting only
+// positive-delay core links.
+func TestCompilePartitionHint(t *testing.T) {
+	g := sim.NewShardGroup(4, 1)
+	net := netem.NewNetwork(g.Engine(0))
+	spec := shardedSpec()
+	inst, err := Compile(g.Engine(0), net, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := inst.Topo.PartitionHint(spec.EffectiveShards())
+	if len(assign) != len(net.Nodes) {
+		t.Fatalf("hint length %d, want %d", len(assign), len(net.Nodes))
+	}
+	if err := net.Partition(g, assign); err != nil {
+		t.Fatalf("hint rejected by Partition: %v", err)
+	}
+	if n := len(net.BoundaryLinks()); n != 6 { // 3 cut core links, both directions
+		t.Fatalf("boundary links = %d, want 6", n)
+	}
+}
+
+// TestLoadV2Shards: the JSON loader round-trips shards and edge_delays.
+func TestLoadV2Shards(t *testing.T) {
+	const doc = `{
+		"seed": 7,
+		"topology": {"template": "parkinglot", "routers": 4, "cloud_size": 4,
+		             "edge_delays": ["2ms", "8ms"]},
+		"groups": [{"scheme": "PERT", "count": 2, "from": "cloud1", "to": "cloud4"}],
+		"duration": "10s",
+		"shards": 4
+	}`
+	spec, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Shards != 4 {
+		t.Errorf("shards = %d, want 4", spec.Shards)
+	}
+	want := []sim.Duration{2 * sim.Millisecond, 8 * sim.Millisecond}
+	if len(spec.Topology.EdgeDelays) != 2 || spec.Topology.EdgeDelays[0] != want[0] || spec.Topology.EdgeDelays[1] != want[1] {
+		t.Errorf("edge delays = %v, want %v", spec.Topology.EdgeDelays, want)
+	}
+	bad := strings.Replace(doc, `"PERT"`, `"Sack/RED-ECN"`, 1)
+	if _, err := Load(strings.NewReader(bad)); err == nil {
+		t.Error("sharded router-AQM scenario accepted by loader")
+	}
+}

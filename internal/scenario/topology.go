@@ -29,6 +29,11 @@ type Built interface {
 	BufferPkts() int
 	// CapacityPPS is the core capacity in packets/second.
 	CapacityPPS() float64
+	// PartitionHint maps every node ID to a shard for a parallel run with
+	// the given shard count (clamped to the template's useful maximum).
+	// Every cut the hint makes falls on a positive-delay core link, so the
+	// assignment is always valid for netem.Partition.
+	PartitionHint(shards int) []int
 }
 
 // selector is a parsed endpoint/link selector: a base name plus an optional
@@ -111,6 +116,11 @@ func (t TopologySpec) validate() error {
 		}
 		if t.CoreBW < 0 {
 			return fmt.Errorf("scenario: negative core bandwidth")
+		}
+		for _, d := range t.EdgeDelays {
+			if d < 0 {
+				return fmt.Errorf("scenario: negative edge delay %v", d)
+			}
 		}
 	default:
 		return fmt.Errorf("scenario: unknown topology template %q (want %q or %q)", t.Template, DumbbellTemplate, ParkingLotTemplate)
@@ -237,8 +247,9 @@ func (b dumbbellBuilt) Measured() []NamedLink {
 	return []NamedLink{{Name: "forward", Link: b.d.Forward}}
 }
 
-func (b dumbbellBuilt) BufferPkts() int      { return b.d.BufferPkts }
-func (b dumbbellBuilt) CapacityPPS() float64 { return b.d.CapacityPPS }
+func (b dumbbellBuilt) BufferPkts() int           { return b.d.BufferPkts }
+func (b dumbbellBuilt) CapacityPPS() float64      { return b.d.CapacityPPS }
+func (b dumbbellBuilt) PartitionHint(n int) []int { return b.d.PartitionHint(n) }
 
 // parkinglotBuilt adapts topo.ParkingLot to the Built interface.
 type parkinglotBuilt struct{ p *topo.ParkingLot }
@@ -280,5 +291,6 @@ func (b parkinglotBuilt) Measured() []NamedLink {
 	return out
 }
 
-func (b parkinglotBuilt) BufferPkts() int      { return b.p.BufferPkts }
-func (b parkinglotBuilt) CapacityPPS() float64 { return b.p.CapacityPPS }
+func (b parkinglotBuilt) BufferPkts() int           { return b.p.BufferPkts }
+func (b parkinglotBuilt) CapacityPPS() float64      { return b.p.CapacityPPS }
+func (b parkinglotBuilt) PartitionHint(n int) []int { return b.p.PartitionHint(n) }

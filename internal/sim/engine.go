@@ -90,6 +90,18 @@ type Engine struct {
 	rng     *rand.Rand
 	stopped bool
 
+	// barrierSeq numbers DoLast entries within their own key range, above
+	// every ordinary sequence number and every cross-shard injection key
+	// (see shard.go), so barriers at time t fire after all other work at t.
+	barrierSeq uint64
+
+	// noSimTime suppresses this engine's contribution to the process-wide
+	// totalSimTime counter. A ShardGroup sets it on every shard but the
+	// first: all shards advance through the same virtual interval, so
+	// counting each of them would report N× the real simulated time (the
+	// event count, by contrast, is genuinely additive).
+	noSimTime bool
+
 	// freeEvents recycles fired and canceled Event structs. An Event is
 	// returned to the list when its heap entry is discarded, which is why
 	// stale handles must not be used (see Event).
@@ -252,6 +264,32 @@ func (e *Engine) PostAfter(d Duration, fn func(any), arg any) {
 	e.Post(e.now+d, fn, arg)
 }
 
+// postExt schedules fn(arg) at absolute time t under an externally assigned
+// heap key instead of a fresh sequence number. Cross-shard injection uses it
+// (shard.go): the key encodes (sender shard, per-port message number), so
+// same-instant injections order deterministically regardless of when the
+// receiving shard happened to drain them, and the local sequence counter is
+// never consumed — which is what keeps a one-shard run bit-identical to the
+// serial engine.
+func (e *Engine) postExt(t Time, key uint64, fn func(any), arg any) {
+	e.checkFuture(t)
+	e.live++
+	e.push(entry{at: t, seq: key, argFn: fn, arg: arg})
+}
+
+// DoLast schedules fn at absolute time t ordered after every other event at
+// t — ordinary events, timers, and cross-shard injections alike (its key
+// range sorts above both). Multiple barriers at the same instant fire in
+// creation order. Sharded scenario runs use it to take measurement snapshots
+// at window boundaries at exactly the point the serial runner reads them:
+// after all simulation work at t, before anything at t+1.
+func (e *Engine) DoLast(t Time, fn func()) {
+	e.checkFuture(t)
+	e.barrierSeq++
+	e.live++
+	e.push(entry{at: t, seq: barrierKeyBase + e.barrierSeq, fn: fn})
+}
+
 // Process-wide counters aggregated across every engine. Engines batch their
 // updates every counterBatch events and at the end of each Run call, so the
 // per-event cost is one comparison; the run-orchestration harness samples
@@ -335,7 +373,9 @@ func (e *Engine) Run(until Time) uint64 {
 		n++
 		if n-flushedN >= counterBatch {
 			totalEvents.Add(n - flushedN)
-			totalSimTime.Add(int64(e.now - flushedNow))
+			if !e.noSimTime {
+				totalSimTime.Add(int64(e.now - flushedNow))
+			}
 			flushedN, flushedNow = n, e.now
 		}
 	}
@@ -344,7 +384,9 @@ func (e *Engine) Run(until Time) uint64 {
 	}
 	e.Processed += n
 	totalEvents.Add(n - flushedN)
-	totalSimTime.Add(int64(e.now - flushedNow))
+	if !e.noSimTime {
+		totalSimTime.Add(int64(e.now - flushedNow))
+	}
 	return n
 }
 

@@ -147,7 +147,10 @@ func NewConn(net *netem.Network, node *netem.Node, dst netem.NodeID, flow int, c
 		cfg.MaxBurst = 4
 	}
 	c := &Conn{
-		eng:      net.Engine(),
+		// The node's engine, not the network's: after a Partition the two
+		// differ, and every timer and transmission of this connection must
+		// run on the shard owning its node.
+		eng:      node.Engine(),
 		net:      net,
 		node:     node,
 		flow:     flow,
@@ -269,7 +272,7 @@ func (c *Conn) effCwnd() int64 {
 // sendSeg transmits one segment.
 func (c *Conn) sendSeg(seq int64) {
 	retrans := seq < c.sndMax
-	p := c.net.NewPacket()
+	p := c.node.NewPacket()
 	p.Flow = c.flow
 	p.Src = c.node.ID
 	p.Dst = c.dst

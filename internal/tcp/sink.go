@@ -70,13 +70,19 @@ func echoOf(p *netem.Packet) ackEcho {
 // back to peer.
 func NewSink(net *netem.Network, node *netem.Node, flow int, peer netem.NodeID, payloadPerSeg int) *Sink {
 	s := &Sink{node: node, net: net, flow: flow, peer: peer, payloadPerSeg: payloadPerSeg}
-	s.delAckTimer = net.Engine().NewTimer(s.flushAck)
+	// Node engine, not network engine: the sink's timers belong to the
+	// shard owning its node (see netem.Node.Engine).
+	s.delAckTimer = node.Engine().NewTimer(s.flushAck)
 	node.AttachFlow(flow, s)
 	return s
 }
 
 // CumAck returns the receiver's next expected segment.
 func (s *Sink) CumAck() int64 { return s.cum }
+
+// Node returns the node the sink is attached to. Sharded runners use it to
+// find the shard that owns the sink's counters.
+func (s *Sink) Node() *netem.Node { return s.node }
 
 // Receive implements netem.Handler for data segments.
 func (s *Sink) Receive(p *netem.Packet, now sim.Time) {
@@ -156,7 +162,7 @@ func (s *Sink) flushAck() {
 func (s *Sink) sendAck(m ackEcho) {
 	s.pendingAcks = 0
 	s.delAckTimer.Stop()
-	ack := s.net.NewPacket()
+	ack := s.node.NewPacket()
 	ack.Flow = s.flow
 	ack.Src = s.node.ID
 	ack.Dst = s.peer

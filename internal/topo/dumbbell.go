@@ -130,6 +130,22 @@ func NewDumbbell(net *netem.Network, cfg DumbbellConfig) *Dumbbell {
 	return d
 }
 
+// PartitionHint maps every node to one of shards domains for parallel
+// simulation: R1 with the left hosts, R2 with the right hosts. A dumbbell
+// has a single useful cut — the bottleneck itself — so any request above 2
+// clamps to 2.
+func (d *Dumbbell) PartitionHint(shards int) []int {
+	assign := make([]int, len(d.Net.Nodes))
+	if shards < 2 {
+		return assign
+	}
+	assign[d.R2.ID] = 1
+	for _, h := range d.Right {
+		assign[h.ID] = 1
+	}
+	return assign
+}
+
 // accessDelay derives the per-side access-link delay that realizes the given
 // end-to-end RTT across a bottleneck with one-way delay bd: each direction
 // crosses two access links and the bottleneck.

@@ -19,6 +19,12 @@ type ParkingLotConfig struct {
 	EdgeBW    float64      // cloud attachment rate; paper: 1 Gbps
 	EdgeDelay sim.Duration // cloud attachment delay; paper: 5 ms
 
+	// EdgeDelays, when non-empty, overrides EdgeDelay per cloud: cloud i
+	// attaches at EdgeDelays[i % len(EdgeDelays)]. This is how the
+	// multi-bottleneck extension gives each cloud a different RTT without
+	// perturbing the core chain.
+	EdgeDelays []sim.Duration
+
 	BufferPkts int // core queue size; zero = BDP of core link with 60 ms RTT
 	PktSize    int // default 1040
 
@@ -81,10 +87,14 @@ func NewParkingLot(net *netem.Network, cfg ParkingLotConfig) *ParkingLot {
 		p.Reverse = append(p.Reverse, rev)
 	}
 	for i := 0; i < cfg.Routers; i++ {
+		edgeDelay := cfg.EdgeDelay
+		if len(cfg.EdgeDelays) > 0 {
+			edgeDelay = cfg.EdgeDelays[i%len(cfg.EdgeDelays)]
+		}
 		cloud := make([]*netem.Node, cfg.CloudSize)
 		for j := range cloud {
 			h := net.AddNode()
-			net.AddDuplexLink(h, p.Routers[i], cfg.EdgeBW, cfg.EdgeDelay,
+			net.AddDuplexLink(h, p.Routers[i], cfg.EdgeBW, edgeDelay,
 				queue.NewDropTail(10000), queue.NewDropTail(10000))
 			cloud[j] = h
 		}
@@ -92,4 +102,28 @@ func NewParkingLot(net *netem.Network, cfg ParkingLotConfig) *ParkingLot {
 	}
 	net.ComputeRoutes()
 	return p
+}
+
+// PartitionHint maps every node to one of shards domains for parallel
+// simulation: router i and its cloud share a domain, and consecutive
+// routers spread evenly across shards, so every partition cut falls on a
+// core link — whose propagation delay is the lookahead bound. Requesting
+// more shards than routers clamps to one router per shard.
+func (p *ParkingLot) PartitionHint(shards int) []int {
+	routers := len(p.Routers)
+	if shards > routers {
+		shards = routers
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	assign := make([]int, len(p.Net.Nodes))
+	for i, r := range p.Routers {
+		s := i * shards / routers
+		assign[r.ID] = s
+		for _, h := range p.Clouds[i] {
+			assign[h.ID] = s
+		}
+	}
+	return assign
 }

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check validate-scenarios bench bench-micro bench-smoke bench-shards cache-smoke chaos-smoke shard-smoke results results-paper fuzz clean
+.PHONY: all build test vet check validate-scenarios bench bench-micro bench-smoke bench-shards cache-smoke chaos-smoke shard-smoke shard-diff results results-paper fuzz clean
 
 all: build check
 
@@ -50,25 +50,41 @@ bench-smoke:
 # Shard speedup measurement: wall time of the 8-bottleneck parking-lot
 # benchmark at increasing shard counts, serial first as the baseline.
 # Informational, not a CI gate — real speedup needs real cores; a 1-core
-# container serializes the shard goroutines and shows ~1x.
+# container serializes the shard goroutines and shows ~1x. When a
+# BENCH_quick.json from `make bench` exists, the table is recorded into it
+# under .shard_scaling so shard-speedup history rides along with the
+# perf-regression reference point.
 bench-shards:
-	@for n in 1 2 4 8; do \
+	@rows=""; \
+	for n in 1 2 4 8; do \
 		start=$$(date +%s%N); \
 		$(GO) run ./cmd/pertbench -scale quick -exp ext-parkinglot-xl -parallel 1 -shards $$n > /dev/null || exit 1; \
 		end=$$(date +%s%N); \
-		echo "ext-parkinglot-xl shards=$$n wall_ms=$$(( (end - start) / 1000000 ))"; \
-	done
+		ms=$$(( (end - start) / 1000000 )); \
+		echo "ext-parkinglot-xl shards=$$n wall_ms=$$ms"; \
+		rows="$$rows{\"shards\":$$n,\"wall_ms\":$$ms},"; \
+	done; \
+	if [ -f BENCH_quick.json ]; then \
+		jq --argjson t "[$${rows%,}]" \
+			'.shard_scaling = {"experiment":"ext-parkinglot-xl","scale":"quick","wall_ms_by_shards":$$t}' \
+			BENCH_quick.json > BENCH_quick.json.tmp && mv BENCH_quick.json.tmp BENCH_quick.json; \
+		echo "bench-shards: recorded under .shard_scaling in BENCH_quick.json"; \
+	else \
+		echo "bench-shards: no BENCH_quick.json (run 'make bench' first); table not recorded"; \
+	fi
 
 # Sharded-engine smoke: the conservative-lookahead parallel engine's
 # correctness gate. Runs the shard unit and integration tests under the race
-# detector (cross-shard ports, domain partitioning, the sharded runner's
-# one-shard bit-identity against the serial path, fixed-N determinism), then
+# detector (cross-shard ports, domain partitioning, queue-RNG rebinding,
+# schedule migration, lazy cross-domain web sinks, the sharded runner's
+# one-shard bit-identity against the serial path, fixed-N determinism, and
+# the quick subset of the serial↔sharded differential suite), then
 # the cross-shard zero-alloc budget without race instrumentation, then the
 # CLI path end to end: -shards 1 must take the serial engine, and two
 # -shards 4 runs must note per-shard event counts and agree byte for byte
 # once wall-clock timing lines are filtered.
 shard-smoke:
-	$(GO) test -race -count=1 -timeout 10m -run 'Shard|Partition|TestCounters|TestDomainAudit' ./internal/sim/ ./internal/netem/ ./internal/scenario/ ./internal/experiments/
+	$(GO) test -race -count=1 -timeout 15m -run 'Shard|Partition|TestCounters|TestDomainAudit' ./internal/sim/ ./internal/netem/ ./internal/scenario/ ./internal/experiments/ ./internal/tcp/ ./internal/trafficgen/
 	$(GO) test -count=1 -run 'TestShardSendDrainAllocBudget' ./internal/sim/
 	@dir=$$(mktemp -d); \
 	trap 'rm -rf "$$dir"' EXIT; \
@@ -81,6 +97,15 @@ shard-smoke:
 	grep -v 'completed in' "$$dir/s4b.txt" > "$$dir/s4b.flat"; \
 	diff -u "$$dir/s4a.flat" "$$dir/s4b.flat" || { echo "shard-smoke: sharded run not deterministic"; exit 1; }; \
 	echo "shard-smoke: OK (serial path, per-shard counts, deterministic replay)"
+
+# Serial↔sharded differential suite, full depth: every registry experiment and
+# every committed example scenario run serial, -shards 1, 2 and 4, three reps
+# each. Byte-identity is asserted where the engine guarantees it (shards=1
+# always; shards>1 for experiments whose only cut is vacuous) and fixed-N
+# determinism everywhere else. The default `go test` run covers a quick subset
+# of the same table; this target removes the subset gate.
+shard-diff:
+	PERT_SHARDDIFF=full $(GO) test ./internal/experiments -run 'TestShardDiff' -count=1 -timeout 30m -v
 
 # Cache smoke: the same tiny sweep twice into one cache directory. The warm
 # run must replay every cell (top-level sim_events stays 0, both runs marked
@@ -122,6 +147,7 @@ fuzz:
 	$(GO) test ./internal/experiments -run=NONE -fuzz=FuzzLoadScenario -fuzztime=20s
 	$(GO) test ./internal/scenario -run=NONE -fuzz=FuzzLoadSpec -fuzztime=20s
 	$(GO) test ./internal/netem -run=NONE -fuzz=FuzzReadTrace -fuzztime=20s
+	$(GO) test ./internal/netem -run=NONE -fuzz=FuzzPartition -fuzztime=20s
 	$(GO) test ./internal/harness -run=NONE -fuzz=FuzzDecodeRunRecord -fuzztime=20s
 
 clean:

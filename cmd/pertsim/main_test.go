@@ -217,14 +217,15 @@ func TestV2ShardsFlag(t *testing.T) {
 		t.Fatalf("-shards 2 note missing:\n%s", sharded.String())
 	}
 
-	// A serial-only feature (a link schedule) must fail -validate once the
-	// flag requests sharding, and still pass without it.
+	// A serial-only feature (a delay-changing schedule; capacity changes and
+	// flaps shard fine) must fail -validate once the flag requests sharding,
+	// and still pass without it.
 	bad := filepath.Join(dir, "sched.json")
 	os.WriteFile(bad, []byte(`{
 		"name": "sched", "seed": 5,
 		"topology": {"template": "parkinglot", "routers": 3, "cloud_size": 2, "core_bw_bps": 8e6},
 		"groups": [{"scheme": "PERT", "count": 2, "from": "cloud1", "to": "cloud2", "start_window": "1s"}],
-		"links": [{"link": "core1", "schedule": [{"at": "3s", "capacity_bps": 4e6}]}],
+		"links": [{"link": "core1", "schedule": [{"at": "3s", "delay": "9ms"}]}],
 		"duration": "6s", "measure_from": "2s"
 	}`), 0o644)
 	var out bytes.Buffer

@@ -67,6 +67,16 @@ type DumbbellSpec struct {
 	// dumps on invariant violations. Nil disables everything (the sampled
 	// state is read-only, so results are bit-identical either way).
 	Metrics *MetricsSpec
+
+	// Shards > 1 asks for the parallel engine: the dumbbell is cut at the
+	// bottleneck into two domains (the topology's only useful cut, so any
+	// request above 2 clamps). Sharding engages only for registered schemes
+	// with no Metrics or Instrument hook — those attach cross-domain
+	// observers the parallel runner cannot isolate — and no delay-changing
+	// schedule (the boundary cut's lookahead is fixed); everything else
+	// silently runs serial, exactly as before. 0 and 1 are the serial
+	// engine, byte-identical to the historical path.
+	Shards int
 }
 
 // DumbbellResult is one row of a Section 4 figure: the four panels the paper
@@ -90,10 +100,30 @@ type DumbbellResult struct {
 	RetransOverhead float64
 }
 
+// shardable reports whether this spec may take the parallel path for the
+// given scheme: the caller asked for shards, the scheme is registered (so
+// its shard-safety flag is checkable), no cross-domain observers are
+// attached, and no schedule step changes the bottleneck's delay (the
+// boundary cut's lookahead is fixed at partition time). Everything else
+// falls back to the serial engine.
+func (spec DumbbellSpec) shardable(scheme string) bool {
+	return spec.Shards > 1 && spec.Metrics == nil && spec.Instrument == nil &&
+		scenario.Known(scheme) && !spec.Schedule.HasDelayChange()
+}
+
 // RunDumbbell executes the scenario under one scheme and returns the
 // measured row.
 func RunDumbbell(spec DumbbellSpec, scheme Scheme) DumbbellResult {
-	eng := sim.NewEngine(spec.Seed)
+	var g *sim.ShardGroup
+	var eng *sim.Engine
+	if spec.shardable(string(scheme)) {
+		// A dumbbell has exactly one useful cut (the bottleneck), so any
+		// larger request clamps to two domains.
+		g = sim.NewShardGroup(2, spec.Seed)
+		eng = g.Engine(0)
+	} else {
+		eng = sim.NewEngine(spec.Seed)
+	}
 	net := netem.NewNetwork(eng)
 
 	maxRTT := spec.RTTs[0]
@@ -108,19 +138,20 @@ func RunDumbbell(spec DumbbellSpec, scheme Scheme) DumbbellResult {
 		maxRTT:      maxRTT,
 		targetDelay: spec.TargetDelay,
 	}
-	res := runDumbbell(eng, net, spec, string(scheme), scheme.queueFor(net, env), scheme.ccFor(net, env), scheme.ecn(), webCC(scheme, scheme.ccFor(net, env)))
+	res := runDumbbell(g, eng, net, spec, string(scheme), scheme.queueFor(net, env), scheme.ccFor(net, env), scheme.ecn(), webCC(scheme, scheme.ccFor(net, env)))
 	res.Scheme = scheme
 	return res
 }
 
 // RunDumbbellWith executes the scenario with an explicit congestion-control
 // factory over DropTail bottlenecks — the entry point for PERT ablation
-// studies (custom response curves, signal weights, rate limits).
+// studies (custom response curves, signal weights, rate limits). Custom
+// factories cannot be verified shard-safe, so this path is always serial.
 func RunDumbbellWith(spec DumbbellSpec, cc func() tcp.CongestionControl) DumbbellResult {
 	eng := sim.NewEngine(spec.Seed)
 	net := netem.NewNetwork(eng)
 	qf := func(limit int, _ float64) netem.Discipline { return queue.NewDropTail(limit) }
-	return runDumbbell(eng, net, spec, "custom-cc", qf, cc, false, cc)
+	return runDumbbell(nil, eng, net, spec, "custom-cc", qf, cc, false, cc)
 }
 
 // scenarioSpec translates the legacy flat DumbbellSpec into a declarative
@@ -175,7 +206,14 @@ func (spec DumbbellSpec) scenarioSpec(qf topo.QueueFactory) scenario.Spec {
 // tables: compile (topology, impairments, schedule), then observers in the
 // historical order (metrics registry, auditor, Instrument hook, delay
 // monitor), then traffic.
-func runDumbbell(eng *sim.Engine, net *netem.Network, spec DumbbellSpec, scheme string,
+//
+// g selects the execution mode: nil runs the serial engine exactly as
+// always; a shard group partitions the dumbbell at the bottleneck (left
+// side plus R1 on shard 0, R2 plus right side on shard 1) and runs the same
+// windows under conservative-lookahead synchronization. Instrumentation is
+// created and read only at the quiescent points between windows, and the
+// auditors become per-domain, each ticking on its own shard's engine.
+func runDumbbell(g *sim.ShardGroup, eng *sim.Engine, net *netem.Network, spec DumbbellSpec, scheme string,
 	qf topo.QueueFactory, ccf func() tcp.CongestionControl, ecn bool,
 	webccf func() tcp.CongestionControl) DumbbellResult {
 
@@ -193,8 +231,31 @@ func runDumbbell(eng *sim.Engine, net *netem.Network, spec DumbbellSpec, scheme 
 		}
 	}
 
-	inst := scenario.MustCompile(eng, net, spec.scenarioSpec(qf))
+	sspec := spec.scenarioSpec(qf)
+	if g != nil {
+		// Declare the sharded execution so the spec-level shard-safety
+		// validation runs, and name the groups' scheme so it can: the
+		// compiled CC/Conn are overwritten below either way, so naming the
+		// scheme changes no construction draws.
+		sspec.Shards = g.N()
+		for i := range sspec.Groups {
+			sspec.Groups[i].Scheme = scheme
+		}
+	}
+	inst := scenario.MustCompile(eng, net, sspec)
 	d := inst.Dumbbell()
+	if g != nil {
+		if err := net.Partition(g, inst.Topo.PartitionHint(g.N())); err != nil {
+			panic(fmt.Sprintf("experiments: dumbbell partition: %v", err))
+		}
+	}
+	run := func(until sim.Duration) {
+		if g != nil {
+			g.Run(sim.Time(until))
+		} else {
+			eng.Run(until)
+		}
+	}
 
 	scenarioLine := fmt.Sprintf("dumbbell scheme=%s bw=%g flows=%d rev=%d web=%d loss=%g dup=%g reorder=%g changes=%d",
 		scheme, spec.Bandwidth, spec.Flows, spec.ReverseFlows, spec.WebSessions,
@@ -205,6 +266,7 @@ func runDumbbell(eng *sim.Engine, net *netem.Network, spec DumbbellSpec, scheme 
 	// flight-recorder dump.
 	reg := spec.Metrics.newRegistry(eng, scenarioLine)
 
+	var auds []*netem.Auditor
 	if !spec.NoAudit {
 		// Every dumbbell run carries the invariant auditor: packet
 		// conservation, link accounting, and bottleneck queue bounds checked
@@ -215,10 +277,25 @@ func runDumbbell(eng *sim.Engine, net *netem.Network, spec DumbbellSpec, scheme 
 		if fl := reg.Flight(); fl != nil {
 			cfg.MetricsDump = fl.Dump
 		}
-		aud := netem.StartAudit(net, cfg)
-		aud.Watch(d.Forward)
-		aud.BoundQueue(d.Forward, d.BufferPkts)
-		aud.BoundQueue(d.Reverse, d.BufferPkts)
+		if g == nil {
+			aud := netem.StartAudit(net, cfg)
+			aud.Watch(d.Forward)
+			aud.BoundQueue(d.Forward, d.BufferPkts)
+			aud.BoundQueue(d.Reverse, d.BufferPkts)
+		} else {
+			// Per-domain auditors, each on its own shard's engine; each
+			// watched link registers with the auditor of the domain owning
+			// it (the forward bottleneck is shard 0's, the reverse shard
+			// 1's). The summed cross-domain ledger is checked by Audit()
+			// after the run.
+			auds = make([]*netem.Auditor, net.Domains())
+			for dom := range auds {
+				auds[dom] = netem.StartDomainAudit(net, dom, cfg)
+			}
+			auds[d.Forward.From.Domain()].Watch(d.Forward)
+			auds[d.Forward.From.Domain()].BoundQueue(d.Forward, d.BufferPkts)
+			auds[d.Reverse.From.Domain()].BoundQueue(d.Reverse, d.BufferPkts)
+		}
 	}
 
 	if spec.Instrument != nil {
@@ -241,13 +318,16 @@ func runDumbbell(eng *sim.Engine, net *netem.Network, spec DumbbellSpec, scheme 
 	spec.Metrics.instrumentDumbbell(reg, d, fwd)
 
 	// Warm up, then measure.
-	eng.Run(spec.MeasureFrom)
+	run(spec.MeasureFrom)
 	meter := stats.NewMeter(d.Forward)
 	meter.Start(eng.Now())
-	qmon := stats.MonitorQueue(eng, d.Forward, eng.Now(), 10*sim.Millisecond)
+	// The queue monitor samples on the engine owning the bottleneck — the
+	// same engine either way (R1 lives on shard 0), spelled through the
+	// node so the ownership rule is explicit.
+	qmon := stats.MonitorQueue(d.Forward.From.Engine(), d.Forward, eng.Now(), 10*sim.Millisecond)
 	snap := trafficgen.GoodputSnapshot(fwd)
 
-	eng.Run(spec.MeasureUntil)
+	run(spec.MeasureUntil)
 	var sent, retrans uint64
 	for _, f := range fwd {
 		sent += f.Conn.Stats.SegsSent
@@ -272,7 +352,18 @@ func runDumbbell(eng *sim.Engine, net *netem.Network, spec DumbbellSpec, scheme 
 		BufferPkts:      d.BufferPkts,
 	}
 	qmon.Stop()
-	eng.Run(spec.Duration)
+	run(spec.Duration)
+	if g != nil {
+		for _, aud := range auds {
+			aud.Stop()
+		}
+		// The group has stopped: the summed cross-domain ledger must
+		// balance. The serial auditor enforces the same invariant by
+		// panicking mid-run, so a violation here is equally fatal.
+		if err := net.Audit(); err != nil {
+			panic(fmt.Sprintf("experiments: dumbbell scheme=%s shards=%d: %v", scheme, g.N(), err))
+		}
+	}
 	// Close flushes the metrics sink; write errors are sticky on the
 	// caller-owned writer, so the caller's own flush/close reports them.
 	_ = reg.Close()

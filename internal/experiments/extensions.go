@@ -58,6 +58,7 @@ func ExtAQM(ctx context.Context, scale Scale) (*Table, error) {
 			RTTs:      []sim.Duration{ms(60)},
 			Flows:     flows, WebSessions: webs,
 			Duration: dur, MeasureFrom: from, MeasureUntil: until, StartWindow: sw,
+			Shards: ShardsFrom(ctx, 0),
 		}
 		var closeSeries func() error
 		if metricsOn {
@@ -111,6 +112,9 @@ func ExtJitter(ctx context.Context, scale Scale) (*Table, error) {
 			Flows:     flows,
 			Duration:  dur, MeasureFrom: from, MeasureUntil: until, StartWindow: sw,
 			AccessJitter: ms(jMs),
+			// The RunDumbbellWith row below ignores Shards (custom
+			// controllers always run serial); the registered schemes shard.
+			Shards: ShardsFrom(ctx, 0),
 		}
 		for _, s := range []Scheme{PERT, SackDroptail} {
 			r := RunDumbbell(spec, s)

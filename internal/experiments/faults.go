@@ -46,6 +46,7 @@ func ExtLossy(ctx context.Context, scale Scale) (*Table, error) {
 				Flows:     flows,
 				Duration:  dur, MeasureFrom: from, MeasureUntil: until, StartWindow: sw,
 				LossRate: loss,
+				Shards:   ShardsFrom(ctx, 0),
 			}, s)
 			t.AddRow(fmt.Sprintf("%g", loss*100), string(s), f2(r.AvgQueue),
 				sci(r.DropRate), sci(r.RetransOverhead), f3(r.Utilization), f3(r.Jain))
@@ -120,7 +121,7 @@ func ExtFlap(ctx context.Context, scale Scale) ([]*Table, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		gp, bh := runFlap(s, bw, flows, L, 9600+int64(si))
+		gp, bh := runFlap(s, bw, flows, L, 9600+int64(si), ShardsFrom(ctx, 0))
 		goodput[si], blackholed[si] = gp, bh
 	}
 	for pi, ph := range phases {
@@ -143,9 +144,19 @@ func ExtFlap(ctx context.Context, scale Scale) ([]*Table, error) {
 }
 
 // runFlap runs one scheme through the flap schedule and returns aggregate
-// forward goodput (Mbps) per phase plus the blackholed-packet count.
-func runFlap(scheme Scheme, bw float64, flows int, L sim.Duration, seed int64) ([]float64, uint64) {
-	eng := sim.NewEngine(seed)
+// forward goodput (Mbps) per phase plus the blackholed-packet count. With
+// shards > 1 the dumbbell is cut at the bottleneck into two domains; the flap
+// schedule stays legal on the boundary because it changes only capacity and
+// up/down state, never delay (the partition would reject a delay change).
+func runFlap(scheme Scheme, bw float64, flows int, L sim.Duration, seed int64, shards int) ([]float64, uint64) {
+	var g *sim.ShardGroup
+	var eng *sim.Engine
+	if shards > 1 {
+		g = sim.NewShardGroup(2, seed)
+		eng = g.Engine(0)
+	} else {
+		eng = sim.NewEngine(seed)
+	}
 	net := netem.NewNetwork(eng)
 	env := schemeEnv{capacityPPS: bw / (8 * 1040), nFlows: flows, maxRTT: ms(60)}
 	d := topo.NewDumbbell(net, topo.DumbbellConfig{
@@ -157,13 +168,27 @@ func runFlap(scheme Scheme, bw float64, flows int, L sim.Duration, seed int64) (
 	})
 	sched, phases := extFlapPhases(bw, L)
 	sched.Apply(d.Forward)
+	if g != nil {
+		if err := net.Partition(g, d.PartitionHint(g.N())); err != nil {
+			panic(fmt.Sprintf("experiments: ext-flap scheme=%s shards=%d: %v", scheme, g.N(), err))
+		}
+	}
 
-	aud := netem.StartAudit(net, netem.AuditConfig{
-		Seed:     seed,
-		Scenario: fmt.Sprintf("ext-flap scheme=%s bw=%g flows=%d", scheme, bw, flows),
-	})
-	aud.Watch(d.Forward)
-	aud.BoundQueue(d.Forward, d.BufferPkts)
+	scen := fmt.Sprintf("ext-flap scheme=%s bw=%g flows=%d", scheme, bw, flows)
+	var auds []*netem.Auditor
+	if g == nil {
+		aud := netem.StartAudit(net, netem.AuditConfig{Seed: seed, Scenario: scen})
+		aud.Watch(d.Forward)
+		aud.BoundQueue(d.Forward, d.BufferPkts)
+		auds = []*netem.Auditor{aud}
+	} else {
+		auds = make([]*netem.Auditor, net.Domains())
+		for dom := range auds {
+			auds[dom] = netem.StartDomainAudit(net, dom, netem.AuditConfig{Seed: seed, Scenario: scen})
+		}
+		auds[d.Forward.From.Domain()].Watch(d.Forward)
+		auds[d.Forward.From.Domain()].BoundQueue(d.Forward, d.BufferPkts)
+	}
 
 	ids := trafficgen.NewIDs()
 	fleet := trafficgen.FTPFleet(net, ids, d.Left, d.Right, flows, trafficgen.FTPConfig{
@@ -172,16 +197,31 @@ func runFlap(scheme Scheme, bw float64, flows int, L sim.Duration, seed int64) (
 		StartWindow: L / 5,
 	})
 
+	run := func(until sim.Time) {
+		if g != nil {
+			g.Run(until)
+		} else {
+			eng.Run(until)
+		}
+	}
 	out := make([]float64, len(phases))
 	prev := trafficgen.GoodputSnapshot(fleet)
 	for pi := range phases {
-		eng.Run(sim.Time(pi+1) * L)
+		run(sim.Time(pi+1) * L)
 		var sum float64
-		for _, g := range trafficgen.Goodputs(fleet, prev) {
-			sum += g
+		for _, gp := range trafficgen.Goodputs(fleet, prev) {
+			sum += gp
 		}
 		prev = trafficgen.GoodputSnapshot(fleet)
 		out[pi] = sum * 8 / L.Seconds() / 1e6
+	}
+	if g != nil {
+		for _, aud := range auds {
+			aud.Stop()
+		}
+		if err := net.Audit(); err != nil {
+			panic(fmt.Sprintf("experiments: ext-flap scheme=%s shards=%d: %v", scheme, g.N(), err))
+		}
 	}
 	return out, d.Forward.Impairments().Blackholed
 }

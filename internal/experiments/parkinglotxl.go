@@ -62,9 +62,11 @@ func extParkingLotXLSpec(scale Scale, scheme Scheme, shards int) scenario.Spec {
 // ExtParkingLotXL is the sharded-engine showcase and benchmark: the
 // extra-large parking lot above run under the parallel engine (default 8
 // shards, one per bottleneck-feeding router pair; override with
-// WithShards/-shards, 1 = serial). Only shard-safe end-host schemes run
-// here — router AQMs draw marking randomness from the global engine and are
-// rejected by validation. The per-link panels read as usual; the table notes
+// WithShards/-shards, 1 = serial). Every built-in scheme — router AQMs
+// included — is shard-safe: netem.Partition rebinds each queue's marking RNG
+// to its owning domain's engine (see DESIGN.md §9); the PERT/Sack pair here
+// stays fixed for benchmark comparability with committed golden tables.
+// The per-link panels read as usual; the table notes
 // carry the shard count and per-shard event totals, which is what
 // `make bench` surfaces in BENCH_quick.json and what the speedup harness
 // (`make bench-shards`) compares across shard counts.

@@ -49,6 +49,7 @@ func ExtReplicated(ctx context.Context, scale Scale) (*Table, error) {
 	}
 	replicas := 5
 	spec := AblationSpec(9700)
+	spec.Shards = ShardsFrom(ctx, 0)
 	if scale == Paper {
 		replicas = 10
 		spec.Bandwidth = 150e6

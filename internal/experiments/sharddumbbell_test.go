@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"pert/internal/netem"
+	"pert/internal/sim"
+)
+
+// TestShardDumbbellRouterAQMWebSchedule exercises every feature this PR made
+// shard-safe through the real dumbbell runner at shards=2: router AQMs
+// (marking RNG rebound to the bottleneck's domain), web sessions crossing the
+// cut (lazy sink acceptance on the remote arrival path), and a boundary-link
+// schedule with a capacity change and an up/down flap. Each scheme runs
+// twice; fixed-N determinism means identical results. The shard-smoke -race
+// run of this test is the concurrency assertion for the new arming paths.
+func TestShardDumbbellRouterAQMWebSchedule(t *testing.T) {
+	spec := DumbbellSpec{
+		Seed:      77,
+		Bandwidth: 10e6,
+		RTTs:      []sim.Duration{ms(60)},
+		Flows:     6, WebSessions: 8,
+		Duration: seconds(20), MeasureFrom: seconds(5), MeasureUntil: seconds(18),
+		StartWindow: seconds(2),
+		Schedule: netem.LinkSchedule{
+			{At: 8 * sim.Second, Capacity: 5e6},
+			{At: 12 * sim.Second, Down: true},
+			{At: 12*sim.Second + 300*sim.Millisecond, Up: true},
+			{At: 14 * sim.Second, Capacity: 10e6},
+		},
+		Shards: 2,
+	}
+	for _, s := range []Scheme{SackRED, SackPI, SackREM, SackAVQ, PERTPI} {
+		s := s
+		t.Run(string(s), func(t *testing.T) {
+			first := RunDumbbell(spec, s)
+			if first.Utilization <= 0 {
+				t.Fatalf("%s moved no traffic", s)
+			}
+			if again := RunDumbbell(spec, s); !reflect.DeepEqual(first, again) {
+				t.Fatalf("%s not deterministic at shards=2:\nfirst: %+v\nagain: %+v", s, first, again)
+			}
+		})
+	}
+}
+
+// TestShardDumbbellSerialFallback pins the shardable gate: shards<=1, custom
+// metrics, an unregistered scheme, or a delay-changing schedule all fall back
+// to the serial engine, and a shards=1 run is byte-identical to shards=0.
+func TestShardDumbbellSerialFallback(t *testing.T) {
+	base := quickSpec(31)
+	if base.shardable(string(PERT)) {
+		t.Fatal("shards=0 spec reported shardable")
+	}
+	sharded := base
+	sharded.Shards = 2
+	if !sharded.shardable(string(PERT)) {
+		t.Fatal("plain sharded spec not shardable")
+	}
+	if sharded.shardable("not-a-registered-scheme") {
+		t.Fatal("unregistered scheme reported shardable")
+	}
+	delayed := sharded
+	delayed.Schedule = netem.LinkSchedule{{At: sim.Second, Delay: ms(5)}}
+	if delayed.shardable(string(PERT)) {
+		t.Fatal("delay-changing schedule reported shardable")
+	}
+
+	serial := RunDumbbell(base, PERT)
+	one := base
+	one.Shards = 1
+	if got := RunDumbbell(one, PERT); !reflect.DeepEqual(serial, got) {
+		t.Fatalf("shards=1 diverged from serial:\nserial: %+v\nshards=1: %+v", serial, got)
+	}
+}

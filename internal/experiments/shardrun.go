@@ -111,6 +111,17 @@ func runScenarioSharded(spec scenario.Spec) (*Table, error) {
 			}
 			share := sum / capacityBytes / float64(len(grp.Flows))
 			t.AddRow(label, "-", "-", "-", "-", f3(share), f3(stats.Jain(goodputs)))
+		} else if len(grp.Webs) > 0 {
+			// Session counters are owned by each session's shard; reading
+			// them here is safe because the group is quiescent between Run
+			// windows.
+			var pages, objects uint64
+			for _, w := range grp.Webs {
+				pages += w.Pages
+				objects += w.Objects
+			}
+			t.AddRow(label, "-", "-", "-", "-",
+				fmt.Sprintf("%d pages", pages), fmt.Sprintf("%d objects", objects))
 		}
 	}
 	g.Run(sim.Time(spec.Duration))
@@ -124,5 +135,9 @@ func runScenarioSharded(spec scenario.Spec) (*Table, error) {
 	t.Notes = append(t.Notes,
 		"goodput_share_per_flow = mean per-flow goodput as a fraction of core capacity over the window",
 		fmt.Sprintf("shards=%d events_per_shard=%v", shards, g.EventCounts()))
+	if _, clamped, max := spec.ShardClamp(); clamped {
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("requested shards=%d clamped to the topology maximum %d", spec.Shards, max))
+	}
 	return t, nil
 }

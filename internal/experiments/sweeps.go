@@ -42,10 +42,16 @@ func runSweep(ctx context.Context, id, title, xlabel string, points []sweepPoint
 		s     Scheme
 		spec  DumbbellSpec
 	}
+	// A -shards request propagates into every cell; RunDumbbell clamps it
+	// to the dumbbell's one useful cut and falls back to serial for cells
+	// it cannot shard (metrics-streaming runs below).
+	shards := ShardsFrom(ctx, 0)
 	cells := make([]cell, 0, len(points)*len(schemes))
 	for _, pt := range points {
 		for _, s := range schemes {
-			cells = append(cells, cell{pt.label, s, pt.spec})
+			spec := pt.spec
+			spec.Shards = shards
+			cells = append(cells, cell{pt.label, s, spec})
 		}
 	}
 	// When the context carries a metrics config, each cell streams its time
@@ -80,6 +86,10 @@ func runSweep(ctx context.Context, id, title, xlabel string, points []sweepPoint
 	for i, r := range results {
 		t.AddRow(cells[i].label, string(cells[i].s), f2(r.AvgQueue), f3(r.NormQueue),
 			sci(r.DropRate), sci(r.MarkRate), f3(r.Utilization), f3(r.Jain))
+	}
+	if shards > 1 {
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("cells run on the sharded engine (requested shards=%d, clamped to a dumbbell's 2 domains; see DESIGN.md §9)", shards))
 	}
 	return t, nil
 }
@@ -242,6 +252,7 @@ func Table1(ctx context.Context, scale Scale) (*Table, error) {
 			RTTs:      rtts,
 			Flows:     10, WebSessions: webs,
 			Duration: dur, MeasureFrom: from, MeasureUntil: until, StartWindow: sw,
+			Shards: ShardsFrom(ctx, 0),
 		}, s)
 		t.AddRow(string(s), f2(r.NormQueue), sci(r.DropRate), f2(100*r.Utilization), f2(r.Jain))
 	}

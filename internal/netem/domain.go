@@ -120,11 +120,20 @@ func (n *Network) Domains() int { return len(n.doms) }
 // group of one shard leaves every code path exactly as the serial engine
 // ran it.
 //
+// Partition also completes domain ownership for per-link state armed at
+// build time: queue disciplines implementing RandBinder are rebound to their
+// owning engine's generator (a pointer-identical no-op for domain 0), and
+// LinkSchedule change events are re-armed on the owning engine, so AQM
+// marking draws and mid-run capacity shifts / flaps stay shard-local.
+//
 // Boundary links must have positive Delay (a zero-delay boundary admits no
-// conservative lookahead) and must keep their Delay and up/down state fixed
-// for the whole run — LinkSchedule and SetUp on boundary links are
-// rejected by the scenario layer, and the port's send guard catches direct
-// violations.
+// conservative lookahead) and must keep that Delay fixed for the whole run:
+// the cross-shard port's lookahead is set from it here, so schedules with
+// Delay changes on boundary links are rejected. Capacity changes and
+// up/down flaps on boundary links are fine — both act on the transmitting
+// side only, and the shard protocol's horizon advances from engine commits
+// rather than packet sends, so a down boundary link cannot stall its
+// neighbor.
 func (n *Network) Partition(g *sim.ShardGroup, assign []int) error {
 	if len(n.doms) != 1 {
 		return fmt.Errorf("netem: network already partitioned into %d domains", len(n.doms))
@@ -145,8 +154,14 @@ func (n *Network) Partition(g *sim.ShardGroup, assign []int) error {
 	}
 	for _, node := range n.Nodes {
 		for _, l := range node.out {
-			if assign[l.From.ID] != assign[l.To.ID] && l.Delay <= 0 {
+			if assign[l.From.ID] == assign[l.To.ID] {
+				continue
+			}
+			if l.Delay <= 0 {
 				return fmt.Errorf("netem: boundary %v needs positive delay for lookahead", l)
+			}
+			if l.sched.HasDelayChange() {
+				return fmt.Errorf("netem: boundary %v has a schedule with delay changes; boundary lookahead is fixed", l)
 			}
 		}
 	}
@@ -162,12 +177,23 @@ func (n *Network) Partition(g *sim.ShardGroup, assign []int) error {
 	}
 	// Rebind each link to its owner's engine. The transmit timer is
 	// re-created rather than migrated: NewTimer consumes no sequence
-	// numbers, so shard 0's event ordering is untouched.
+	// numbers, so shard 0's event ordering is untouched. Queue RNGs are
+	// rebound unconditionally — for domain 0 the owning engine is engine 0,
+	// so a queue seeded from Network.Engine().Rand() gets the very same
+	// generator back and serial draw order is preserved. Schedules migrate
+	// only off engine 0: domain-0 links keep their original change events
+	// (and their original sequence numbers).
 	for _, node := range n.Nodes {
 		for _, l := range node.out {
 			l.dom = l.From.dom
 			l.eng = l.dom.eng
 			l.txDone = l.eng.NewTimer(l.completeTx)
+			if b, ok := l.Queue.(RandBinder); ok {
+				b.BindRand(l.eng.Rand())
+			}
+			if l.dom.idx != 0 {
+				l.migrateSchedule()
+			}
 			if l.From.dom == l.To.dom {
 				continue
 			}

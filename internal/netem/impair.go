@@ -85,31 +85,71 @@ type LinkChange struct {
 // capacity shifts, delay steps, and link flaps of the ext-flap experiment.
 type LinkSchedule []LinkChange
 
-// Apply schedules every change on the link's engine. Call once, before the
-// run starts.
+// HasDelayChange reports whether any step changes the link's propagation
+// delay. Boundary links of a partitioned network reject such schedules: the
+// cross-shard port's conservative lookahead is fixed at the link's Delay
+// when the partition is cut, so a mid-run delay step would either violate
+// the lookahead bound (shrink) or silently waste parallelism (grow).
+func (s LinkSchedule) HasDelayChange() bool {
+	for _, c := range s {
+		if c.Delay > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply schedules every change on the link's engine and records the
+// schedule on the link. Call once, before the run starts; a later
+// Partition re-arms the recorded events on the owning domain's engine.
 func (s LinkSchedule) Apply(l *Link) {
 	for _, c := range s {
-		c := c
 		if c.Capacity < 0 {
 			panic("netem: LinkChange with negative capacity")
 		}
 		if c.Down && c.Up {
 			panic("netem: LinkChange cannot be both Down and Up")
 		}
-		l.eng.At(c.At, func() {
-			if c.Capacity > 0 {
-				l.SetCapacity(c.Capacity)
-			}
-			if c.Delay > 0 {
-				l.Delay = c.Delay
-			}
-			if c.Down {
-				l.SetUp(false)
-			}
-			if c.Up {
-				l.SetUp(true)
-			}
-		})
+		l.armChange(c)
+	}
+	l.sched = append(l.sched, s...)
+}
+
+// armChange schedules one validated change on the link's current engine,
+// keeping the event handle for migration.
+func (l *Link) armChange(c LinkChange) {
+	ev := l.eng.At(c.At, func() {
+		if c.Capacity > 0 {
+			l.SetCapacity(c.Capacity)
+		}
+		if c.Delay > 0 {
+			l.Delay = c.Delay
+		}
+		if c.Down {
+			l.SetUp(false)
+		}
+		if c.Up {
+			l.SetUp(true)
+		}
+	})
+	l.schedEvents = append(l.schedEvents, ev)
+}
+
+// migrateSchedule moves the link's pending schedule events onto its
+// (post-Partition) owning engine: cancel on the old engine — Cancel
+// consumes no sequence numbers, so shard 0's event order is untouched —
+// then re-arm on l.eng. Called by Partition before the run starts, while
+// every recorded handle is still pending.
+func (l *Link) migrateSchedule() {
+	if len(l.sched) == 0 {
+		return
+	}
+	for _, ev := range l.schedEvents {
+		ev.Cancel()
+	}
+	l.schedEvents = l.schedEvents[:0]
+	for _, c := range l.sched {
+		l.armChange(c)
 	}
 }
 

@@ -87,6 +87,13 @@ type Link struct {
 	impair      *Impairment
 	impairStats ImpairStats
 	down        bool
+
+	// Schedule state (impair.go): the applied LinkSchedule plus the pending
+	// event handles, kept so Partition can migrate the change events onto
+	// the link's owning domain's engine (and reject Delay changes on
+	// boundary links, whose lookahead is fixed at Connect time).
+	sched       LinkSchedule
+	schedEvents []*sim.Event
 }
 
 // capPoint is one breakpoint of the capacity integral: from at onward the

@@ -16,6 +16,40 @@ type Node struct {
 	out   []*Link         // links originating here
 	next  []*Link         // next-hop link per destination NodeID; nil = unreachable
 	demux map[int]Handler // flow ID -> local agent
+
+	// listener, if set, is consulted when a non-ACK packet arrives for a
+	// flow with no registered handler (SetListener).
+	listener      func(p *Packet, now sim.Time)
+	listenerOwner any
+}
+
+// SetListener installs a catch-all hook for data packets arriving at this
+// node with no registered flow handler. The listener runs on the node's
+// owning engine and may attach a Handler for p.Flow (via AttachFlow);
+// Receive then re-dispatches the triggering packet to it. This is how
+// cross-domain traffic generators lazily create receive-side agents on the
+// destination's own shard rather than racing its demux table from another
+// goroutine. ACKs never trigger the listener: an ACK for an unknown flow
+// still means a closed connection, not a new one. Installing a second
+// listener panics — two generators claiming one node's stray packets would
+// steal each other's flows; owner is an opaque cookie installers use to
+// recognize (and validate against) their own earlier installation via
+// ListenerOwner.
+func (n *Node) SetListener(fn func(p *Packet, now sim.Time), owner any) {
+	if n.listener != nil && fn != nil {
+		panic("netem: node already has a listener")
+	}
+	n.listener = fn
+	n.listenerOwner = owner
+}
+
+// ListenerOwner returns the owner cookie of the installed listener, or nil
+// when the node has none.
+func (n *Node) ListenerOwner() any {
+	if n.listener == nil {
+		return nil
+	}
+	return n.listenerOwner
 }
 
 // AttachFlow registers h to receive packets of the given flow arriving at
@@ -39,8 +73,17 @@ func (n *Node) DetachFlow(flow int) {
 func (n *Node) Receive(p *Packet) {
 	if p.Dst == n.ID {
 		n.dom.acct.Delivered++
-		if h, ok := n.demux[p.Flow]; ok {
-			h.Receive(p, n.dom.eng.Now())
+		now := n.dom.eng.Now()
+		h, ok := n.demux[p.Flow]
+		if !ok && n.listener != nil && !p.IsAck {
+			// Give the catch-all listener a chance to attach a handler
+			// (lazy receive-side setup for cross-domain flows), then
+			// re-dispatch this packet to whatever it registered.
+			n.listener(p, now)
+			h, ok = n.demux[p.Flow]
+		}
+		if ok {
+			h.Receive(p, now)
 		}
 		// Packets for unregistered flows (e.g. ACKs racing a closed
 		// connection) are silently discarded, as a real host would RST.

@@ -5,7 +5,11 @@
 // evaluation is reproduced on.
 package netem
 
-import "pert/internal/sim"
+import (
+	"math/rand"
+
+	"pert/internal/sim"
+)
 
 // NodeID identifies a node within a Network. IDs are dense indices assigned
 // by Network.AddNode.
@@ -111,4 +115,13 @@ type Discipline interface {
 	Dequeue(now sim.Time) *Packet
 	Len() int   // packets queued
 	Bytes() int // bytes queued
+}
+
+// RandBinder is implemented by disciplines whose decisions draw from a
+// random generator. Network.Partition rebinds each such queue to its owning
+// shard's engine generator so marking randomness stays domain-local; for
+// links staying in domain 0 the rebind hands back the same generator the
+// queue was built with, preserving serial draw order bit for bit.
+type RandBinder interface {
+	BindRand(*rand.Rand)
 }

@@ -51,6 +51,11 @@ func NewAVQ(limit int, capacityPPS float64, ecn bool, rng *rand.Rand) *AVQ {
 // VirtualCapacity returns the current adapted virtual capacity in pkt/s.
 func (a *AVQ) VirtualCapacity() float64 { return a.vcap }
 
+// BindRand rebinds the RNG (see RED.BindRand). AVQ's virtual-queue decision
+// is deterministic and draws nothing today, but the discipline carries a
+// generator like its siblings, so it honors the same rebinding contract.
+func (a *AVQ) BindRand(rng *rand.Rand) { a.rng = rng }
+
 // Enqueue implements netem.Discipline, running the AVQ fluid update at each
 // arrival (the form given in the AVQ paper's pseudocode).
 func (a *AVQ) Enqueue(p *netem.Packet, now sim.Time) bool {

@@ -74,6 +74,10 @@ func NewPI(limit int, qref float64, g PIGains, ecn bool, rng *rand.Rand) *PI {
 // P returns the controller's current marking probability.
 func (pi *PI) P() float64 { return pi.p }
 
+// BindRand rebinds the marking RNG (see RED.BindRand); called by
+// netem.Partition before any traffic flows.
+func (pi *PI) BindRand(rng *rand.Rand) { pi.rng = rng }
+
 // update advances the controller to time now, applying one step per elapsed
 // sampling interval. Running the difference equation on the arrival path
 // (rather than on a timer) keeps the discipline self-contained; multiple

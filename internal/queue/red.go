@@ -90,6 +90,13 @@ func NewRED(cfg REDConfig, rng *rand.Rand) *RED {
 // Config returns the effective configuration after defaulting.
 func (r *RED) Config() REDConfig { return r.cfg }
 
+// BindRand rebinds the marking RNG. netem.Partition calls this to move a
+// queue's randomness onto its owning shard's engine; for the domain-0 links
+// of a topology built on engine 0 the new generator is the same object the
+// queue was constructed with, so serial draw order is untouched. Must not be
+// called after traffic has flowed.
+func (r *RED) BindRand(rng *rand.Rand) { r.rng = rng }
+
 // AvgQueue returns the current average queue estimate in packets.
 func (r *RED) AvgQueue() float64 { return r.avg }
 

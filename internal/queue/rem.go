@@ -60,6 +60,10 @@ func NewREM(limit int, capacityPPS float64, ecn bool, rng *rand.Rand) *REM {
 // Price returns the current link price.
 func (r *REM) Price() float64 { return r.price }
 
+// BindRand rebinds the marking RNG (see RED.BindRand); called by
+// netem.Partition before any traffic flows.
+func (r *REM) BindRand(rng *rand.Rand) { r.rng = rng }
+
 // P returns the current marking probability.
 func (r *REM) P() float64 { return 1 - math.Pow(r.Phi, -r.price) }
 

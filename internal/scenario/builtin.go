@@ -36,7 +36,7 @@ func init() {
 		Queue: droptail,
 	})
 	Register(SchemeDef{
-		Name: "Sack/RED-ECN", Section4: true, ECN: true,
+		Name: "Sack/RED-ECN", Section4: true, ECN: true, ShardSafe: true,
 		CC: reno,
 		Queue: func(net *netem.Network, env Env) topo.QueueFactory {
 			return func(limit int, pps float64) netem.Discipline {
@@ -56,7 +56,7 @@ func init() {
 		Queue: droptail,
 	})
 	Register(SchemeDef{
-		Name: "PERT-PI", ProactiveWeb: true,
+		Name: "PERT-PI", ProactiveWeb: true, ShardSafe: true,
 		CC: func(net *netem.Network, env Env) func() tcp.CongestionControl {
 			return func() tcp.CongestionControl {
 				n := env.NFlows
@@ -66,14 +66,20 @@ func init() {
 				params := core.DesignPERTPI(env.CapacityPPS, n, 2*env.MaxRTT)
 				// Mean per-flow sampling interval: N packets share C pkt/s.
 				delta := sim.Seconds(float64(n) / env.CapacityPPS)
-				r := core.NewPIResponder(net.Engine().Rand(), params, delta, env.Target())
-				return tcp.NewPERTWith(r)
+				// Lazy responder: probabilistic responses draw from the
+				// connection's own engine, so a flow landing on shard k
+				// draws from shard k's stream (and from the usual global
+				// stream when serial — same generator, same order, since
+				// NewPIResponder draws nothing at construction).
+				return tcp.NewPERTLazy(func(c *tcp.Conn) core.Responder {
+					return core.NewPIResponder(c.Engine().Rand(), params, delta, env.Target())
+				})
 			}
 		},
 		Queue: droptail,
 	})
 	Register(SchemeDef{
-		Name: "Sack/PI-ECN", ECN: true,
+		Name: "Sack/PI-ECN", ECN: true, ShardSafe: true,
 		CC: reno,
 		Queue: func(net *netem.Network, env Env) topo.QueueFactory {
 			return func(limit int, pps float64) netem.Discipline {
@@ -100,7 +106,7 @@ func init() {
 		Queue: droptail,
 	})
 	Register(SchemeDef{
-		Name: "Sack/REM-ECN", ECN: true,
+		Name: "Sack/REM-ECN", ECN: true, ShardSafe: true,
 		CC: reno,
 		Queue: func(net *netem.Network, env Env) topo.QueueFactory {
 			return func(limit int, pps float64) netem.Discipline {
@@ -109,7 +115,7 @@ func init() {
 		},
 	})
 	Register(SchemeDef{
-		Name: "Sack/AVQ-ECN", ECN: true,
+		Name: "Sack/AVQ-ECN", ECN: true, ShardSafe: true,
 		CC: reno,
 		Queue: func(net *netem.Network, env Env) topo.QueueFactory {
 			return func(limit int, pps float64) netem.Discipline {

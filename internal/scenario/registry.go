@@ -70,12 +70,15 @@ type SchemeDef struct {
 	// Section4 marks members of the paper's Section 4 comparison set
 	// (Figures 6-9, 11, 12 and Table 1).
 	Section4 bool
-	// ShardSafe marks schemes whose CC and Queue factories capture no
-	// global-engine state (RNG, timers): per-connection controllers that
-	// draw from their own connection's engine, and queues that draw nothing.
-	// Only shard-safe schemes may appear in a Spec with Shards > 1; the
-	// router AQMs (RED, PI, REM, AVQ) all seed from net.Engine().Rand() —
-	// engine 0 after partitioning — and stay serial-only.
+	// ShardSafe marks schemes whose per-connection controllers draw only
+	// from their own connection's engine and whose queues either draw
+	// nothing or implement netem.RandBinder, so netem.Partition can rebind
+	// their marking RNG to the owning domain's engine. Every built-in
+	// scheme qualifies today — end-host responders are lazy (constructed
+	// per connection from c.Engine().Rand()) and the router AQMs (RED, PI,
+	// REM, AVQ) are rebound at partition time. Only shard-safe schemes may
+	// appear in a Spec with Shards > 1: the flag is the opt-in gate for
+	// custom registrations, which cannot be verified mechanically.
 	ShardSafe bool
 }
 

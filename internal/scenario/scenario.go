@@ -260,22 +260,23 @@ func (s Spec) Validate() error {
 }
 
 // validateShardable rejects spec features the parallel engine cannot run.
-// The restrictions all have the same root cause: sharded execution gives
-// every domain its own RNG and event clock, so anything that captures the
-// global engine — router AQMs drawing marking randomness from engine 0, web
-// session generators, link schedules armed on engine 0 before partitioning —
-// would race or silently change results. Schemes opt in via
-// SchemeDef.ShardSafe.
+// After the domain-ownership work (queue RNGs rebound per domain, web
+// sessions and link schedules armed on the owning engine) the remaining
+// restrictions are the ones with no mechanical fix: schemes must opt in via
+// SchemeDef.ShardSafe — a custom CC factory or a scheme that captures the
+// global engine cannot be verified — and schedules may not change a link's
+// propagation delay, because a boundary link's conservative lookahead is
+// fixed when the partition is cut. (The check is conservative: it applies to
+// every scheduled link, since which links become boundaries depends on the
+// runtime partition hint. netem.Partition enforces the precise
+// boundary-only rule.)
 func (s Spec) validateShardable() error {
 	if aqm := s.queueScheme(); aqm != "" && Known(aqm) {
 		if !registry[aqm].ShardSafe {
-			return fmt.Errorf("scenario: shards=%d: aqm scheme %q is not shard-safe (its queue draws from the global engine RNG); shard-safe schemes: %v", s.Shards, aqm, shardSafeNames())
+			return fmt.Errorf("scenario: shards=%d: aqm scheme %q is not shard-safe; shard-safe schemes: %v", s.Shards, aqm, shardSafeNames())
 		}
 	}
 	for i, g := range s.Groups {
-		if g.kind() == Web {
-			return fmt.Errorf("scenario: shards=%d: group %d is web traffic, which runs on the global engine; sharded runs take ftp groups only", s.Shards, i)
-		}
 		if g.Scheme == "" {
 			return fmt.Errorf("scenario: shards=%d: group %d has no registered scheme; custom CC factories cannot be verified shard-safe", s.Shards, i)
 		}
@@ -284,8 +285,8 @@ func (s Spec) validateShardable() error {
 		}
 	}
 	for i, r := range s.Links {
-		if len(r.Schedule) > 0 {
-			return fmt.Errorf("scenario: shards=%d: link rule %d has a schedule; mid-run link changes are armed on the global engine and cannot be sharded", s.Shards, i)
+		if r.Schedule.HasDelayChange() {
+			return fmt.Errorf("scenario: shards=%d: link rule %d schedules a delay change; boundary lookahead is fixed at partition time, so sharded runs take capacity changes and up/down flaps only", s.Shards, i)
 		}
 	}
 	return nil
@@ -324,17 +325,27 @@ func (s Spec) Canonical() Spec {
 // the requested count clamped to the topology's useful maximum (a dumbbell
 // has one cut; a parking lot has one domain per router). Always ≥ 1.
 func (s Spec) EffectiveShards() int {
-	if s.Shards <= 1 {
-		return 1
-	}
-	max := 2 // dumbbell: the bottleneck is the only useful cut
+	eff, _, _ := s.ShardClamp()
+	return eff
+}
+
+// ShardClamp resolves the requested shard count against the topology: it
+// returns the effective count, whether the request was clamped down, and
+// the topology's useful maximum. Runners surface clamping through their
+// progress sink / table notes so a `-shards 8` request silently running at
+// 2 is visible in the output rather than only in the wall clock.
+func (s Spec) ShardClamp() (effective int, clamped bool, max int) {
+	max = 2 // dumbbell: the bottleneck is the only useful cut
 	if s.Topology.Template == ParkingLotTemplate {
 		max = s.Topology.routers()
 	}
-	if s.Shards > max {
-		return max
+	if s.Shards <= 1 {
+		return 1, false, max
 	}
-	return s.Shards
+	if s.Shards > max {
+		return max, true, max
+	}
+	return s.Shards, false, max
 }
 
 // queueScheme resolves the scheme name whose Queue factory builds the core

@@ -40,24 +40,44 @@ func TestValidateShardsAccepts(t *testing.T) {
 	if err := d.Validate(); err != nil {
 		t.Errorf("sharded dumbbell rejected: %v", err)
 	}
+	// The features this PR made shard-safe all validate together: a router
+	// AQM (marking RNG rebound at partition time), a PERT-PI group (lazy
+	// per-connection responder), web traffic (armed on the source node's
+	// engine), and a capacity/flap schedule (re-armed on the owning domain;
+	// only delay changes stay out of bounds).
+	s := shardedSpec()
+	s.Topology.AQM = "Sack/RED-ECN"
+	s.Groups[0].Scheme = "PERT-PI"
+	s.Groups = append(s.Groups, FlowGroupSpec{
+		Scheme: "PERT", Count: 1, From: "cloud2", To: "cloud3",
+		Traffic: Web, StartWindow: seconds(1),
+	})
+	s.Links = []LinkRule{{Link: "core1", Schedule: netem.LinkSchedule{
+		{At: sim.Time(seconds(1)), Capacity: 1e6},
+		{At: sim.Time(seconds(2)), Down: true},
+		{At: sim.Time(seconds(3)), Up: true},
+	}}}
+	if err := s.Validate(); err != nil {
+		t.Errorf("sharded router AQM + PERT-PI + web + capacity schedule rejected: %v", err)
+	}
 }
 
 func TestValidateShardsRejects(t *testing.T) {
 	cases := map[string]func(*Spec){
-		"negative shards":   func(s *Spec) { s.Shards = -1 },
-		"too many shards":   func(s *Spec) { s.Shards = sim.MaxShards + 1 },
-		"router aqm":        func(s *Spec) { s.Topology.AQM = "Sack/RED-ECN" },
-		"unsafe group":      func(s *Spec) { s.Groups[0].Scheme = "Sack/PI-ECN" },
-		"pert-pi is global": func(s *Spec) { s.Groups[0].Scheme = "PERT-PI" },
-		"web group": func(s *Spec) {
-			s.Groups = append(s.Groups, FlowGroupSpec{
-				Scheme: "PERT", Count: 1, From: "cloud2", To: "cloud3",
-				Traffic: Web, StartWindow: seconds(1),
-			})
+		"negative shards": func(s *Spec) { s.Shards = -1 },
+		"too many shards": func(s *Spec) { s.Shards = sim.MaxShards + 1 },
+		// An empty group scheme is legal serially when the topology AQM
+		// supplies one, but a sharded run cannot verify an inherited
+		// factory's shard-safety mechanically.
+		"implicit group scheme": func(s *Spec) {
+			s.Topology.AQM = "PERT"
+			s.Groups[0].Scheme = ""
 		},
-		"link schedule": func(s *Spec) {
+		// Delay changes stay rejected: boundary lookahead is fixed when the
+		// partition is created.
+		"delay schedule": func(s *Spec) {
 			s.Links = []LinkRule{{Link: "core1", Schedule: netem.LinkSchedule{
-				{At: sim.Time(seconds(1)), Capacity: 1e6},
+				{At: sim.Time(seconds(1)), Delay: ms(5)},
 			}}}
 		},
 	}
@@ -73,10 +93,10 @@ func TestValidateShardsRejects(t *testing.T) {
 	s.Shards = 0
 	s.Topology.AQM = "Sack/RED-ECN"
 	s.Links = []LinkRule{{Link: "core1", Schedule: netem.LinkSchedule{
-		{At: sim.Time(seconds(1)), Capacity: 1e6},
+		{At: sim.Time(seconds(1)), Delay: ms(5)},
 	}}}
 	if err := s.Validate(); err != nil {
-		t.Errorf("serial spec with router AQM + schedule rejected: %v", err)
+		t.Errorf("serial spec with router AQM + delay schedule rejected: %v", err)
 	}
 }
 
@@ -119,6 +139,39 @@ func TestEffectiveShards(t *testing.T) {
 	d.Shards = 8
 	if got := d.EffectiveShards(); got != 2 { // a dumbbell has one cut
 		t.Errorf("dumbbell shards=8: effective %d, want 2", got)
+	}
+}
+
+// TestShardClamp covers the (effective, clamped, max) triple behind
+// EffectiveShards — the source of the clamp note sharded tables emit.
+func TestShardClamp(t *testing.T) {
+	for _, tc := range []struct {
+		shards    int
+		effective int
+		clamped   bool
+	}{
+		{0, 1, false},
+		{1, 1, false},
+		{4, 4, false}, // exactly the router count
+		{5, 4, true},  // one past the boundary
+		{64, 4, true}, // far more shards than the lot has nodes
+	} {
+		s := shardedSpec()
+		s.Shards = tc.shards
+		eff, clamped, max := s.ShardClamp()
+		if eff != tc.effective || clamped != tc.clamped || max != 4 {
+			t.Errorf("parkinglot shards=%d: ShardClamp() = (%d, %v, %d), want (%d, %v, 4)",
+				tc.shards, eff, clamped, max, tc.effective, tc.clamped)
+		}
+	}
+	d := validSpec()
+	d.Shards = 8
+	if eff, clamped, max := d.ShardClamp(); eff != 2 || !clamped || max != 2 {
+		t.Errorf("dumbbell shards=8: ShardClamp() = (%d, %v, %d), want (2, true, 2)", eff, clamped, max)
+	}
+	d.Shards = 2
+	if eff, clamped, _ := d.ShardClamp(); eff != 2 || clamped {
+		t.Errorf("dumbbell shards=2: ShardClamp() = (%d, %v), want (2, false)", eff, clamped)
 	}
 }
 
@@ -166,8 +219,17 @@ func TestLoadV2Shards(t *testing.T) {
 	if len(spec.Topology.EdgeDelays) != 2 || spec.Topology.EdgeDelays[0] != want[0] || spec.Topology.EdgeDelays[1] != want[1] {
 		t.Errorf("edge delays = %v, want %v", spec.Topology.EdgeDelays, want)
 	}
-	bad := strings.Replace(doc, `"PERT"`, `"Sack/RED-ECN"`, 1)
+	// Router AQMs are shard-safe (marking RNG rebound at partition time), so
+	// the loader accepts them under shards now.
+	aqm := strings.Replace(doc, `"PERT"`, `"Sack/RED-ECN"`, 1)
+	if _, err := Load(strings.NewReader(aqm)); err != nil {
+		t.Errorf("sharded router-AQM scenario rejected by loader: %v", err)
+	}
+	// A delay change in a sharded schedule is still a load-time error.
+	bad := strings.Replace(doc, `"shards": 4`,
+		`"shards": 4,
+		"links": [{"link": "core1", "schedule": [{"at": "1s", "delay": "5ms"}]}]`, 1)
 	if _, err := Load(strings.NewReader(bad)); err == nil {
-		t.Error("sharded router-AQM scenario accepted by loader")
+		t.Error("sharded delay-schedule scenario accepted by loader")
 	}
 }

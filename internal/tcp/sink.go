@@ -201,3 +201,60 @@ func (s *Sink) sendAck(m ackEcho) {
 
 // Close detaches the sink from its node.
 func (s *Sink) Close() { s.node.DetachFlow(s.flow) }
+
+// SinkAcceptor lazily creates receive-side Sinks for flows whose sender
+// lives in another shard domain. A generator starting a connection mid-run
+// cannot attach the Sink to a remote node directly — that would mutate the
+// destination shard's demux table and engine from the sender's goroutine —
+// so instead the destination node carries an acceptor: when the first data
+// segment of an unknown flow arrives, the acceptor builds the Sink on the
+// arrival goroutine, domain-locally, and the node re-dispatches the segment
+// to it.
+//
+// Accepted sinks are never detached. Closing them from the sender's
+// completion callback would be the same cross-domain race in reverse, and a
+// self-closing sink can deadlock a flow whose final ACK is lost. The cost is
+// one idle Sink per completed accepted flow, bounded by the number of
+// transfers in the run.
+type SinkAcceptor struct {
+	net     *netem.Network
+	node    *netem.Node
+	payload int
+	delAck  bool
+
+	// Accepted counts sinks created, exported for tests.
+	Accepted uint64
+}
+
+// AcceptSinks installs a SinkAcceptor on node (idempotent: a second call
+// with the same payload/delAck configuration returns the existing acceptor;
+// a conflicting configuration panics, since one node cannot sort arriving
+// flows by which generator meant them). Call before the run starts.
+func AcceptSinks(net *netem.Network, node *netem.Node, payload int, delAck bool) *SinkAcceptor {
+	if payload <= 0 {
+		payload = DefaultPayload
+	}
+	if owner := node.ListenerOwner(); owner != nil {
+		a, ok := owner.(*SinkAcceptor)
+		if !ok {
+			panic("tcp: node already has a non-acceptor listener")
+		}
+		if a.payload != payload || a.delAck != delAck {
+			panic("tcp: conflicting AcceptSinks configurations on one node")
+		}
+		return a
+	}
+	a := &SinkAcceptor{net: net, node: node, payload: payload, delAck: delAck}
+	node.SetListener(a.accept, a)
+	return a
+}
+
+// accept builds the Sink for a newly seen flow; the node re-dispatches the
+// triggering segment immediately after.
+func (a *SinkAcceptor) accept(p *netem.Packet, _ sim.Time) {
+	s := NewSink(a.net, a.node, p.Flow, p.Src, a.payload)
+	if a.delAck {
+		s.EnableDelAck(0)
+	}
+	a.Accepted++
+}

@@ -58,7 +58,13 @@ func Uniform(rng *rand.Rand, max sim.Duration) sim.Duration {
 }
 
 // IDs hands out unique flow identifiers across all generators in a scenario.
-type IDs struct{ next int }
+// The allocator is not goroutine-safe: on a sharded run, generators that
+// allocate IDs mid-run (web sessions) must carve out a private Namespace at
+// construction time instead of sharing this counter across shards.
+type IDs struct {
+	next int
+	ns   int
+}
 
 // NewIDs returns an allocator starting at 1.
 func NewIDs() *IDs { return &IDs{next: 1} }
@@ -68,4 +74,14 @@ func (i *IDs) Next() int {
 	id := i.next
 	i.next++
 	return id
+}
+
+// Namespace returns a fresh allocator whose IDs are disjoint from this one
+// and from every other namespace carved from it: namespace k hands out IDs
+// starting at k<<32, while the parent stays below 1<<32. Carve namespaces
+// during single-threaded construction; the returned allocator is then owned
+// by one shard goroutine.
+func (i *IDs) Namespace() *IDs {
+	i.ns++
+	return &IDs{next: i.ns << 32}
 }

@@ -64,6 +64,11 @@ type WebSession struct {
 	cfg  WebConfig
 	stop bool
 
+	// crossDomain marks a session whose server lives in another shard
+	// domain: transfers build only the sender side and let the server's
+	// SinkAcceptor create the receiver lazily on its own shard.
+	crossDomain bool
+
 	// Stats.
 	Pages         uint64
 	Objects       uint64
@@ -73,10 +78,23 @@ type WebSession struct {
 	outstanding int // transfers currently in flight
 }
 
-// StartWebSession begins a session at time at.
+// StartWebSession begins a session at time at. The session's timers and
+// random draws run on the client node's owning engine, so on a partitioned
+// network each session's randomness is shard-local (for an unpartitioned
+// network src.Engine() is the network engine, as before). When client and
+// server live in different domains the session switches to cross-domain
+// mode at construction: it carves a private flow-ID namespace (the shared
+// allocator cannot be touched mid-run from several shards) and installs a
+// SinkAcceptor on the server so receive-side state is created lazily on the
+// server's own shard.
 func StartWebSession(net *netem.Network, ids *IDs, src, dst *netem.Node, cfg WebConfig, at sim.Time) *WebSession {
 	cfg.applyDefaults()
-	w := &WebSession{net: net, eng: net.Engine(), ids: ids, src: src, dst: dst, cfg: cfg}
+	w := &WebSession{net: net, eng: src.Engine(), ids: ids, src: src, dst: dst, cfg: cfg}
+	if src.Domain() != dst.Domain() {
+		w.ids = ids.Namespace()
+		w.crossDomain = true
+		tcp.AcceptSinks(net, dst, cfg.Conn.Payload, cfg.Conn.DelAck)
+	}
 	w.eng.At(at, w.think)
 	return w
 }
@@ -129,14 +147,24 @@ func (w *WebSession) fetchOne() {
 	var f *tcp.Flow
 	started := w.eng.Now()
 	conn.OnComplete = func(done sim.Time) {
-		f.Sink.Close()
+		if f.Sink != nil {
+			f.Sink.Close()
+		}
 		w.outstanding--
 		if w.cfg.OnObject != nil {
 			w.cfg.OnObject(segs, done-started)
 		}
 		w.pump()
 	}
-	f = tcp.NewFlow(w.net, w.src, w.dst, w.ids.Next(), w.cfg.CC(), conn)
+	if w.crossDomain {
+		// Sender side only: attaching a Sink to the remote node here would
+		// race its shard. The server's SinkAcceptor builds the receiver
+		// when the first data segment arrives.
+		c := tcp.NewConn(w.net, w.src, w.dst.ID, w.ids.Next(), w.cfg.CC(), conn)
+		f = &tcp.Flow{Conn: c}
+	} else {
+		f = tcp.NewFlow(w.net, w.src, w.dst, w.ids.Next(), w.cfg.CC(), conn)
+	}
 	f.Start(w.eng.Now())
 }
 

@@ -1,0 +1,100 @@
+package trafficgen
+
+import (
+	"testing"
+
+	"pert/internal/netem"
+	"pert/internal/queue"
+	"pert/internal/sim"
+	"pert/internal/topo"
+)
+
+// shardBed builds the test dumbbell on a two-shard group and cuts it at the
+// bottleneck, so left hosts live in domain 0 and right hosts in domain 1.
+func shardBed(t *testing.T, seed int64) (*sim.ShardGroup, *topo.Dumbbell) {
+	t.Helper()
+	g := sim.NewShardGroup(2, seed)
+	net := netem.NewNetwork(g.Engine(0))
+	d := topo.NewDumbbell(net, topo.DumbbellConfig{
+		Bandwidth: 20e6,
+		Delay:     20 * sim.Millisecond,
+		Hosts:     4,
+		RTTs:      []sim.Duration{60 * sim.Millisecond},
+		Queue: func(limit int, _ float64) netem.Discipline {
+			return queue.NewDropTail(limit)
+		},
+	})
+	if err := net.Partition(g, d.PartitionHint(2)); err != nil {
+		t.Fatal(err)
+	}
+	return g, d
+}
+
+// TestShardWebCrossDomain: web sessions whose source and destination live in
+// different domains fetch pages through the lazy sink acceptor — sender-side
+// state armed on the source's engine, sinks created on the destination's
+// arrival path — and the run is deterministic at a fixed shard count. The
+// -race run of this test covers the cross-domain arming paths end to end.
+func TestShardWebCrossDomain(t *testing.T) {
+	run := func() (pages, objects, segs uint64, c netem.Conservation) {
+		g, d := shardBed(t, 21)
+		ids := NewIDs()
+		cfg := WebConfig{MeanThink: 100 * sim.Millisecond}
+		sessions := WebFleet(d.Net, ids, d.Left, d.Right, 6, cfg, sim.Second)
+		for _, s := range sessions {
+			if s.src.Domain() == s.dst.Domain() {
+				t.Fatal("fleet endpoints landed in one domain; the cut is wrong")
+			}
+		}
+		g.Run(30 * sim.Second)
+		if err := d.Net.Audit(); err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range sessions {
+			pages += s.Pages
+			objects += s.Objects
+			segs += s.SegsRequested
+		}
+		return pages, objects, segs, d.Net.Conservation()
+	}
+	p1, o1, s1, c1 := run()
+	if p1 < 20 {
+		t.Fatalf("only %d pages in 30 s across 6 cross-domain sessions", p1)
+	}
+	if o1 < p1 {
+		t.Fatalf("objects %d < pages %d", o1, p1)
+	}
+	p2, o2, s2, c2 := run()
+	if p1 != p2 || o1 != o2 || s1 != s2 {
+		t.Fatalf("cross-domain web run not deterministic: %d/%d/%d vs %d/%d/%d", p1, o1, s1, p2, o2, s2)
+	}
+	if c1.Injected != c2.Injected || c1.Delivered != c2.Delivered || c1.Dropped != c2.Dropped {
+		t.Fatalf("ledgers differ across reps: %+v vs %+v", c1, c2)
+	}
+}
+
+// TestShardWebNamespacedIDs: cross-domain sessions carve disjoint flow-ID
+// namespaces at construction, so mid-run sink creation never touches the
+// shared allocator and IDs cannot collide across sessions or with serial
+// allocations from the parent.
+func TestShardWebNamespacedIDs(t *testing.T) {
+	_, d := shardBed(t, 22)
+	ids := NewIDs()
+	a := StartWebSession(d.Net, ids, d.Left[0], d.Right[0], WebConfig{}, 0)
+	b := StartWebSession(d.Net, ids, d.Left[1], d.Right[1], WebConfig{}, 0)
+	if !a.crossDomain || !b.crossDomain {
+		t.Fatal("sessions are not cross-domain")
+	}
+	if a.ids == ids || b.ids == ids || a.ids == b.ids {
+		t.Fatal("cross-domain sessions share an ID allocator")
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		for _, id := range []int{a.ids.Next(), b.ids.Next(), ids.Next()} {
+			if seen[id] {
+				t.Fatalf("flow ID %d allocated twice", id)
+			}
+			seen[id] = true
+		}
+	}
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check validate-scenarios bench bench-micro bench-smoke bench-shards cache-smoke chaos-smoke shard-smoke shard-diff results results-paper fuzz clean
+.PHONY: all build test vet check validate-scenarios bench bench-micro bench-smoke bench-shards cache-smoke chaos-smoke shard-smoke shard-diff hybrid-smoke results results-paper fuzz clean
 
 all: build check
 
@@ -106,6 +106,22 @@ shard-smoke:
 # of the same table; this target removes the subset gate.
 shard-diff:
 	PERT_SHARDDIFF=full $(GO) test ./internal/experiments -run 'TestShardDiff' -count=1 -timeout 30m -v
+
+# Hybrid fluid/packet smoke: the substrate's correctness gate (DESIGN.md
+# §10). Runs the fluid stepper and coupling unit tests, the scenario
+# fluid-group validation/identity tests, and the ext-hybrid equilibrium
+# conformance acceptance check (shared queue vs eq. (9) within 10%), then
+# the CLI path end to end: the hybrid example scenario must validate and
+# run serially, and a -shards request on it must be rejected with a clear
+# error, not a panic or a wrong answer.
+hybrid-smoke:
+	$(GO) test -count=1 -timeout 10m -run 'Stepper|Hybrid|Fluid' ./internal/fluid/ ./internal/netem/ ./internal/scenario/ ./internal/experiments/
+	$(GO) run ./cmd/pertsim -config examples/scenarios/hybrid_isp.json -validate
+	$(GO) run ./cmd/pertsim -config examples/scenarios/hybrid_isp.json > /dev/null
+	@if $(GO) run ./cmd/pertsim -config examples/scenarios/hybrid_isp.json -shards 4 >/dev/null 2>&1; then \
+		echo "hybrid-smoke: sharded hybrid run must be rejected"; exit 1; \
+	fi
+	@echo "hybrid-smoke: OK (unit+conformance tests, example scenario, serial-only rejection)"
 
 # Cache smoke: the same tiny sweep twice into one cache directory. The warm
 # run must replay every cell (top-level sim_events stays 0, both runs marked

@@ -8,6 +8,7 @@
 //	pertfluid -mode trajectory -r 160ms -dur 200s > traj.csv
 //	pertfluid -mode stability -r 171ms
 //	pertfluid -mode mindelta
+//	pertfluid -mode hybrid -c 1e7 -n 1e5 -r 60ms -aprate 120000 > hybrid.csv
 package main
 
 import (
@@ -27,7 +28,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pertfluid", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	mode := fs.String("mode", "trajectory", "trajectory | stability | mindelta")
+	mode := fs.String("mode", "trajectory", "trajectory | stability | mindelta | hybrid")
 	c := fs.Float64("c", 100, "link capacity, packets/second")
 	n := fs.Float64("n", 5, "number of flows")
 	r := fs.Duration("r", 100*time.Millisecond, "round-trip time")
@@ -39,6 +40,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	dur := fs.Duration("dur", 200*time.Second, "integration horizon")
 	step := fs.Duration("step", time.Millisecond, "integration step")
 	every := fs.Int("every", 100, "emit every k-th step in trajectory mode")
+	apRate := fs.Float64("aprate", 0, "hybrid mode: foreground packet arrival rate, packets/second")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -67,6 +69,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "equilibrium feasible (p* <= pmax): %v\n", fluid.EquilibriumFeasible(p))
 		b := fluid.StabilityBoundaryR(p, 0.01, 2.0, 0.001)
 		fmt.Fprintf(stdout, "stability boundary in R (this config): %.3fs\n", b)
+	case "hybrid":
+		// The hybrid coupling of DESIGN.md §10, driven by a constant
+		// foreground rate: the aggregate yields (C - aprate)/C of the link
+		// and settles at the shifted equilibrium. Advanced with the
+		// resumable Stepper, the same API the netem co-simulation uses.
+		w, pr, tq := p.HybridEquilibrium(*apRate)
+		fmt.Fprintf(stderr, "hybrid equilibrium at %.0f pkt/s foreground: W*=%.3f pkts  p*=%.4f  Tq*=%.4fs\n",
+			*apRate, w, pr, tq)
+		sys := p.HybridSystem(fluid.HybridInputs{PacketRate: func() float64 { return *apRate }})
+		st := fluid.NewStepper(sys, []float64{1, 0, 0}, 0, step.Seconds())
+		fmt.Fprintln(stdout, "t,window_pkts,queue_delay_s,smoothed_delay_s")
+		for i := 0; st.Time() < dur.Seconds(); i++ {
+			if i%*every == 0 {
+				x := st.State()
+				fmt.Fprintf(stdout, "%.3f,%.4f,%.5f,%.5f\n", st.Time(), x[0], x[1], x[2])
+			}
+			st.Step()
+		}
 	case "mindelta":
 		fmt.Fprintln(stdout, "n_min,min_delta_s")
 		for nm := 1.0; nm <= 50; nm++ {

@@ -57,3 +57,26 @@ func TestBadModeAndBadFlag(t *testing.T) {
 		t.Fatalf("bad flag exit = %d", code)
 	}
 }
+
+func TestHybridMode(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-mode", "hybrid", "-c", "1e7", "-n", "1e5", "-r", "60ms",
+		"-tmin", "5ms", "-tmax", "105ms", "-delta", "100us",
+		"-aprate", "120000", "-dur", "20s", "-every", "5000"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "hybrid equilibrium") {
+		t.Fatal("no hybrid equilibrium summary on stderr")
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if lines[0] != "t,window_pkts,queue_delay_s,smoothed_delay_s" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// The trajectory must settle at the shifted equilibrium W* = (C-ap)R/N
+	// = 5.928 pkts: the last emitted window should sit within 1%.
+	last := strings.Split(lines[len(lines)-1], ",")
+	if !strings.HasPrefix(last[1], "5.9") {
+		t.Fatalf("final window %q, want ~5.93", last[1])
+	}
+}

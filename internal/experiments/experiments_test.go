@@ -12,7 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 	// Every evaluation artifact in the paper must be registered.
 	want := []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"fig9", "fig11", "fig12", "fig13", "fig14", "table1",
-		"ext-aqm", "ext-validation", "ext-jitter", "ext-delaycc", "ext-highspeed", "ext-coexist", "ext-fct", "ext-threshold", "ext-stability", "ext-replicated",
+		"ext-aqm", "ext-validation", "ext-jitter", "ext-delaycc", "ext-highspeed", "ext-hybrid", "ext-coexist", "ext-fct", "ext-threshold", "ext-stability", "ext-replicated",
 		"ext-lossy", "ext-flap", "ext-parkinglot-xl"}
 	for _, id := range want {
 		exp, ok := ByID(id)

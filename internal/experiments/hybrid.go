@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strconv"
+
+	"pert/internal/fluid"
+	"pert/internal/scenario"
+	"pert/internal/sim"
+)
+
+// extHybridFlows returns the modeled background population and the core
+// capacity (pkt/s) for a scale. Quick models 10^5 flows on a 10^7 pkt/s
+// (83 Gbps at 1040 B) bottleneck; paper scales both by 10x to the million
+// flows a packet simulation cannot touch. Holding C/N fixed keeps the
+// per-flow equilibrium identical across scales: W* = RC/N = 6,
+// p* = 2/W*^2 ~ 0.056, Tq* = Tmin + p*/L ~ 60.6 ms.
+func extHybridFlows(scale Scale) (bg int, pps float64) {
+	if scale == Paper {
+		return 1_000_000, 1e8
+	}
+	return 100_000, 1e7
+}
+
+// extHybridSpec is the ISP-scale hybrid scenario: one fluid PERT aggregate
+// (the modeled background) sharing the bottleneck with 10 real packet
+// foreground connections of the given scheme. The buffer is ~3x the modeled
+// equilibrium backlog (Tq*·C ~ 0.06·C) so overflow does not distort the
+// equilibrium check, and the 60 ms modeled RTT matches the packet flows'
+// path RTT.
+func extHybridSpec(scale Scale, scheme Scheme) scenario.Spec {
+	bg, pps := extHybridFlows(scale)
+	// Custom windows, much shorter than scale.window(): the fluid substrate
+	// settles in ~10 s at any population (its dynamics are set by the 60 ms
+	// RTT, not the flow count), while the packet cost of the loss-based
+	// foreground grows with everything it grabs at an ISP-scale bottleneck —
+	// Sack sees no loss until the shared buffer fills, so longer horizons
+	// only buy more foreground packet events, not a different equilibrium.
+	dur, from, until, sw := seconds(25), seconds(10), seconds(23), seconds(3)
+	if scale == Paper {
+		dur, from, until, sw = seconds(60), seconds(25), seconds(55), seconds(8)
+	}
+	return scenario.Spec{
+		Name: "ext-hybrid:" + string(scheme),
+		Seed: 9700,
+		Topology: scenario.TopologySpec{
+			Template:  scenario.DumbbellTemplate,
+			Bandwidth: pps * 8 * 1040,
+			// Two hosts per side: the ten foreground flows share two 500 Mbps
+			// access links (heavy households behind an ISP core), which caps
+			// the loss-based foreground at ~1% of the core and keeps the
+			// packet-event bill bounded at any horizon.
+			Hosts:      2,
+			RTTs:       []sim.Duration{60 * sim.Millisecond},
+			BufferPkts: int(0.2 * pps), // ~3.3x the modeled equilibrium backlog
+		},
+		Groups: []scenario.FlowGroupSpec{
+			{Label: "fg-" + string(scheme), Scheme: string(scheme), Count: 10,
+				From: "left", To: "right", StartWindow: sw},
+			{Label: "bg-fluid", Scheme: string(PERT), Count: bg,
+				From: "left", To: "right",
+				Model: scenario.FluidModel, RTT: 60 * sim.Millisecond},
+		},
+		Duration: dur, MeasureFrom: from, MeasureUntil: until,
+	}
+}
+
+// extHybridFluidOnly returns the background aggregate's fluid parameters as
+// netem.AttachFluid resolves them for the spec above (its documented
+// defaults: Tmin 5 ms, Tmax 105 ms, Pmax 0.1, so L = 1; Delta pins the EWMA
+// lag to RTT/6), which is what the equilibrium conformance check compares
+// the measured shared queue against.
+func extHybridFluidOnly(scale Scale) fluid.PERTParams {
+	bg, pps := extHybridFlows(scale)
+	return fluid.PERTParams{
+		C: pps, N: float64(bg), R: 0.06,
+		Tmin: 0.005, Tmax: 0.105, Pmax: 0.1,
+		Alpha: 0.99, Delta: (1 - 0.99) * 0.06 / 6,
+	}
+}
+
+// ExtHybrid is the hybrid fluid/packet showcase: background traffic far past
+// packet-simulation scale (10^5 modeled flows at quick, 10^6 at paper) drives
+// the bottleneck's shared queue while ~10 real foreground connections — PERT,
+// then loss-based Sack — live in the delay and loss that queue imposes. The
+// run is serial by construction (the substrate has no cross-domain fluid
+// coupling; scenario validation rejects fluid groups at shards > 1), so
+// -shards is a no-op here. Each scheme's panel carries an equilibrium
+// conformance note: the window-averaged shared queue against the fluid-only
+// eq. (9) prediction Tq*·C, which the hybrid must track because ten packet
+// flows are a vanishing fraction of the modeled load.
+func ExtHybrid(ctx context.Context, scale Scale) (*Table, error) {
+	if err := checkRun(ctx, scale); err != nil {
+		return nil, err
+	}
+	bg, pps := extHybridFlows(scale)
+	_, _, tqStar := extHybridFluidOnly(scale).Equilibrium()
+	qStar := tqStar * pps
+	t := &Table{
+		ID: "ext-hybrid",
+		Title: fmt.Sprintf("Extension: hybrid fluid/packet substrate (%d modeled background flows, 10 packet foreground)",
+			bg),
+		XLabel: "row",
+	}
+	for _, scheme := range []Scheme{PERT, SackDroptail} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sub, err := RunScenario(extHybridSpec(scale, scheme))
+		if err != nil {
+			return nil, err
+		}
+		if t.Header == nil {
+			t.Header = append([]string{"scheme"}, sub.Header...)
+		}
+		for _, row := range sub.Rows {
+			t.AddRow(append([]string{string(scheme)}, row...)...)
+		}
+		if q, ok := hybridQueueCell(sub); ok {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"%s: eq. (9) conformance — shared queue %s pkts vs fluid-only %s pkts (%.1f%% off)",
+				scheme, f2(q), f2(qStar), 100*math.Abs(q-qStar)/qStar))
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("fluid-only equilibrium: W* = RC/N = %.1f, p* = %.4f, Tq* = %.1f ms", 0.06*pps/float64(bg), 2*math.Pow(float64(bg)/(0.06*pps), 2), tqStar*1000),
+		// Machine-greppable scale marker for BENCH_quick.json: `make bench`
+		// records this run's events/s alongside it.
+		fmt.Sprintf("hybrid scale: flows_modeled=%d per panel, core_pps=%.0f", bg, pps),
+		"serial by construction: the hybrid substrate has no cross-domain fluid coupling, so -shards is a no-op")
+	return t, nil
+}
+
+// hybridQueueCell pulls the forward bottleneck's window-averaged shared
+// queue (packet + modeled backlog) out of a scenario panel.
+func hybridQueueCell(sub *Table) (float64, bool) {
+	for _, row := range sub.Rows {
+		if len(row) > 1 && row[0] == "link forward" {
+			q, err := strconv.ParseFloat(row[1], 64)
+			return q, err == nil
+		}
+	}
+	return 0, false
+}

@@ -57,6 +57,7 @@ var Experiments = []Experiment{
 	{ID: "ext-fct", Title: "Extension: web-object flow completion times", Scales: allScales, Run: one(ExtFCT)},
 	{ID: "ext-flap", Title: "Extension: response to capacity changes and link flaps", Scales: allScales, Run: ExtFlap},
 	{ID: "ext-highspeed", Title: "Extension: PERT over aggressive probing", Scales: allScales, Run: one(ExtHighSpeed)},
+	{ID: "ext-hybrid", Title: "Extension: hybrid fluid/packet substrate at ISP scale", Scales: allScales, Run: one(ExtHybrid)},
 	{ID: "ext-jitter", Title: "Extension: robustness to access-link delay jitter", Scales: allScales, Run: one(ExtJitter)},
 	{ID: "ext-lossy", Title: "Extension: robustness to non-congestive random loss", Scales: allScales, Run: one(ExtLossy)},
 	{ID: "ext-parkinglot-xl", Title: "Extension: 8-bottleneck parking lot on the sharded engine", Scales: allScales, Run: one(ExtParkingLotXL)},

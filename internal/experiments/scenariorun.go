@@ -64,6 +64,28 @@ func RunScenario(spec scenario.Spec) (*Table, error) {
 		snaps[i] = trafficgen.GoodputSnapshot(g.Flows)
 	}
 
+	// Fluid background groups: sample the modeled backlog and arrival rate
+	// over the window on the same cadence as the queue monitors. Scenarios
+	// without fluid groups create no ticker here — the fluid-off path must
+	// stay event-identical to the pre-hybrid runner.
+	type fluidSample struct {
+		backlog, rate stats.Series
+	}
+	fmons := map[int]*fluidSample{}
+	for i, g := range inst.Groups {
+		if g.Fluid != nil {
+			fmons[i] = &fluidSample{}
+		}
+	}
+	if len(fmons) > 0 {
+		eng.Every(eng.Now(), 10*sim.Millisecond, func(sim.Time) {
+			for i, m := range fmons {
+				m.backlog.Add(inst.Groups[i].Fluid.Backlog())
+				m.rate.Add(inst.Groups[i].Fluid.Rate())
+			}
+		})
+	}
+
 	eng.Run(until)
 	t := &Table{
 		ID:    name,
@@ -84,6 +106,14 @@ func RunScenario(spec scenario.Spec) (*Table, error) {
 	}
 	for i, g := range inst.Groups {
 		label := "group " + g.Label()
+		if m, ok := fmons[i]; ok {
+			// Modeled aggregate: its queue share, rate as a utilization
+			// fraction, and per-flow share of core capacity.
+			cpps := g.Fluid.Params().C
+			t.AddRow(label, f2(m.backlog.Mean()), "-", "-",
+				f3(m.rate.Mean()/cpps), sci(m.rate.Mean()/cpps/g.Fluid.Flows()), "-")
+			continue
+		}
 		if len(g.Flows) > 0 {
 			goodputs := trafficgen.Goodputs(g.Flows, snaps[i])
 			var sum float64

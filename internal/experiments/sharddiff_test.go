@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"pert/internal/scenario"
@@ -59,6 +60,7 @@ var shardDiffExpectations = map[string]shardDiffClass{
 	"ext-fct":           byteIdentical,     // hand-built engine
 	"ext-flap":          deterministicPerN, // capacity changes + flaps on the boundary link
 	"ext-highspeed":     byteIdentical,     // custom CC factories run serial
+	"ext-hybrid":        byteIdentical,     // fluid substrate is serial-only; spec never sets shards
 	"ext-jitter":        deterministicPerN, // registered-scheme rows shard; custom rows serial
 	"ext-lossy":         deterministicPerN, // wire-loss impairment on the boundary link
 	"ext-parkinglot-xl": deterministicPerN, // scenario path, shards by default
@@ -183,7 +185,10 @@ func TestShardDiff(t *testing.T) {
 // TestShardDiffExampleScenarios runs every example scenario document through
 // the serial runner and the sharded runner at shards ∈ {2, 4}: the documents
 // must validate and complete at any shard count, shards=1 must match the
-// serial table byte for byte, and fixed-N reruns must be identical.
+// serial table byte for byte, and fixed-N reruns must be identical. Documents
+// with a fluid background group are the exception above one shard: the hybrid
+// substrate is serial-only, so the runner must reject them with the
+// validation error rather than run or panic.
 func TestShardDiffExampleScenarios(t *testing.T) {
 	docs, err := filepath.Glob(filepath.Join("..", "..", "examples", "scenarios", "*.json"))
 	if err != nil || len(docs) == 0 {
@@ -208,6 +213,12 @@ func TestShardDiffExampleScenarios(t *testing.T) {
 				}
 				return spec
 			}
+			fluid := false
+			for _, g := range load().Groups {
+				if g.IsFluid() {
+					fluid = true
+				}
+			}
 			run := func(shards int) string {
 				spec := load()
 				spec.Shards = shards
@@ -226,6 +237,14 @@ func TestShardDiffExampleScenarios(t *testing.T) {
 				t.Errorf("shards=1 diverged from serial\nserial: %s\nshards=1: %s", serial, one)
 			}
 			for _, n := range []int{2, 4} {
+				if fluid {
+					spec := load()
+					spec.Shards = n
+					if _, err := RunScenario(spec); err == nil || !strings.Contains(err.Error(), "serial-only") {
+						t.Errorf("shards=%d: fluid scenario must be rejected as serial-only, got %v", n, err)
+					}
+					continue
+				}
 				first := run(n)
 				for rep := 1; rep < reps; rep++ {
 					if got := run(n); got != first {

@@ -25,73 +25,24 @@ type System struct {
 // interpolated from the stored solution history (constant x0 before t0).
 // observe, if non-nil, is called at every accepted step including the first.
 // Lags must exceed h for the stage evaluations to stay within history.
+//
+// Integrate is a batch convenience over Stepper; the retained history is a
+// MaxLag-bounded ring, so memory stays O(MaxLag/h) no matter how long the
+// window is.
 func (s *System) Integrate(x0 []float64, t0, t1, h float64, observe func(t float64, x []float64)) []float64 {
-	if len(x0) != s.Dim {
-		panic("fluid: initial state has wrong dimension")
-	}
 	if h <= 0 || t1 < t0 {
 		panic("fluid: bad integration window")
 	}
 	steps := int((t1-t0)/h + 0.5)
-	// History ring: store every step; capacity covers MaxLag plus slack.
-	histLen := int(s.MaxLag/h) + 8
-	hist := make([][]float64, 0, steps+1)
-
-	x := append([]float64(nil), x0...)
-	hist = append(hist, append([]float64(nil), x...))
-	_ = histLen
-
-	t := t0
-	delayedAt := func(base float64) func(lag float64, i int) float64 {
-		return func(lag float64, i int) float64 {
-			when := base - lag
-			if when <= t0 {
-				return x0[i]
-			}
-			pos := (when - t0) / h
-			k := int(pos)
-			if k >= len(hist)-1 {
-				return hist[len(hist)-1][i]
-			}
-			frac := pos - float64(k)
-			return hist[k][i]*(1-frac) + hist[k+1][i]*frac
-		}
-	}
-
-	dx1 := make([]float64, s.Dim)
-	dx2 := make([]float64, s.Dim)
-	dx3 := make([]float64, s.Dim)
-	dx4 := make([]float64, s.Dim)
-	tmp := make([]float64, s.Dim)
-
+	st := NewStepper(s, x0, t0, h)
 	if observe != nil {
-		observe(t, x)
+		observe(st.Time(), st.State())
 	}
 	for n := 0; n < steps; n++ {
-		s.F(t, x, delayedAt(t), dx1)
-		for i := range tmp {
-			tmp[i] = x[i] + h/2*dx1[i]
-		}
-		s.F(t+h/2, tmp, delayedAt(t+h/2), dx2)
-		for i := range tmp {
-			tmp[i] = x[i] + h/2*dx2[i]
-		}
-		s.F(t+h/2, tmp, delayedAt(t+h/2), dx3)
-		for i := range tmp {
-			tmp[i] = x[i] + h*dx3[i]
-		}
-		s.F(t+h, tmp, delayedAt(t+h), dx4)
-		for i := range x {
-			x[i] += h / 6 * (dx1[i] + 2*dx2[i] + 2*dx3[i] + dx4[i])
-		}
-		if s.Clamp != nil {
-			s.Clamp(x)
-		}
-		t = t0 + float64(n+1)*h
-		hist = append(hist, append([]float64(nil), x...))
+		st.Step()
 		if observe != nil {
-			observe(t, x)
+			observe(st.Time(), st.State())
 		}
 	}
-	return x
+	return append([]float64(nil), st.State()...)
 }

@@ -39,6 +39,7 @@ var goldenCellKeys = map[string]string{
 	"ext-fct":           "2768f9ea3371930175c86d387ea7d6a7754ad97388faf4170fc2f6198b8f2c1f",
 	"ext-flap":          "0fe16bcecc05bd25a2871090ba901ef8b762934d047ff320c1d081d6bddc3998",
 	"ext-highspeed":     "f657c15d19e258cd457dfe6d397badcacb9b9ea3043fcaab72a9c138931496ee",
+	"ext-hybrid":        "16f20c684795d3702117338603a3b2023409879f9fe9c2dfc0fff4072506ab17",
 	"ext-jitter":        "4af8917a19e0315116aee477e7c74daf511e3bf0fd5e1cbec71e86868cf55a3f",
 	"ext-lossy":         "5018aabf3e40e96d05002e31508429db6b16e6cd70fcd0d829fcfa153972eacc",
 	"ext-parkinglot-xl": "ac295134ee23ee5fd55f2b26ae1c0ac840618fd810cf2dd42f9fa528a333337a",

@@ -154,6 +154,9 @@ func (n *Network) Partition(g *sim.ShardGroup, assign []int) error {
 	}
 	for _, node := range n.Nodes {
 		for _, l := range node.out {
+			if l.fluid != nil {
+				return fmt.Errorf("netem: %v has a hybrid fluid source; fluid/packet co-simulation is serial-only (no cross-domain fluid coupling yet)", l)
+			}
 			if assign[l.From.ID] == assign[l.To.ID] {
 				continue
 			}

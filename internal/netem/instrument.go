@@ -59,6 +59,19 @@ func (l *Link) Instrument(reg *obs.Registry, prefix string) {
 		reg.GaugeFunc(prefix+".prob", func() float64 { return q.P() })
 	}
 
+	if fs := l.fluid; fs != nil {
+		reg.GaugeFunc(prefix+".fluid.rate", func() float64 { return fs.Rate() })
+		reg.GaugeFunc(prefix+".fluid.queue", func() float64 { return fs.Backlog() })
+		reg.GaugeFunc(prefix+".fluid.prob", func() float64 { return fs.Prob() })
+		reg.GaugeFunc(prefix+".fluid.share", func() float64 {
+			total := l.QueuePkts()
+			if total == 0 {
+				return 0
+			}
+			return fs.Backlog() / total
+		})
+	}
+
 	drops := reg.NewCounter(prefix + ".drop_events")
 	prev := l.OnDrop
 	l.OnDrop = func(p *Packet, now sim.Time) {

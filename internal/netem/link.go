@@ -88,6 +88,11 @@ type Link struct {
 	impairStats ImpairStats
 	down        bool
 
+	// Hybrid substrate state (fluidsource.go): a modeled background
+	// aggregate sharing this link's queue. Nil on pure packet links —
+	// every hook below is a nil check on that path.
+	fluid *FluidSource
+
 	// Schedule state (impair.go): the applied LinkSchedule plus the pending
 	// event handles, kept so Partition can migrate the change events onto
 	// the link's owning domain's engine (and reject Delay changes on
@@ -112,6 +117,18 @@ func (l *Link) Send(p *Packet) {
 	acct := &l.dom.acct
 	if l.down {
 		l.impairStats.Blackholed++
+		l.Stats.Drops++
+		acct.Dropped++
+		if l.OnDrop != nil {
+			l.OnDrop(p, now)
+		}
+		l.dom.releasePacket(p)
+		return
+	}
+	if l.fluid != nil && !l.fluid.admit(p) {
+		// Shared-queue overflow: the modeled backlog plus the packet
+		// queue has filled the buffer, so the packet is lost exactly as
+		// a queue reject would lose it.
 		l.Stats.Drops++
 		acct.Dropped++
 		if l.OnDrop != nil {
@@ -175,6 +192,12 @@ func (l *Link) completeTx() {
 		l.OnDepart(p, l.eng.Now())
 	}
 	delay := l.Delay
+	if l.fluid != nil {
+		// Real packets wait behind the modeled backlog: the fluid share
+		// of the queueing delay rides on the propagation delay (the
+		// FIFO floor in deliver preserves ordering as it shrinks).
+		delay += l.fluid.extra
+	}
 	if l.JitterMax > 0 {
 		delay += sim.Duration(l.eng.Rand().Int63n(int64(l.JitterMax)))
 	}

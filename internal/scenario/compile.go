@@ -32,6 +32,7 @@ type Group struct {
 
 	Flows []*tcp.Flow              // FTP groups, after Spawn
 	Webs  []*trafficgen.WebSession // Web groups, after Spawn
+	Fluid *netem.FluidSource       // fluid groups, after Spawn
 }
 
 // Label returns the group's display name.
@@ -108,6 +109,13 @@ func Compile(eng *sim.Engine, net *netem.Network, spec Spec) (*Instance, error) 
 
 	for i := range spec.Groups {
 		g := &Group{Spec: spec.Groups[i]}
+		if g.Spec.IsFluid() {
+			// Fluid groups spawn no connections: no endpoints to
+			// resolve, no CC factory, no RNG draws. Spawn attaches the
+			// aggregate to the bottleneck link directly.
+			inst.Groups = append(inst.Groups, g)
+			continue
+		}
 		var err error
 		if g.Src, err = inst.Topo.Nodes(g.Spec.From); err != nil {
 			return nil, fmt.Errorf("scenario: group %d: %w", i, err)
@@ -141,6 +149,11 @@ func buildDumbbell(net *netem.Network, spec Spec, qf topo.QueueFactory) *topo.Du
 	hosts := t.Hosts
 	if hosts == 0 {
 		for _, g := range spec.Groups {
+			if g.IsFluid() {
+				// A million modeled flows need zero hosts; only packet
+				// groups size the topology.
+				continue
+			}
 			for _, s := range []string{g.From, g.To} {
 				sel, err := parseSelector(s)
 				if err != nil {
@@ -216,7 +229,13 @@ func (inst *Instance) Spawn() {
 	}
 	inst.spawned = true
 	ids := trafficgen.NewIDs()
-	for _, g := range inst.Groups {
+	for i, g := range inst.Groups {
+		if g.Spec.IsFluid() {
+			if g.Spec.Count > 0 {
+				g.Fluid = inst.attachFluid(i, g.Spec)
+			}
+			continue
+		}
 		switch g.Spec.kind() {
 		case Web:
 			if g.Spec.Count > 0 || g.CC != nil {
@@ -236,6 +255,41 @@ func (inst *Instance) Spawn() {
 			}
 		}
 	}
+}
+
+// attachFluid couples one fluid background group to the dumbbell bottleneck:
+// left->right rides the forward link, right->left the reverse. The modeled
+// RTT defaults to the topology's first configured RTT, and the shared-queue
+// bound is the same buffer the packet queue uses, so overflow loss treats
+// both traffic kinds alike.
+func (inst *Instance) attachFluid(i int, g FlowGroupSpec) *netem.FluidSource {
+	sel := "forward"
+	if g.From == "right" {
+		sel = "reverse"
+	}
+	link, err := inst.Topo.Link(sel)
+	if err != nil {
+		panic(fmt.Sprintf("scenario: fluid group %d: %v", i, err)) // unreachable: dumbbell always has both
+	}
+	rtt := g.RTT
+	if rtt == 0 {
+		if rtts := inst.Spec.Topology.RTTs; len(rtts) > 0 {
+			rtt = rtts[0]
+		} else {
+			rtt = 60 * sim.Millisecond
+		}
+	}
+	fs, err := netem.AttachFluid(link, netem.FluidConfig{
+		Flows:      float64(g.Count),
+		RTT:        rtt.Seconds(),
+		PktSize:    inst.Spec.Topology.PktSize, // 0 = AttachFluid's 1040 default
+		BufferPkts: inst.Topo.BufferPkts(),
+		Seed:       impairSeed(inst.Spec.Seed, 0x7f1d+i),
+	})
+	if err != nil {
+		panic(fmt.Sprintf("scenario: fluid group %d: %v", i, err)) // Validate pinned the preconditions
+	}
+	return fs
 }
 
 // MustCompile is Compile for specs the caller has already validated (the

@@ -67,6 +67,14 @@ type GroupConfig struct {
 	Traffic     string `json:"traffic,omitempty"`      // "ftp" (default) or "web"
 	StartWindow string `json:"start_window,omitempty"` // default measure_from/2
 	StartAt     string `json:"start_at,omitempty"`
+
+	// Model: "packet" (default) spawns one tcp.Conn per flow; "fluid" runs
+	// the group as one modeled PERT/RED aggregate on the bottleneck — the
+	// hybrid substrate's background traffic, with counts up to 10^6.
+	Model string `json:"model,omitempty"`
+	// RTT is the modeled round-trip time of a fluid group ("60ms");
+	// default: the topology's first RTT. Fluid groups only.
+	RTT string `json:"rtt,omitempty"`
 }
 
 // LinkConfig is the JSON form of a LinkRule.
@@ -147,6 +155,10 @@ func (c Config) Spec() (Spec, error) {
 		if g.Scheme == "" {
 			return fail(fmt.Errorf("scenario: group %d needs a scheme (known: %v)", i, Names()))
 		}
+		rtt, err := parseDur(g.RTT, 0)
+		if err != nil || rtt < 0 {
+			return fail(fmt.Errorf("scenario: group %d: bad rtt %q", i, g.RTT))
+		}
 		s.Groups = append(s.Groups, FlowGroupSpec{
 			Label:       g.Label,
 			Scheme:      g.Scheme,
@@ -156,6 +168,8 @@ func (c Config) Spec() (Spec, error) {
 			Traffic:     TrafficKind(g.Traffic),
 			StartWindow: sw,
 			StartAt:     sim.Time(at),
+			Model:       FlowModel(g.Model),
+			RTT:         rtt,
 		})
 	}
 	for i, l := range c.Links {

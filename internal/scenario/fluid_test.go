@@ -1,0 +1,206 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pert/internal/netem"
+	"pert/internal/sim"
+)
+
+// hybridSpec returns a valid dumbbell spec with one packet group and one
+// fluid background group.
+func hybridSpec(bg int) Spec {
+	return Spec{
+		Name: "hybrid-test",
+		Seed: 42,
+		Topology: TopologySpec{
+			Template:   DumbbellTemplate,
+			Bandwidth:  100e6,
+			RTTs:       []sim.Duration{60 * sim.Millisecond},
+			BufferPkts: 5000,
+		},
+		Groups: []FlowGroupSpec{
+			{Scheme: "PERT", Count: 4, From: "left", To: "right"},
+			{Scheme: "PERT", Count: bg, From: "left", To: "right", Model: FluidModel, RTT: 60 * sim.Millisecond},
+		},
+		Duration:    10 * sim.Second,
+		MeasureFrom: 2 * sim.Second,
+	}
+}
+
+func TestFluidGroupValidation(t *testing.T) {
+	base := hybridSpec(100000)
+	if err := base.Validate(); err != nil {
+		t.Fatalf("valid hybrid spec rejected: %v", err)
+	}
+	bad := func(mutate func(*Spec), wantSub string) {
+		t.Helper()
+		s := hybridSpec(100000)
+		mutate(&s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("spec mutated for %q passed validation", wantSub)
+			return
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("error %q does not mention %q", err, wantSub)
+		}
+	}
+	bad(func(s *Spec) { s.Groups[1].Scheme = "Sack/Droptail" }, "PERT")
+	bad(func(s *Spec) { s.Groups[1].Traffic = Web }, "ftp")
+	bad(func(s *Spec) { s.Groups[1].From = "left[0:2]" }, "left")
+	bad(func(s *Spec) { s.Groups[1].StartAt = sim.Time(sim.Second) }, "start_at")
+	bad(func(s *Spec) { s.Groups[1].RTT = sim.Millisecond }, "integration floor")
+	bad(func(s *Spec) { s.Groups[1].Model = "plasma" }, "unknown model")
+	bad(func(s *Spec) { s.Groups[0].RTT = 60 * sim.Millisecond }, "fluid-group field")
+	bad(func(s *Spec) {
+		s.Topology.Template = ParkingLotTemplate
+		s.Topology.Routers = 2
+		s.Groups[0].From, s.Groups[0].To = "cloud1", "cloud2"
+		s.Groups[1].From, s.Groups[1].To = "cloud1", "cloud2"
+	}, "dumbbell")
+}
+
+func TestFluidGroupShardsRejected(t *testing.T) {
+	s := hybridSpec(100000)
+	s.Shards = 2
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("sharded hybrid spec passed validation")
+	}
+	if !strings.Contains(err.Error(), "serial-only") {
+		t.Fatalf("rejection does not explain the restriction: %v", err)
+	}
+}
+
+// TestFluidCanonicalAliases pins the cache-key compatibility contract: the
+// packet model's canonical spelling is "" (pre-hybrid specs keep their
+// serialized form), "packet" normalizes to it, and fluid groups shed their
+// unused start_window default.
+func TestFluidCanonicalAliases(t *testing.T) {
+	s := hybridSpec(1000)
+	s.Groups[0].Model = "packet"
+	s.Groups[1].StartWindow = 3 * sim.Second
+	c := s.Canonical()
+	if c.Groups[0].Model != PacketModel {
+		t.Errorf("explicit packet model canonicalized to %q, want \"\"", c.Groups[0].Model)
+	}
+	if c.Groups[1].StartWindow != 0 {
+		t.Errorf("fluid group kept start_window %v; it is unused and forks cache cells", c.Groups[1].StartWindow)
+	}
+
+	// A packet-only spec must serialize byte-identically whether it was
+	// built before or after the hybrid fields existed (Model and RTT are
+	// omitempty zeros).
+	p := hybridSpec(0)
+	p.Groups = p.Groups[:1]
+	blob, err := json.Marshal(p.Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, banned := range []string{`"Model":`, `"RTT":`} {
+		if strings.Contains(string(blob), banned) {
+			t.Errorf("packet-only canonical spec serializes %q: %s", banned, blob)
+		}
+	}
+}
+
+func TestFluidJSONRoundTrip(t *testing.T) {
+	doc := `{
+		"name": "hybrid-json",
+		"seed": 7,
+		"topology": {"template": "dumbbell", "bandwidth_bps": 100e6, "rtts": ["60ms"], "buffer_pkts": 5000},
+		"groups": [
+			{"scheme": "PERT", "count": 4, "from": "left", "to": "right"},
+			{"scheme": "PERT", "count": 500000, "from": "left", "to": "right", "model": "fluid", "rtt": "80ms"}
+		],
+		"duration": "10s",
+		"measure_from": "2s"
+	}`
+	spec, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := spec.Groups[1]
+	if !g.IsFluid() || g.Count != 500000 || g.RTT != 80*sim.Millisecond {
+		t.Fatalf("fluid group loaded as %+v", g)
+	}
+	if spec.Groups[0].IsFluid() {
+		t.Fatal("packet group loaded as fluid")
+	}
+}
+
+// TestFluidSpawnAttaches compiles and spawns a hybrid spec and checks the
+// aggregate landed on the bottleneck with the spec's parameters, while a
+// count-0 fluid group attaches nothing (the metamorphic no-op).
+func TestFluidSpawnAttaches(t *testing.T) {
+	for _, bg := range []int{200000, 0} {
+		eng := sim.NewEngine(42)
+		net := netem.NewNetwork(eng)
+		inst, err := Compile(eng, net, hybridSpec(bg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst.Spawn()
+		d := inst.Dumbbell()
+		fs := d.Forward.Fluid()
+		if bg == 0 {
+			if fs != nil || inst.Groups[1].Fluid != nil {
+				t.Fatal("count-0 fluid group attached an aggregate")
+			}
+			continue
+		}
+		if fs == nil {
+			t.Fatal("no fluid source on the bottleneck after Spawn")
+		}
+		if fs != inst.Groups[1].Fluid {
+			t.Fatal("group handle is not the attached source")
+		}
+		if got := fs.Flows(); got != float64(bg) {
+			t.Fatalf("aggregate models %v flows, want %d", got, bg)
+		}
+		if got := fs.Params().R; got != 0.06 {
+			t.Fatalf("aggregate RTT %v, want 0.06", got)
+		}
+		// 100 Mbps at the default 1040 B -> 12019.23 pkt/s.
+		if c := fs.Params().C; c < 12000 || c > 12040 {
+			t.Fatalf("aggregate capacity %v pkt/s, want ~12019", c)
+		}
+		eng.Run(sim.Second) // the ticker must advance without packets
+		if fs.State()[0] <= 1 {
+			t.Fatal("fluid window did not grow from the cold state")
+		}
+	}
+}
+
+// TestFluidOffByteIdentity is the substrate-level metamorphic guarantee: a
+// spec with a count-0 fluid group runs the packet simulation event-for-event
+// identically to the same spec without the group.
+func TestFluidOffByteIdentity(t *testing.T) {
+	run := func(withGroup bool) string {
+		s := hybridSpec(0)
+		if !withGroup {
+			s.Groups = s.Groups[:1]
+		}
+		eng := sim.NewEngine(42)
+		net := netem.NewNetwork(eng)
+		inst, err := Compile(eng, net, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst.Spawn()
+		eng.Run(10 * sim.Second)
+		d := inst.Dumbbell()
+		b, _ := json.Marshal(struct {
+			Stats netem.LinkStats
+			Now   sim.Time
+		}{d.Forward.Stats, eng.Now()})
+		return string(b)
+	}
+	with, without := run(true), run(false)
+	if with != without {
+		t.Fatalf("count-0 fluid group perturbed the run\nwith:    %s\nwithout: %s", with, without)
+	}
+}

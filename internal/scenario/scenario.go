@@ -64,6 +64,20 @@ type TopologySpec struct {
 	Queue topo.QueueFactory `json:"-"`
 }
 
+// FlowModel selects how a group's flows are simulated.
+type FlowModel string
+
+// PacketModel (the "" default) spawns one real tcp.Conn per flow. FluidModel
+// runs the whole group as one PERT/RED fluid aggregate sharing the
+// bottleneck queue with the packet traffic — the hybrid substrate, whose
+// per-flow cost is zero (counts up to 10^6 are fine). Fluid groups are
+// dumbbell-only, scheme "PERT", FTP traffic between unranged "left"/"right"
+// endpoints, and serial-only (validateShardable rejects them at shards > 1).
+const (
+	PacketModel FlowModel = ""
+	FluidModel  FlowModel = "fluid"
+)
+
 // FlowGroupSpec is one homogeneous traffic population: Count flows of one
 // scheme between two endpoint sets. Groups attach in spec order, which fixes
 // the RNG draw order of their start times.
@@ -81,7 +95,28 @@ type FlowGroupSpec struct {
 	Traffic     TrafficKind  // "" = FTP
 	StartWindow sim.Duration // starts uniform in [StartAt, StartAt+StartWindow)
 	StartAt     sim.Time
+
+	// Model selects packet simulation ("" — one tcp.Conn per flow) or the
+	// fluid aggregate ("fluid"). The JSON loader also accepts the explicit
+	// alias "packet", normalized back to "".
+	Model FlowModel `json:"Model,omitempty"`
+
+	// RTT is the modeled round-trip time of a fluid group's flows.
+	// 0 derives the topology's first configured RTT. Packet groups must
+	// leave it unset (their RTTs come from the topology).
+	RTT sim.Duration `json:"RTT,omitempty"`
 }
+
+// model returns the group's flow model with the "packet" alias normalized.
+func (g FlowGroupSpec) model() FlowModel {
+	if g.Model == "packet" {
+		return PacketModel
+	}
+	return g.Model
+}
+
+// IsFluid reports whether the group runs as a modeled fluid aggregate.
+func (g FlowGroupSpec) IsFluid() bool { return g.model() == FluidModel }
 
 // kind returns the group's traffic kind with the FTP default applied.
 func (g FlowGroupSpec) kind() TrafficKind {
@@ -217,6 +252,18 @@ func (s Spec) Validate() error {
 				return fmt.Errorf("scenario: group %d: %w", i, err)
 			}
 		}
+		switch g.model() {
+		case PacketModel:
+			if g.RTT != 0 {
+				return fmt.Errorf("scenario: group %d: rtt is a fluid-group field; packet groups take their RTTs from the topology", i)
+			}
+		case FluidModel:
+			if err := s.validateFluidGroup(i, g); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("scenario: group %d: unknown model %q (use \"packet\" or \"fluid\")", i, g.Model)
+		}
 	}
 	if traffic == 0 {
 		return fmt.Errorf("scenario: no traffic: every group has count 0")
@@ -259,6 +306,38 @@ func (s Spec) Validate() error {
 	return nil
 }
 
+// validateFluidGroup checks the extra constraints on "model": "fluid"
+// background groups: the hybrid substrate couples one aggregate to one
+// dumbbell bottleneck link, so the template, scheme, traffic kind, and
+// endpoint selectors are all pinned.
+func (s Spec) validateFluidGroup(i int, g FlowGroupSpec) error {
+	if s.Topology.Template != DumbbellTemplate {
+		return fmt.Errorf("scenario: group %d: fluid groups need the dumbbell template (the aggregate couples to its bottleneck)", i)
+	}
+	if g.Scheme != "PERT" {
+		return fmt.Errorf("scenario: group %d: fluid groups model the PERT/RED aggregate; set scheme \"PERT\", not %q", i, g.Scheme)
+	}
+	if g.kind() != FTP {
+		return fmt.Errorf("scenario: group %d: fluid groups model long-lived flows; traffic must be ftp, not %q", i, g.Traffic)
+	}
+	if (g.From != "left" || g.To != "right") && (g.From != "right" || g.To != "left") {
+		return fmt.Errorf("scenario: group %d: fluid groups run between the whole \"left\" and \"right\" host sets, got %q -> %q", i, g.From, g.To)
+	}
+	if g.StartAt != 0 {
+		return fmt.Errorf("scenario: group %d: fluid groups start at t=0 (start_at is a packet-group field)", i)
+	}
+	// The DDE integrates at a 1 ms step and lags must exceed it; 2 ms is
+	// the floor that keeps the delayed-state interpolation meaningful.
+	rtt := g.RTT
+	if rtt == 0 && len(s.Topology.RTTs) > 0 {
+		rtt = s.Topology.RTTs[0] // the attach-time default
+	}
+	if rtt != 0 && rtt < 2*sim.Millisecond {
+		return fmt.Errorf("scenario: group %d: fluid rtt %v is below the 2 ms integration floor", i, rtt)
+	}
+	return nil
+}
+
 // validateShardable rejects spec features the parallel engine cannot run.
 // After the domain-ownership work (queue RNGs rebound per domain, web
 // sessions and link schedules armed on the owning engine) the remaining
@@ -277,6 +356,9 @@ func (s Spec) validateShardable() error {
 		}
 	}
 	for i, g := range s.Groups {
+		if g.IsFluid() {
+			return fmt.Errorf("scenario: shards=%d: group %d models background traffic as a fluid aggregate; the hybrid fluid/packet substrate is serial-only until cross-domain fluid coupling exists — drop shards or the fluid group", s.Shards, i)
+		}
 		if g.Scheme == "" {
 			return fmt.Errorf("scenario: shards=%d: group %d has no registered scheme; custom CC factories cannot be verified shard-safe", s.Shards, i)
 		}
@@ -306,6 +388,15 @@ func (s Spec) Canonical() Spec {
 	out.Groups = append([]FlowGroupSpec(nil), s.Groups...)
 	for i := range out.Groups {
 		out.Groups[i].Traffic = out.Groups[i].kind()
+		// "" is the canonical packet-model spelling (so pre-hybrid specs
+		// keep their serialized form and cache keys); the explicit
+		// "packet" alias normalizes back to it. Fluid groups ignore start
+		// scheduling, so the loader's start_window default is noise —
+		// zero it rather than fork cache cells over an unused field.
+		out.Groups[i].Model = out.Groups[i].model()
+		if out.Groups[i].IsFluid() {
+			out.Groups[i].StartWindow = 0
+		}
 	}
 	out.MeasureUntil = s.measureUntil()
 	out.Topology.AQM = s.queueScheme()
@@ -367,7 +458,9 @@ func (s Spec) queueScheme() string {
 func (s Spec) deriveEnv() Env {
 	env := Env{TargetDelay: s.TargetDelay}
 	for _, g := range s.Groups {
-		if g.kind() == FTP {
+		// Fluid groups do not spawn connections; the scheme environment
+		// (per-conn parameter scaling) sees only the packet population.
+		if g.kind() == FTP && !g.IsFluid() {
 			env.NFlows += g.Count
 		}
 	}

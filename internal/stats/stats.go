@@ -91,18 +91,21 @@ func (s *Series) Min() float64 {
 	return s.min
 }
 
-// QueueMonitor periodically samples a link's instantaneous queue length.
+// QueueMonitor periodically samples a link's instantaneous shared queue
+// length — real packets plus any modeled fluid backlog. On pure packet links
+// Link.QueuePkts is exactly float64(Queue.Len()), so samples are unchanged.
 type QueueMonitor struct {
 	Queue  netem.Discipline
 	Series Series
+	link   *netem.Link
 	ticker *sim.Ticker
 }
 
 // MonitorQueue samples the link's queue every interval starting at from.
 func MonitorQueue(eng *sim.Engine, link *netem.Link, from sim.Time, interval sim.Duration) *QueueMonitor {
-	m := &QueueMonitor{Queue: link.Queue}
+	m := &QueueMonitor{Queue: link.Queue, link: link}
 	m.ticker = eng.Every(from, interval, func(sim.Time) {
-		m.Series.Add(float64(m.Queue.Len()))
+		m.Series.Add(m.link.QueuePkts())
 	})
 	return m
 }
